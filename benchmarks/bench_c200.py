@@ -1,0 +1,40 @@
+"""Parity check at C = 200.
+
+Section 7: "We present results only for C = 50 as the results for
+C = 200 were similar."  This bench re-runs the Figure 6 ratio sweep at
+C = 200 and asserts the same qualitative shapes, making that sentence a
+tested claim rather than a remark.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.experiments import ExperimentConfig, run_experiment
+
+CONFIG = ExperimentConfig(
+    cardinality=200, num_records=30_000, component_counts=(1, 2, 3)
+)
+
+
+def test_figure6_shapes_hold_at_c200(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure6", CONFIG), rounds=1, iterations=1
+    )
+    record_table("figure6-c200", result.render())
+    by_key = {(r[0], r[1]): r for r in result.rows}
+
+    # (a) uncompressed: I = 0.5, R just under 1, E = 1 at n=1; I leads
+    # at every component count.
+    assert by_key[("I", 1)][3] == pytest.approx(0.5, abs=0.01)
+    assert by_key[("E", 1)][3] == pytest.approx(1.0)
+    assert 0.98 < by_key[("R", 1)][3] < 1.0
+    for n in (1, 2, 3):
+        assert by_key[("I", n)][3] <= by_key[("R", n)][3] <= by_key[("E", n)][3]
+
+    # (b) compressibility ordering: E best, I worst at n=1.
+    assert by_key[("E", 1)][4] < by_key[("R", 1)][4] < by_key[("I", 1)][4]
+
+    # (c) compressed: interval smallest for multi-component indexes.
+    for n in (2, 3):
+        assert by_key[("I", n)][5] <= by_key[("E", n)][5]
+        assert by_key[("I", n)][5] <= by_key[("R", n)][5]

@@ -1,0 +1,80 @@
+"""Ablation: BBC vs WAH vs EWAH size and speed across skews.
+
+Not a paper figure — the paper fixes the codec to Antoshenkov's
+byte-aligned scheme.  This bench shows the choice does not change the
+paper's conclusions (compression ratios order the same way for every
+codec) while quantifying their encode/decode throughput.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.report import render_table
+from repro.compress import get_codec, measure_codec
+from repro.encoding import get_scheme
+from repro.workload import zipf_column
+
+NUM_RECORDS = 50_000
+CODECS = ("bbc", "wah", "ewah")
+
+
+@pytest.fixture(scope="module")
+def bitmaps_by_skew():
+    out = {}
+    for skew in (0.0, 1.0, 2.0, 3.0):
+        values = zipf_column(NUM_RECORDS, 50, skew, seed=0)
+        out[skew] = {
+            scheme: list(get_scheme(scheme).build(values, 50).values())
+            for scheme in ("E", "R", "I")
+        }
+    return out
+
+
+def test_codec_ablation_table(benchmark, bitmaps_by_skew):
+    def build_rows():
+        rows = []
+        for skew, per_scheme in bitmaps_by_skew.items():
+            for scheme, bitmaps in per_scheme.items():
+                row = [f"z={skew:g}", scheme]
+                for codec_name in CODECS:
+                    stats = measure_codec(get_codec(codec_name), bitmaps)
+                    row.append(stats.ratio)
+                rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    record_table(
+        "codec-ablation",
+        render_table(
+            ["skew", "scheme", *CODECS],
+            rows,
+            title="Codec ablation: compressed/uncompressed ratio",
+        ),
+    )
+    # The paper's Figure 6(b) ordering (E < R < I) holds for all codecs.
+    for codec_index in range(len(CODECS)):
+        z1 = {row[1]: row[2 + codec_index] for row in rows if row[0] == "z=1"}
+        assert z1["E"] < z1["R"] <= z1["I"] * 1.01
+
+
+@pytest.mark.parametrize("codec_name", CODECS)
+def test_encode_throughput(benchmark, bitmaps_by_skew, codec_name):
+    codec = get_codec(codec_name)
+    bitmaps = bitmaps_by_skew[1.0]["E"]
+
+    def encode_all():
+        return sum(len(codec.encode(b)) for b in bitmaps)
+
+    benchmark(encode_all)
+
+
+@pytest.mark.parametrize("codec_name", CODECS)
+def test_decode_throughput(benchmark, bitmaps_by_skew, codec_name):
+    codec = get_codec(codec_name)
+    bitmaps = bitmaps_by_skew[1.0]["E"]
+    payloads = [(codec.encode(b), len(b)) for b in bitmaps]
+
+    def decode_all():
+        return sum(codec.decode(p, n).count() for p, n in payloads)
+
+    benchmark(decode_all)

@@ -1,0 +1,21 @@
+"""Benchmark + regeneration of Figure 3 (the performance field)."""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.experiments import ExperimentConfig, run_experiment
+
+CONFIG = ExperimentConfig(cardinality=50, component_counts=(1, 2, 3))
+
+
+def test_figure3_regenerate(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure3", CONFIG), rounds=1, iterations=1
+    )
+    record_table("figure3", result.render())
+    # Interval encoding sits on the 2RQ and RQ frontiers; equality
+    # encoding on the EQ frontier — Theorems 3.1/4.1 in field form.
+    marks = {(r[0], r[1]): r[4] for r in result.rows}
+    assert marks[("2RQ", "I<50>")] == "*"
+    assert marks[("RQ", "I<50>")] == "*"
+    assert marks[("EQ", "E<50>")] == "*"

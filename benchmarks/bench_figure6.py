@@ -1,0 +1,37 @@
+"""Benchmark + regeneration of Figure 6 (space and compressibility).
+
+The benchmark measures the index-build-and-encode kernel (the work
+behind every Figure 6 point); the full ratio table is regenerated once
+and printed in the terminal summary.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.figure6 import build_point
+from repro.workload import zipf_column
+
+CONFIG = ExperimentConfig(num_records=50_000, component_counts=(1, 2, 3, 4, 5))
+
+
+@pytest.fixture(scope="module")
+def values():
+    return zipf_column(CONFIG.num_records, CONFIG.cardinality, CONFIG.skew, seed=0)
+
+
+def test_figure6_regenerate(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure6", CONFIG), rounds=1, iterations=1
+    )
+    record_table("figure6", result.render())
+    # Headline shapes (the paper's Figure 6 reading).
+    by_key = {(r[0], r[1]): r for r in result.rows}
+    assert by_key[("I", 1)][3] == pytest.approx(0.5)
+    assert by_key[("E", 1)][4] < by_key[("R", 1)][4] < by_key[("I", 1)][4]
+
+
+@pytest.mark.parametrize("scheme", ["E", "R", "I"])
+def test_build_compressed_index_kernel(benchmark, values, scheme):
+    """Time to build + BBC-encode a one-component index (C=50, z=1)."""
+    benchmark(build_point, values, 50, scheme, 1, "bbc")

@@ -1,0 +1,18 @@
+"""Benchmark + regeneration of Figure 7 (skew vs compressed space)."""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.experiments import ExperimentConfig, run_experiment
+
+CONFIG = ExperimentConfig(num_records=50_000)
+
+
+def test_figure7_regenerate(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure7", CONFIG), rounds=1, iterations=1
+    )
+    record_table("figure7", result.render())
+    # Skew improves compression for every (n, scheme) series.
+    for row in result.rows:
+        assert row[-1] < row[2], row

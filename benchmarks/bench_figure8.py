@@ -1,0 +1,59 @@
+"""Benchmark + regeneration of Figure 8 (space-time per query set).
+
+The benchmark times the core query-processing kernel (a membership
+query through rewrite + buffered evaluation); the full per-set scatter
+is regenerated once.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.index import BitmapIndex, IndexSpec
+from repro.queries import QuerySetSpec, generate_query_set
+from repro.workload import zipf_column
+
+CONFIG = ExperimentConfig(
+    num_records=30_000, component_counts=(1, 2, 3), queries_per_set=10
+)
+
+
+def test_figure8_regenerate(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure8", CONFIG), rounds=1, iterations=1
+    )
+    record_table("figure8", result.render())
+    # Paper's reading: on the equality-only sets the fastest design is
+    # equality-encoded; on the pure-range single-interval set the
+    # frontier contains an interval design.
+    eq_rows = [r for r in result.rows if r[0] == "Nint=1,Nequ=1"]
+    assert min(eq_rows, key=lambda r: r[3])[1].startswith("E")
+    rq_frontier = [
+        r for r in result.rows if r[0] == "Nint=1,Nequ=0" and r[4] == "*"
+    ]
+    assert any(r[1].startswith("I") for r in rq_frontier)
+
+
+@pytest.fixture(scope="module")
+def query_engine():
+    values = zipf_column(CONFIG.num_records, 50, 1.0, seed=0)
+    index = BitmapIndex.build(
+        values, IndexSpec(cardinality=50, scheme="I", codec="bbc")
+    )
+    queries = generate_query_set(QuerySetSpec(5, 3), 50, num_queries=10, seed=0)
+    return index, queries
+
+
+def test_membership_query_kernel(benchmark, query_engine):
+    """End-to-end membership evaluation, cold buffer per query."""
+    index, queries = query_engine
+    engine = index.engine()
+
+    def run():
+        total = 0
+        for query in queries:
+            engine.pool.clear()
+            total += engine.execute(query).row_count
+        return total
+
+    benchmark(run)

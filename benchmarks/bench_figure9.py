@@ -1,0 +1,36 @@
+"""Benchmark + regeneration of Figure 9 (skew vs space-time)."""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.experiments import ExperimentConfig, run_experiment
+
+CONFIG = ExperimentConfig(
+    num_records=30_000, component_counts=(1, 2, 3), queries_per_set=5
+)
+
+
+def test_figure9_regenerate(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure9", CONFIG), rounds=1, iterations=1
+    )
+    record_table("figure9", result.render())
+
+    def best(z, prefix=None, codec=None):
+        rows = [
+            r
+            for r in result.rows
+            if r[0] == z
+            and (prefix is None or r[1].startswith(prefix))
+            and (codec is None or r[1].endswith(codec))
+        ]
+        return min(r[3] for r in rows)
+
+    # Paper's reading: compression pays off at high skew — the gap
+    # between compressed and uncompressed best-times narrows or flips
+    # as z grows (compressed indexes also shrink drastically).
+    def frontier_space(z):
+        rows = [r for r in result.rows if r[0] == z and r[4] == "*"]
+        return min(r[2] for r in rows)
+
+    assert frontier_space("3") < frontier_space("0")

@@ -1,0 +1,110 @@
+"""Verification of §7's hybrid-scheme remark.
+
+"We do not present any results for hybrid encoding schemes, as they
+rarely offered a better index than non-hybrid ones (occasionally such
+an index had a slightly lower time at the expense of much higher
+space)."  This bench runs the Figure 8 measurement with all seven
+schemes and counts, per query set, how often a hybrid design sits on
+the space-time Pareto frontier — quantifying "rarely".
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.pareto import pareto_frontier
+from repro.analysis.report import render_table
+from repro.analysis.spacetime import measure_design
+from repro.encoding import HYBRID_SCHEME_NAMES
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure8 import design_specs
+from repro.queries import generate_query_set, paper_query_sets
+from repro.workload import DatasetSpec, generate_dataset
+
+CONFIG = ExperimentConfig(
+    num_records=20_000,
+    component_counts=(1, 2),
+    queries_per_set=5,
+    schemes=("E", "R", "I", "ER", "O", "EI", "EI*"),
+)
+
+
+def test_hybrids_rarely_on_frontier(benchmark):
+    def run():
+        values = generate_dataset(
+            DatasetSpec(
+                cardinality=CONFIG.cardinality,
+                skew=CONFIG.skew,
+                num_records=CONFIG.num_records,
+                seed=CONFIG.seed,
+            )
+        )
+        query_sets = {
+            spec.label: generate_query_set(
+                spec,
+                CONFIG.cardinality,
+                num_queries=CONFIG.queries_per_set,
+                seed=CONFIG.seed,
+            )
+            for spec in paper_query_sets()
+        }
+        points = [
+            measure_design(values, spec, query_sets)
+            for spec in design_specs(CONFIG)
+        ]
+        basics = [p for p in points if p.spec.scheme not in HYBRID_SCHEME_NAMES]
+        hybrids = [p for p in points if p.spec.scheme in HYBRID_SCHEME_NAMES]
+        rows = []
+        for set_label in query_sets:
+            def time_of(p, lbl=set_label):
+                return p.per_set_ms[lbl]
+
+            # Hybrids that strictly dominate some basic *frontier* design
+            # — i.e. genuinely "offer a better index than non-hybrid".
+            basic_frontier = pareto_frontier(
+                basics, space=lambda p: p.space_bytes, time=time_of
+            )
+            dominating = sorted(
+                {
+                    h.label
+                    for h in hybrids
+                    for b in basic_frontier
+                    if h.space_bytes <= b.space_bytes
+                    and time_of(h) <= time_of(b)
+                    and (
+                        h.space_bytes < b.space_bytes
+                        or time_of(h) < time_of(b)
+                    )
+                }
+            )
+            fastest = min(points, key=time_of)
+            rows.append(
+                [
+                    set_label,
+                    len(dominating),
+                    " ".join(dominating) or "-",
+                    fastest.label,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "hybrid-dominance",
+        render_table(
+            [
+                "query set",
+                "hybrids dominating a basic frontier design",
+                "which",
+                "fastest overall",
+            ],
+            rows,
+            title=(
+                "§7's hybrid remark: hybrids that beat the basic schemes "
+                "outright, per query set (C=50, z=1)"
+            ),
+        ),
+    )
+    # "Rarely offered a better index": hybrids dominate a basic
+    # frontier design in at most a couple of the 8 query sets.
+    sets_with_dominating_hybrid = sum(1 for row in rows if row[1] > 0)
+    assert sets_with_dominating_hybrid <= 3

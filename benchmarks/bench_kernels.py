@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the substrate kernels (bit ops, popcount,
+index build, rewrite) — the raw-throughput context for every simulated
+number in the figure benches."""
+
+import pytest
+
+from repro.bitmap import BitVector
+from repro.encoding import get_scheme
+from repro.index import BitmapIndex, IndexSpec
+from repro.index.rewrite import QueryRewriter
+from repro.queries import IntervalQuery
+from repro.workload import zipf_column
+
+N = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def vectors(rng=None):
+    import numpy as np
+
+    r = np.random.default_rng(0)
+    a = BitVector.from_bools(r.random(N) < 0.5)
+    b = BitVector.from_bools(r.random(N) < 0.5)
+    return a, b
+
+
+def test_and_1m_bits(benchmark, vectors):
+    a, b = vectors
+    benchmark(lambda: a & b)
+
+
+def test_or_1m_bits(benchmark, vectors):
+    a, b = vectors
+    benchmark(lambda: a | b)
+
+
+def test_not_1m_bits(benchmark, vectors):
+    a, _ = vectors
+    benchmark(lambda: ~a)
+
+
+def test_popcount_1m_bits(benchmark, vectors):
+    a, _ = vectors
+    benchmark(a.count)
+
+
+def test_build_interval_index_100k(benchmark):
+    values = zipf_column(100_000, 50, 1.0, seed=0)
+    benchmark(
+        BitmapIndex.build, values, IndexSpec(cardinality=50, scheme="I")
+    )
+
+
+def test_rewrite_throughput(benchmark):
+    rewriter = QueryRewriter(10_000, (10, 10, 10, 10), get_scheme("E"))
+
+    def rewrite_many():
+        total = 0
+        for low in range(0, 9000, 500):
+            expr = rewriter.rewrite_interval(
+                IntervalQuery(low, low + 777, 10_000)
+            )
+            total += len(expr.leaf_keys())
+        return total
+
+    benchmark(rewrite_many)

@@ -1,0 +1,80 @@
+"""Regeneration of the §4.2 update-cost comparison.
+
+The paper quotes best/expected/worst bitmap updates per inserted record
+for the three basic schemes; this bench computes them analytically from
+the catalogs and times the corresponding bulk index-append kernel.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.report import render_table
+from repro.encoding import get_scheme
+from repro.encoding.costmodel import update_costs
+from repro.workload import zipf_column
+
+
+def test_update_costs_table(benchmark):
+    def build_rows():
+        rows = []
+        for c in (50, 200):
+            for name in ("E", "R", "I", "EI*", "O"):
+                costs = update_costs(get_scheme(name), c)
+                rows.append([c, name, costs.best, costs.expected, costs.worst])
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    record_table(
+        "update-costs",
+        render_table(
+            ["C", "scheme", "best", "expected", "worst"],
+            rows,
+            title="Section 4.2 update costs (bitmaps touched per insert)",
+        ),
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    # Paper: E is (1,1,1); R expects (C-1)/2 with worst C-1; I expects
+    # C/4 with worst floor(C/2).
+    assert by_key[(50, "E")][2:] == [1, 1.0, 1]
+    assert by_key[(50, "R")][3] == pytest.approx(24.5)
+    assert by_key[(50, "R")][4] == 49
+    assert by_key[(50, "I")][3] == pytest.approx(12.5)
+    assert by_key[(50, "I")][4] == 25
+
+
+@pytest.mark.parametrize("scheme", ["E", "R", "I"])
+def test_batch_append_kernel(benchmark, scheme):
+    """Rebuilding the affected bitmaps for a 5k-record batch insert."""
+    base = zipf_column(20_000, 50, 1.0, seed=0)
+    batch = zipf_column(5_000, 50, 1.0, seed=1)
+    merged = np.concatenate([base, batch])
+    encoder = get_scheme(scheme)
+
+    benchmark(encoder.build, merged, 50)
+
+
+@pytest.mark.parametrize("layout", ["monolithic", "segmented"])
+def test_append_path_kernel(benchmark, layout):
+    """Appending 2k records to a 100k-record index.
+
+    The monolithic path decodes, extends and re-encodes every bitmap;
+    the segmented path only touches the (small) tail segment — the
+    append-friendliness the segmented layout exists for.
+    """
+    from repro.index import BitmapIndex, IndexSpec, SegmentedBitmapIndex
+
+    base = zipf_column(100_000, 50, 1.0, seed=0)
+    batch = zipf_column(2_000, 50, 1.0, seed=1)
+    spec = IndexSpec(cardinality=50, scheme="I", codec="bbc")
+
+    def setup():
+        if layout == "monolithic":
+            index = BitmapIndex.build(base, spec)
+        else:
+            index = SegmentedBitmapIndex.build(base, spec, segment_size=16_384)
+        return (index,), {}
+
+    benchmark.pedantic(
+        lambda index: index.append(batch), setup=setup, rounds=5, iterations=1
+    )

@@ -1,0 +1,32 @@
+"""Benchmark-harness plumbing.
+
+Each benchmark regenerates one of the paper's tables/figures and
+registers the rendered text via :func:`record_table`; a terminal-summary
+hook prints everything after the benchmark table so the rows survive
+pytest's output capture (and land in bench_output.txt).  Rendered
+tables are also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_TABLES: list[tuple[str, str]] = []
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_table(name: str, text: str) -> None:
+    """Register a rendered experiment table for end-of-run printing."""
+    _TABLES.append((name, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter) -> None:
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "regenerated paper tables and figures")
+    for name, text in _TABLES:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(text)
+    _TABLES.clear()

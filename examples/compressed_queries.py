@@ -1,0 +1,68 @@
+"""Compressed-domain query evaluation (extension beyond the paper).
+
+The paper's Figure 9 shows compressed indexes losing to uncompressed
+ones at low skew because every query pays a decompression charge.
+Word-aligned codecs can evaluate queries *without decompressing*:
+logical ops run directly on the compressed payloads, touching only the
+"dirty" words.  This example builds the same EWAH index twice the
+paper's way (decompress-then-operate) and the compressed-domain way,
+and prints the cost model's verdict per skew level.
+
+Run:  python examples/compressed_queries.py
+"""
+
+from __future__ import annotations
+
+from repro import BitmapIndex, CompressedQueryEngine, IndexSpec, MembershipQuery
+from repro.storage import CostClock
+from repro.workload import zipf_column
+
+NUM_ROWS = 150_000
+QUERY = MembershipQuery.of({3, 4, 5, 17, 30, 31, 32, 44}, 50)
+
+
+def run_once(index: BitmapIndex, compressed_domain: bool) -> CostClock:
+    clock = CostClock()
+    if compressed_domain:
+        engine = CompressedQueryEngine(index, clock=clock)
+    else:
+        engine = index.engine(clock=clock)
+    result = engine.execute(QUERY)
+    # Both engines must agree exactly.
+    assert result.row_count == engine2_expected[id(index)]
+    return clock
+
+
+engine2_expected: dict[int, int] = {}
+
+
+def main() -> None:
+    print(f"Query: {QUERY}")
+    print(
+        f"{'z':>3s} {'index KB':>9s} "
+        f"{'decode cpu ms':>14s} {'comp-dom cpu ms':>16s} {'speedup':>8s}"
+    )
+    for skew in (0.0, 1.0, 2.0, 3.0):
+        values = zipf_column(NUM_ROWS, 50, skew, seed=1)
+        index = BitmapIndex.build(
+            values, IndexSpec(cardinality=50, scheme="E", codec="ewah")
+        )
+        engine2_expected[id(index)] = int(QUERY.matches(values).sum())
+
+        standard = run_once(index, compressed_domain=False)
+        compressed = run_once(index, compressed_domain=True)
+        speedup = standard.cpu_ms / max(compressed.cpu_ms, 1e-9)
+        print(
+            f"{skew:3.0f} {index.size_bytes() / 1024:9.1f} "
+            f"{standard.cpu_ms:14.3f} {compressed.cpu_ms:16.3f} "
+            f"{speedup:7.1f}x"
+        )
+    print(
+        "\nReading: the compressed-domain engine never decodes its "
+        "operands, so the CPU charge that drives the paper's Figure 9 "
+        "crossover largely disappears."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Compression study: how encoding and skew drive compressibility.
+
+Reproduces the narrative of the paper's §7.1 interactively: equality-
+encoded bitmaps are sparse and compress extremely well; interval-
+encoded bitmaps are ~50% dense and barely compress; skew helps
+everything.  Also compares the paper's byte-aligned codec (BBC) against
+the later word-aligned codecs (WAH, EWAH) as an ablation.
+
+Run:  python examples/compression_study.py
+"""
+
+from __future__ import annotations
+
+from repro import get_codec, get_scheme, zipf_column
+from repro.compress import measure_codec
+
+NUM_ROWS = 100_000
+CARDINALITY = 50
+
+
+def study(scheme_name: str, skew: float) -> dict[str, float]:
+    values = zipf_column(NUM_ROWS, CARDINALITY, skew, seed=5)
+    scheme = get_scheme(scheme_name)
+    bitmaps = list(scheme.build(values, CARDINALITY).values())
+    ratios = {}
+    for codec_name in ("bbc", "wah", "ewah"):
+        stats = measure_codec(get_codec(codec_name), bitmaps)
+        ratios[codec_name] = stats.ratio
+    return ratios
+
+
+def main() -> None:
+    print(f"Compressed/uncompressed ratio, C={CARDINALITY}, N={NUM_ROWS}")
+    print(f"{'scheme':8s} {'z':>4s} {'bbc':>8s} {'wah':>8s} {'ewah':>8s}")
+    for scheme_name in ("E", "R", "I"):
+        for skew in (0.0, 1.0, 2.0, 3.0):
+            ratios = study(scheme_name, skew)
+            print(
+                f"{scheme_name:8s} {skew:4.0f} "
+                f"{ratios['bbc']:8.3f} {ratios['wah']:8.3f} "
+                f"{ratios['ewah']:8.3f}"
+            )
+    print(
+        "\nReading: E compresses best (sparse bitmaps), I worst (~50% "
+        "density), matching the paper's Figure 6(b); higher skew "
+        "improves every scheme, matching Figure 7."
+    )
+
+
+if __name__ == "__main__":
+    main()

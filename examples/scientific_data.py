@@ -1,0 +1,67 @@
+"""Scientific data: bitmap indexes over continuous measurements.
+
+Interval encoding's descendants (FastBit) made their name on scientific
+float columns, where the paper's consecutive-integer domain assumption
+fails.  This example indexes a synthetic sensor table with the
+dictionary/binning layer: an exact dictionary index for a
+low-cardinality status code, and binned indexes (equi-depth vs
+equi-width) for a skewed temperature column — showing the candidate
+rechecks binning costs and how bin layout changes them.
+
+Run:  python examples/scientific_data.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AttributeIndex
+
+NUM_ROWS = 150_000
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    temperature = rng.gamma(shape=2.0, scale=15.0, size=NUM_ROWS)  # skewed
+    status = rng.choice([200, 404, 500, 503], size=NUM_ROWS, p=[0.9, 0.06, 0.03, 0.01])
+
+    print(f"{NUM_ROWS} sensor readings")
+
+    status_index = AttributeIndex(status, scheme="E", codec="bbc")
+    print(f"\nstatus  -> {status_index!r}")
+    for code in (200, 503):
+        result = status_index.equality_query(code)
+        assert result.count() == int((status == code).sum())
+        print(f"  status == {code}: {result.count():7d} rows  [verified]")
+
+    print("\ntemperature (continuous, ~150k distinct values):")
+    for binning in ("equi-depth", "equi-width"):
+        index = AttributeIndex(
+            temperature,
+            scheme="I",
+            codec="bbc",
+            max_cardinality=256,
+            num_bins=64,
+            binning=binning,
+        )
+        queries = [(10.0, 20.0), (50.0, 200.0), (29.9, 30.1)]
+        print(f"  {binning:10s} ({index.index.cardinality} bins, "
+              f"{index.size_bytes() / 1024:.0f} KB):")
+        for low, high in queries:
+            result = index.range_query(low, high)
+            expected = int(((temperature >= low) & (temperature <= high)).sum())
+            assert result.count() == expected
+            print(
+                f"    {low:6.1f} <= T <= {high:6.1f}: {result.count():7d} "
+                f"rows  [verified]"
+            )
+
+    print(
+        "\nReading: binned answers stay exact because edge bins are "
+        "rechecked against the raw column; equi-depth bins keep the "
+        "recheck population balanced under skew."
+    )
+
+
+if __name__ == "__main__":
+    main()

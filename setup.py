@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that the
+package can be installed in editable mode on machines without the
+``wheel`` package (offline environments cannot perform PEP 660 editable
+installs, which require building a wheel):
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Analysis: space-time measurement, Pareto frontiers, optimality search."""
+
+from repro.analysis.optimality import (
+    OptimalityResult,
+    dominates,
+    scheme_point,
+    search_dominating_catalog,
+    verify_scheme_optimality,
+)
+from repro.analysis.pareto import pareto_frontier
+from repro.analysis.render_index import render_index
+from repro.analysis.report import render_series, render_table
+from repro.analysis.spacetime import SpaceTimePoint, measure_design
+from repro.analysis.theorems import TheoremCheck, all_theorem_checks
+
+__all__ = [
+    "SpaceTimePoint",
+    "measure_design",
+    "pareto_frontier",
+    "render_table",
+    "render_series",
+    "render_index",
+    "scheme_point",
+    "dominates",
+    "search_dominating_catalog",
+    "verify_scheme_optimality",
+    "OptimalityResult",
+    "TheoremCheck",
+    "all_theorem_checks",
+]

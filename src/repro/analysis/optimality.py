@@ -1,0 +1,231 @@
+"""Numerical verification of the paper's optimality theorems.
+
+Section 3 defines a scheme S as optimal for (C, Q) iff no *complete*
+scheme S' has ``Time(S',C,Q) <= Time(S,C,Q)`` and
+``Space(S',C) <= Space(S,C)`` with one inequality strict.  Both
+quantities are exactly computable, so for small C the theorems can be
+*verified* (not merely illustrated) by exhaustive search over the
+design space:
+
+* a scheme is a set of stored bitmaps == a set of subsets of [0, C);
+* complementing any bitmap changes neither its scan cost nor the atom
+  partition, so WLOG every bitmap excludes value 0 (canonical form) —
+  this halves each choice and the empty set is excluded as useless,
+  leaving ``2**(C-1) - 1`` candidate bitmaps;
+* completeness == all value signatures distinct;
+* the scan cost of a query is the size of the smallest sub-catalog
+  whose signature partition separates the answer set (see
+  :mod:`repro.expr.planner`); expected time averages this over the
+  query class.
+
+The search is exponential (that is inherent — the design space is);
+:func:`search_dominating_catalog` therefore enforces a cardinality
+guard and supports early termination, which suffices to confirm every
+small-C statement of Theorems 3.1 and 4.1.  Statements about large C
+(e.g. interval encoding's non-optimality for EQ at C >= 14) are checked
+by direct scheme-vs-scheme dominance where possible and otherwise
+reported as search-infeasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.encoding.base import EncodingScheme
+from repro.encoding.costmodel import expected_scans, query_class_queries, space_cost
+from repro.errors import ExperimentError
+
+#: Exhaustive search beyond this cardinality would enumerate more than
+#: ~10^6 catalogs; callers must opt in via ``max_cardinality``.
+DEFAULT_MAX_CARDINALITY = 6
+
+
+def scheme_point(
+    scheme: EncodingScheme, cardinality: int, query_class: str
+) -> tuple[int, float]:
+    """(space, expected scans) of a scheme for a class — its field point."""
+    return (
+        space_cost(scheme, cardinality),
+        expected_scans(scheme, cardinality, query_class),
+    )
+
+
+def dominates(
+    point_a: tuple[float, float], point_b: tuple[float, float]
+) -> bool:
+    """True iff field point a dominates b (Section 3's definition)."""
+    (space_a, time_a), (space_b, time_b) = point_a, point_b
+    return (
+        space_a <= space_b
+        and time_a <= time_b
+        and (space_a < space_b or time_a < time_b)
+    )
+
+
+@dataclass(frozen=True)
+class OptimalityResult:
+    """Outcome of an optimality verification."""
+
+    scheme: str
+    cardinality: int
+    query_class: str
+    #: True = verified optimal (exhaustive search found no dominator);
+    #: False = a dominator was found; None = search infeasible.
+    optimal: bool | None
+    #: Human-readable dominator description when optimal is False.
+    dominator: str | None = None
+
+
+# ---------------------------------------------------------------------------
+# Catalog machinery over integer bitmasks
+# ---------------------------------------------------------------------------
+
+
+def _candidate_masks(cardinality: int) -> list[int]:
+    """Canonical candidate bitmaps: non-empty subsets excluding value 0."""
+    # Masks over values 1..C-1, i.e. even integers' bit 0 stays clear.
+    return [mask << 1 for mask in range(1, 1 << (cardinality - 1))]
+
+
+def _signatures(catalog: tuple[int, ...], cardinality: int) -> list[int]:
+    """Per-value membership signature, packed as an int per value."""
+    return [
+        sum(((mask >> value) & 1) << i for i, mask in enumerate(catalog))
+        for value in range(cardinality)
+    ]
+
+
+def _is_complete(catalog: tuple[int, ...], cardinality: int) -> bool:
+    signatures = _signatures(catalog, cardinality)
+    return len(set(signatures)) == cardinality
+
+
+def _min_scans(
+    catalog: tuple[int, ...], cardinality: int, target_mask: int
+) -> int:
+    """Smallest sub-catalog separating the target from its complement."""
+    full = (1 << cardinality) - 1
+    if target_mask in (0, full):
+        return 0
+    size = len(catalog)
+    inside = [v for v in range(cardinality) if (target_mask >> v) & 1]
+    outside = [v for v in range(cardinality) if not (target_mask >> v) & 1]
+    for k in range(1, size + 1):
+        for subset in combinations(catalog, k):
+            sig_in = {
+                tuple((m >> v) & 1 for m in subset) for v in inside
+            }
+            sig_out = {
+                tuple((m >> v) & 1 for m in subset) for v in outside
+            }
+            if not sig_in & sig_out:
+                return k
+    raise ExperimentError("complete catalog failed to express a target")
+
+
+def _expected_scans_catalog(
+    catalog: tuple[int, ...],
+    cardinality: int,
+    query_class: str,
+    abort_above: float | None = None,
+) -> float | None:
+    """Expected min-scan cost over a query class; None if it exceeds
+    ``abort_above`` early (pruning)."""
+    queries = list(query_class_queries(cardinality, query_class))
+    if not queries:
+        return 0.0
+    budget = None if abort_above is None else abort_above * len(queries)
+    total = 0.0
+    for i, (low, high) in enumerate(queries):
+        target = ((1 << (high - low + 1)) - 1) << low
+        total += _min_scans(catalog, cardinality, target)
+        if budget is not None:
+            # Remaining queries cost at least 1 scan each (none of the
+            # enumerated classes contain trivial queries).
+            remaining = len(queries) - i - 1
+            if total + remaining > budget + 1e-9:
+                return None
+    return total / len(queries)
+
+
+def search_dominating_catalog(
+    cardinality: int,
+    query_class: str,
+    space_budget: int,
+    time_budget: float,
+    max_cardinality: int = DEFAULT_MAX_CARDINALITY,
+) -> tuple[tuple[int, ...], float] | None:
+    """Search for a complete catalog dominating ``(space_budget, time_budget)``.
+
+    Returns ``(catalog masks, expected scans)`` for the first dominator
+    found, or None when the exhaustive search finds none (a *proof* of
+    optimality for this C and class).  Raises for cardinalities past
+    ``max_cardinality`` instead of silently running forever.
+    """
+    if cardinality > max_cardinality:
+        raise ExperimentError(
+            f"exhaustive optimality search for C={cardinality} exceeds the "
+            f"guard (max_cardinality={max_cardinality}); the design space "
+            f"has {(1 << (cardinality - 1)) - 1} canonical bitmaps"
+        )
+    if cardinality < 2:
+        return None
+    candidates = _candidate_masks(cardinality)
+    max_k = min(space_budget, len(candidates))
+    for k in range(1, max_k + 1):
+        # With k == space_budget, only strictly better time dominates.
+        need_strict_time = k == space_budget
+        for catalog in combinations(candidates, k):
+            if not _is_complete(catalog, cardinality):
+                continue
+            limit = time_budget if not need_strict_time else time_budget
+            expected = _expected_scans_catalog(
+                catalog, cardinality, query_class, abort_above=limit
+            )
+            if expected is None:
+                continue
+            if need_strict_time:
+                if expected < time_budget - 1e-9:
+                    return catalog, expected
+            else:
+                if expected <= time_budget + 1e-9:
+                    return catalog, expected
+    return None
+
+
+def verify_scheme_optimality(
+    scheme: EncodingScheme,
+    cardinality: int,
+    query_class: str,
+    max_cardinality: int = DEFAULT_MAX_CARDINALITY,
+) -> OptimalityResult:
+    """Exhaustively verify whether a scheme is optimal for (C, Q)."""
+    space, time = scheme_point(scheme, cardinality, query_class)
+    try:
+        found = search_dominating_catalog(
+            cardinality, query_class, space, time, max_cardinality
+        )
+    except ExperimentError:
+        return OptimalityResult(
+            scheme.name, cardinality, query_class, optimal=None
+        )
+    if found is None:
+        return OptimalityResult(
+            scheme.name, cardinality, query_class, optimal=True
+        )
+    catalog, expected = found
+    sets = [
+        sorted(v for v in range(cardinality) if (mask >> v) & 1)
+        for mask in catalog
+    ]
+    return OptimalityResult(
+        scheme.name,
+        cardinality,
+        query_class,
+        optimal=False,
+        dominator=(
+            f"{len(catalog)} bitmaps {sets} with expected scans "
+            f"{expected:.3f} (vs {time:.3f} at space {space})"
+        ),
+    )

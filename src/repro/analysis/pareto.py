@@ -1,0 +1,50 @@
+"""Pareto-frontier computation (the Figure 3 performance field).
+
+A point dominates another when it is no worse in both space and time
+and strictly better in at least one.  The frontier is the set of
+non-dominated points; the paper's optimality definition (Section 3) is
+exactly membership in this frontier over the universe of complete
+encoding schemes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def dominates_pair(
+    space_a: float, time_a: float, space_b: float, time_b: float
+) -> bool:
+    """True iff point a dominates point b."""
+    return (
+        space_a <= space_b
+        and time_a <= time_b
+        and (space_a < space_b or time_a < time_b)
+    )
+
+
+def pareto_frontier(
+    points: Sequence[T],
+    space: Callable[[T], float],
+    time: Callable[[T], float],
+) -> list[T]:
+    """Non-dominated subset of ``points``, sorted by increasing space.
+
+    Ties (identical space and time) are all kept — they are mutually
+    non-dominating.
+    """
+    frontier: list[T] = []
+    ordered = sorted(points, key=lambda p: (space(p), time(p)))
+    best_time = float("inf")
+    for point in ordered:
+        if time(point) < best_time:
+            frontier.append(point)
+            best_time = time(point)
+        elif time(point) == best_time and frontier and (
+            space(point) == space(frontier[-1])
+        ):
+            frontier.append(point)
+    return frontier

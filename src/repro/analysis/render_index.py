@@ -1,0 +1,69 @@
+"""Rendering bitmap indexes in the paper's figure layout.
+
+Figures 1, 2 and 5 of the paper draw an index as a bit matrix: one row
+per record, one column per bitmap, most significant component and
+highest slot leftmost.  :func:`render_index` reproduces that layout as
+text, which the quickstart example and the documentation use to show
+indexes exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.index.bitmap_index import BitmapIndex
+
+
+def _slot_sort_key(slot):
+    """Descending display order: highest slot leftmost, as in Figure 1."""
+    if isinstance(slot, tuple):
+        family, value = slot
+        return (1, str(family), value)
+    return (0, "", slot)
+
+
+def _slot_label(scheme_name: str, component: int, slot, num_components: int) -> str:
+    if isinstance(slot, tuple):
+        family, value = slot
+        label = f"{family}^{value}"
+    else:
+        label = f"{scheme_name}^{slot}"
+    if num_components > 1:
+        # Paper numbering: component n is most significant; our
+        # component 0 is most significant, so flip.
+        paper_component = num_components - component
+        label = label.replace("^", f"_{paper_component}^")
+    return label
+
+
+def render_index(index: BitmapIndex, max_records: int = 40) -> str:
+    """The index as the paper's record-by-bitmap bit matrix.
+
+    Rows are records (up to ``max_records``); columns are bitmaps in
+    paper order — most significant component first, descending slot
+    order within a component, exactly like Figures 1(b), 1(c), 2 and 5.
+    """
+    columns: list[tuple[str, list[bool]]] = []
+    num_components = index.num_components
+    for component in range(num_components):
+        component_keys = [
+            key for key in index.store.keys() if key[0] == component
+        ]
+        component_keys.sort(key=lambda key: _slot_sort_key(key[1]), reverse=True)
+        for key in component_keys:
+            label = _slot_label(
+                index.spec.scheme, component, key[1], num_components
+            )
+            bits = index.store.get(key).to_bools()[:max_records].tolist()
+            columns.append((label, bits))
+
+    shown = min(index.num_records, max_records)
+    width = max((len(label) for label, _ in columns), default=1)
+    header = "rec  " + " ".join(label.rjust(width) for label, _ in columns)
+    lines = [header, "-" * len(header)]
+    for row in range(shown):
+        cells = " ".join(
+            ("1" if bits[row] else "0").rjust(width) for _, bits in columns
+        )
+        lines.append(f"{row + 1:3d}  {cells}")
+    if shown < index.num_records:
+        lines.append(f"... ({index.num_records - shown} more records)")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Space-time measurement of index design points (Section 7 harness).
+
+A design point is an :class:`~repro.index.IndexSpec` (encoding x
+decomposition x codec).  Measurement mirrors the paper's methodology:
+
+* space is the index's stored size (codec-encoded, page-granular);
+* time is the average processing time over the queries of a query set,
+  where each query starts from a *cold* buffer (the paper flushed the
+  file-system buffer before each query) and the simulated clock charges
+  disk positioning + transfer per bitmap read, decompression CPU for
+  compressed codecs, and bulk-logic CPU per word operation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.index.bitmap_index import BitmapIndex, IndexSpec
+from repro.queries.model import IntervalQuery, MembershipQuery
+from repro.storage import CostClock, DEFAULT_DISK_MODEL, DiskModel
+
+Query = IntervalQuery | MembershipQuery
+
+
+@dataclass
+class SpaceTimePoint:
+    """Measured space and time of one index design point."""
+
+    spec: IndexSpec
+    num_bitmaps: int
+    space_bytes: int
+    space_pages: int
+    uncompressed_bytes: int
+    avg_time_ms: float
+    avg_scans: float
+    per_set_ms: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """The spec's display label."""
+        return self.spec.label
+
+    @property
+    def space_mb(self) -> float:
+        """Stored size in MiB."""
+        return self.space_bytes / (1024 * 1024)
+
+
+def measure_design(
+    values: np.ndarray,
+    spec: IndexSpec,
+    query_sets: dict[str, Sequence[Query]],
+    disk_model: DiskModel = DEFAULT_DISK_MODEL,
+    buffer_pages: int | None = None,
+    cold_buffer: bool = True,
+    index: BitmapIndex | None = None,
+) -> SpaceTimePoint:
+    """Build (or reuse) an index for ``spec`` and measure every query set.
+
+    ``query_sets`` maps a set label to its queries; the returned point
+    carries the per-set average simulated times plus the grand average
+    over all queries in all sets (the quantity plotted in Figure 9).
+    """
+    if index is None:
+        index = BitmapIndex.build(values, spec)
+    clock = CostClock(model=disk_model)
+    engine = index.engine(buffer_pages=buffer_pages, clock=clock)
+
+    per_set_ms: dict[str, float] = {}
+    total_ms = 0.0
+    total_scans = 0
+    total_queries = 0
+    for label, queries in query_sets.items():
+        set_ms = 0.0
+        for query in queries:
+            if cold_buffer:
+                engine.pool.clear()
+            result = engine.execute(query)
+            set_ms += result.simulated_ms
+            total_scans += result.stats.scans
+        per_set_ms[label] = set_ms / max(1, len(queries))
+        total_ms += set_ms
+        total_queries += len(queries)
+
+    return SpaceTimePoint(
+        spec=spec,
+        num_bitmaps=index.num_bitmaps(),
+        space_bytes=index.size_bytes(),
+        space_pages=index.size_pages(),
+        uncompressed_bytes=index.uncompressed_bytes(),
+        avg_time_ms=total_ms / max(1, total_queries),
+        avg_scans=total_scans / max(1, total_queries),
+        per_set_ms=per_set_ms,
+    )

@@ -1,0 +1,244 @@
+"""Named, machine-checkable forms of Theorems 3.1 and 4.1.
+
+Each function verifies one statement of the paper's optimality theorems
+and returns a :class:`TheoremCheck` recording what was established and
+how: ``search`` (exhaustive over the canonical design space — a proof
+for the cardinalities covered), ``dominance`` (a concrete dominating
+scheme — a proof of non-optimality at any cardinality tested), or
+``infeasible`` (the statement needs the unavailable tech-report proof).
+
+The Table 1 experiment renders these; importing them directly gives
+programmatic access, e.g.::
+
+    from repro.analysis.theorems import theorem_3_1_3
+    check = theorem_3_1_3()
+    assert check.holds
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.optimality import (
+    dominates,
+    scheme_point,
+    verify_scheme_optimality,
+)
+from repro.encoding import get_scheme
+
+#: Cardinalities covered by exhaustive search (C=6 costs ~a minute for
+#: the largest space budgets; the fast default stops at 5).
+FAST_SEARCH_CARDINALITIES = (4, 5)
+#: Cardinalities used for dominance checks (valid at any C).
+DOMINANCE_CARDINALITIES = (6, 10, 50, 200)
+
+
+@dataclass
+class TheoremCheck:
+    """Outcome of verifying one theorem statement."""
+
+    statement: str
+    #: True = verified, False = refuted, None = not verifiable here.
+    holds: bool | None
+    method: str
+    details: list[str] = field(default_factory=list)
+
+
+def _search_optimal(
+    scheme_name: str, query_class: str, cardinalities, expect: bool
+) -> tuple[bool, list[str]]:
+    """Exhaustively check (non-)optimality over several cardinalities."""
+    details: list[str] = []
+    ok = True
+    for cardinality in cardinalities:
+        outcome = verify_scheme_optimality(
+            get_scheme(scheme_name), cardinality, query_class
+        )
+        details.append(
+            f"C={cardinality}: optimal={outcome.optimal}"
+            + (f" ({outcome.dominator})" if outcome.dominator else "")
+        )
+        if outcome.optimal is not expect:
+            ok = False
+    return ok, details
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.1
+# ---------------------------------------------------------------------------
+
+
+def theorem_3_1_1(cardinalities=FAST_SEARCH_CARDINALITIES) -> TheoremCheck:
+    """Range encoding is optimal for EQ iff C <= 5."""
+    ok_small, details = _search_optimal("R", "EQ", cardinalities, expect=True)
+    # The "only if" direction needs C = 6, where the search exhibits a
+    # concrete dominator.
+    flip = verify_scheme_optimality(get_scheme("R"), 6, "EQ")
+    details.append(
+        f"C=6: optimal={flip.optimal}"
+        + (f" ({flip.dominator})" if flip.dominator else "")
+    )
+    return TheoremCheck(
+        "R optimal for EQ iff C <= 5",
+        holds=ok_small and flip.optimal is False,
+        method="search (exhaustive, C in {4,5,6})",
+        details=details,
+    )
+
+
+def theorem_3_1_2(cardinalities=FAST_SEARCH_CARDINALITIES) -> TheoremCheck:
+    """Range encoding is optimal for 1RQ for all C (verified small C)."""
+    ok, details = _search_optimal("R", "1RQ", cardinalities, expect=True)
+    return TheoremCheck(
+        "R optimal for 1RQ",
+        holds=ok,
+        method=f"search (exhaustive, C in {tuple(cardinalities)})",
+        details=details,
+    )
+
+
+def theorem_3_1_3(cardinalities=DOMINANCE_CARDINALITIES) -> TheoremCheck:
+    """Range encoding is not optimal for 2RQ for any C: I dominates it."""
+    details: list[str] = []
+    ok = True
+    for cardinality in cardinalities:
+        interval = scheme_point(get_scheme("I"), cardinality, "2RQ")
+        range_point = scheme_point(get_scheme("R"), cardinality, "2RQ")
+        dominated = dominates(interval, range_point)
+        details.append(
+            f"C={cardinality}: I={interval} dominates R={range_point}: "
+            f"{dominated}"
+        )
+        ok = ok and dominated
+    return TheoremCheck(
+        "R not optimal for 2RQ (dominated by I)",
+        holds=ok,
+        method="dominance by interval encoding",
+        details=details,
+    )
+
+
+def theorem_3_1_4(cardinalities=FAST_SEARCH_CARDINALITIES) -> TheoremCheck:
+    """Range encoding is optimal for RQ for all C (verified small C)."""
+    ok, details = _search_optimal("R", "RQ", cardinalities, expect=True)
+    return TheoremCheck(
+        "R optimal for RQ",
+        holds=ok,
+        method=f"search (exhaustive, C in {tuple(cardinalities)})",
+        details=details,
+    )
+
+
+def theorem_3_1_5(cardinalities=FAST_SEARCH_CARDINALITIES) -> TheoremCheck:
+    """Equality encoding is optimal for EQ for all C (verified small C)."""
+    ok, details = _search_optimal("E", "EQ", cardinalities, expect=True)
+    return TheoremCheck(
+        "E optimal for EQ",
+        holds=ok,
+        method=f"search (exhaustive, C in {tuple(cardinalities)})",
+        details=details,
+    )
+
+
+def theorem_3_1_6(cardinalities=DOMINANCE_CARDINALITIES) -> TheoremCheck:
+    """Equality encoding is not optimal for 1RQ/2RQ/RQ: R dominates it."""
+    details: list[str] = []
+    ok = True
+    for cardinality in cardinalities:
+        for query_class in ("1RQ", "2RQ", "RQ"):
+            range_point = scheme_point(get_scheme("R"), cardinality, query_class)
+            equality_point = scheme_point(
+                get_scheme("E"), cardinality, query_class
+            )
+            dominated = dominates(range_point, equality_point)
+            details.append(
+                f"C={cardinality} {query_class}: dominated={dominated}"
+            )
+            ok = ok and dominated
+    return TheoremCheck(
+        "E not optimal for 1RQ/2RQ/RQ (dominated by R)",
+        holds=ok,
+        method="dominance by range encoding",
+        details=details,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.1
+# ---------------------------------------------------------------------------
+
+
+def theorem_4_1_1() -> TheoremCheck:
+    """Interval encoding is not optimal for EQ if C >= 14.
+
+    The witness scheme lives in the tech report; the design space at
+    C = 14 (2^13 - 1 canonical bitmaps choose up to 7) is out of reach
+    for exhaustive search, so this statement is recorded as
+    paper-proved rather than verified.
+    """
+    return TheoremCheck(
+        "I not optimal for EQ when C >= 14",
+        holds=None,
+        method="infeasible (design space ~ 10^20 catalogs at C=14)",
+        details=["recorded as paper-proved; see DESIGN.md"],
+    )
+
+
+def theorem_4_1_2(cardinalities=(4, 6)) -> TheoremCheck:
+    """Interval encoding is optimal for 1RQ — verified at even C only.
+
+    DEVIATION: at odd C (5 is exhaustively checkable) complete catalogs
+    with strictly lower expected 1RQ scans exist under the
+    information-theoretic scan measure, so the statement is confirmed
+    only for the even cardinalities searched; see EXPERIMENTS.md.
+    """
+    ok, details = _search_optimal("I", "1RQ", cardinalities, expect=True)
+    deviation = verify_scheme_optimality(get_scheme("I"), 5, "1RQ")
+    details.append(
+        f"C=5 (odd): optimal={deviation.optimal} — known deviation "
+        f"({deviation.dominator})"
+    )
+    return TheoremCheck(
+        "I optimal for 1RQ (even C verified; odd-C deviation at C=5)",
+        holds=ok,
+        method=f"search (exhaustive, C in {tuple(cardinalities)} and 5)",
+        details=details,
+    )
+
+
+def theorem_4_1_3(cardinalities=FAST_SEARCH_CARDINALITIES) -> TheoremCheck:
+    """Interval encoding is optimal for 2RQ (verified small C)."""
+    ok, details = _search_optimal("I", "2RQ", cardinalities, expect=True)
+    return TheoremCheck(
+        "I optimal for 2RQ",
+        holds=ok,
+        method=f"search (exhaustive, C in {tuple(cardinalities)})",
+        details=details,
+    )
+
+
+def theorem_4_1_4(cardinalities=(4, 6)) -> TheoremCheck:
+    """Interval encoding is optimal for RQ — same odd-C caveat as 1RQ."""
+    ok, details = _search_optimal("I", "RQ", cardinalities, expect=True)
+    return TheoremCheck(
+        "I optimal for RQ (even C verified; odd-C deviation at C=5)",
+        holds=ok,
+        method=f"search (exhaustive, C in {tuple(cardinalities)})",
+        details=details,
+    )
+
+
+def all_theorem_checks() -> list[TheoremCheck]:
+    """Every statement of Theorems 3.1 and 4.1, in paper order."""
+    return [
+        theorem_3_1_1(),
+        theorem_3_1_2(),
+        theorem_3_1_3(),
+        theorem_3_1_4(),
+        theorem_3_1_5(),
+        theorem_3_1_6(),
+        theorem_4_1_1(),
+        theorem_4_1_2(),
+        theorem_4_1_3(),
+        theorem_4_1_4(),
+    ]

@@ -1,0 +1,30 @@
+"""Bit-vector substrate.
+
+A bitmap index is a collection of bit vectors, one bit per record.  This
+subpackage provides :class:`~repro.bitmap.bitvector.BitVector`, a fixed
+length vector of bits backed by a numpy ``uint64`` word array, with the
+hardware-friendly bulk operations the paper relies on (AND, OR, XOR, NOT,
+popcount), plus builders and iteration helpers.
+"""
+
+from repro.bitmap.bitvector import BitVector
+from repro.bitmap.builder import BitVectorBuilder
+from repro.bitmap.ops import (
+    and_all,
+    concatenate,
+    iter_runs,
+    iter_set_bits,
+    or_all,
+    xor_all,
+)
+
+__all__ = [
+    "BitVector",
+    "BitVectorBuilder",
+    "and_all",
+    "or_all",
+    "xor_all",
+    "concatenate",
+    "iter_set_bits",
+    "iter_runs",
+]

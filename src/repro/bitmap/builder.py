@@ -1,0 +1,82 @@
+"""Incremental construction of bit vectors.
+
+Index construction appends one bit per record per bitmap; doing that via
+``BitVector.__setitem__`` would be needlessly slow for large relations.
+:class:`BitVectorBuilder` buffers appended bits and run lengths and packs
+them into words in bulk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmap.bitvector import BitVector
+from repro.errors import BitmapError
+
+
+class BitVectorBuilder:
+    """Builds a :class:`BitVector` by appending bits and runs.
+
+    The builder is append-only; call :meth:`finish` once to obtain the
+    vector.  Appending after :meth:`finish` raises :class:`BitmapError`.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+        self._finished = False
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise BitmapError("builder already finished")
+
+    def append(self, bit: bool) -> None:
+        """Append a single bit."""
+        self._check_open()
+        self._chunks.append(np.array([bool(bit)]))
+
+    def append_run(self, bit: bool, length: int) -> None:
+        """Append ``length`` copies of ``bit``."""
+        self._check_open()
+        if length < 0:
+            raise BitmapError(f"run length must be >= 0, got {length}")
+        if length:
+            self._chunks.append(np.full(length, bool(bit)))
+
+    def append_bools(self, bits: np.ndarray) -> None:
+        """Append a boolean array of bits."""
+        self._check_open()
+        arr = np.asarray(bits, dtype=bool)
+        if arr.ndim != 1:
+            raise BitmapError(f"expected 1-d boolean array, got ndim={arr.ndim}")
+        if arr.size:
+            self._chunks.append(arr)
+
+    def __len__(self) -> int:
+        return sum(chunk.shape[0] for chunk in self._chunks)
+
+    def finish(self) -> BitVector:
+        """Pack all appended bits into a :class:`BitVector`."""
+        self._check_open()
+        self._finished = True
+        if not self._chunks:
+            return BitVector(0)
+        all_bits = np.concatenate(self._chunks)
+        return BitVector.from_bools(all_bits)
+
+
+def column_bitmaps(values: np.ndarray, cardinality: int) -> list[BitVector]:
+    """Equality bitmaps for a value column: one vector per attribute value.
+
+    ``values`` is the projection of the indexed attribute (integers in
+    ``[0, cardinality)``); the result is the list ``[E^0, ..., E^{C-1}]``
+    where bit ``i`` of ``E^v`` is set iff ``values[i] == v``.  This is the
+    building block from which every encoding scheme materializes its
+    bitmaps.
+    """
+    vals = np.asarray(values)
+    if vals.size and (vals.min() < 0 or vals.max() >= cardinality):
+        raise BitmapError(
+            f"values out of domain [0, {cardinality}): "
+            f"[{vals.min()}, {vals.max()}]"
+        )
+    return [BitVector.from_bools(vals == v) for v in range(cardinality)]

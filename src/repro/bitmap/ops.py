@@ -1,0 +1,100 @@
+"""Bulk operations and iteration helpers over bit vectors."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.bitmap.bitvector import BitVector
+from repro.errors import BitmapError
+
+
+def _reduce(vectors: Iterable[BitVector], op: str, empty_is_ones: bool) -> BitVector:
+    vecs = list(vectors)
+    if not vecs:
+        raise BitmapError(f"{op} of zero bit vectors is undefined without a length")
+    result = vecs[0].copy()
+    for vec in vecs[1:]:
+        if op == "and":
+            result &= vec
+        elif op == "or":
+            result |= vec
+        else:
+            result ^= vec
+    return result
+
+
+def and_all(vectors: Iterable[BitVector]) -> BitVector:
+    """AND of one or more vectors."""
+    return _reduce(vectors, "and", empty_is_ones=True)
+
+
+def or_all(vectors: Iterable[BitVector]) -> BitVector:
+    """OR of one or more vectors."""
+    return _reduce(vectors, "or", empty_is_ones=False)
+
+
+def xor_all(vectors: Iterable[BitVector]) -> BitVector:
+    """XOR of one or more vectors."""
+    return _reduce(vectors, "xor", empty_is_ones=False)
+
+
+def concatenate(vectors: Iterable[BitVector]) -> BitVector:
+    """Concatenate vectors end to end (batch-append building block).
+
+    Word-aligned joins (every vector but the last a multiple of 64 bits)
+    are a direct word-array copy; unaligned joins shift word arrays
+    rather than expanding to booleans, so appending a small batch to a
+    large bitmap costs O(words), not O(bits).
+    """
+    vecs = list(vectors)
+    if not vecs:
+        return BitVector(0)
+    if len(vecs) == 1:
+        return vecs[0].copy()
+
+    total_bits = sum(len(v) for v in vecs)
+    out = np.zeros((total_bits + 63) // 64, dtype=np.uint64)
+    offset = 0
+    for vec in vecs:
+        words = vec.words
+        if not len(vec):
+            continue
+        word_index, bit_shift = divmod(offset, 64)
+        if bit_shift == 0:
+            out[word_index : word_index + words.shape[0]] |= words
+        else:
+            shift = np.uint64(bit_shift)
+            inv_shift = np.uint64(64 - bit_shift)
+            out[word_index : word_index + words.shape[0]] |= words << shift
+            spill = words >> inv_shift
+            end = word_index + 1 + words.shape[0]
+            out[word_index + 1 : end] |= spill[: out.shape[0] - word_index - 1]
+        offset += len(vec)
+    result = BitVector(total_bits, out)
+    result._mask_padding()
+    return result
+
+
+def iter_set_bits(vector: BitVector) -> Iterator[int]:
+    """Positions of set bits in increasing order."""
+    yield from vector.iter_set_bits()
+
+
+def iter_runs(vector: BitVector) -> Iterator[tuple[bool, int]]:
+    """Maximal runs of equal bits as ``(bit_value, run_length)`` pairs.
+
+    The run decomposition is what run-length codecs compress; exposing it
+    here keeps the codecs independent of the word representation.
+    """
+    n = len(vector)
+    if n == 0:
+        return
+    bits = vector.to_bools()
+    # Boundaries where the bit value changes.
+    change = np.flatnonzero(bits[1:] != bits[:-1]) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [n]))
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        yield bool(bits[start]), end - start

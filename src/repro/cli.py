@@ -1,0 +1,279 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``generate``   write a synthetic Zipf column to a ``.npy`` file
+``build``      build a bitmap index over a column and save it to a directory
+``info``       print a saved index's layout and space statistics
+``query``      run an interval or membership query against a saved index
+``append``     append a batch of records from a column file to a saved index
+``experiment`` regenerate one of the paper's tables/figures
+``advise``     sweep the design space for a column and recommend a design
+
+Every command is deterministic given its ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.encoding import ALL_SCHEME_NAMES
+from repro.errors import ReproError
+from repro.index import BitmapIndex, IndexSpec
+from repro.index.persist import load_index, save_index
+from repro.queries import IntervalQuery, MembershipQuery
+from repro.workload import zipf_column
+
+
+def _load_column(path: str) -> np.ndarray:
+    """Load an integer column from .npy or a one-value-per-line text file."""
+    file = Path(path)
+    if not file.exists():
+        raise ReproError(f"column file not found: {path}")
+    if file.suffix == ".npy":
+        return np.load(file)
+    return np.loadtxt(file, dtype=np.int64, ndmin=1)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    values = zipf_column(
+        args.num_records, args.cardinality, args.skew, seed=args.seed
+    )
+    np.save(args.output, values)
+    print(
+        f"wrote {values.size} values (C={args.cardinality}, z={args.skew:g}) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    values = _load_column(args.column)
+    cardinality = args.cardinality or int(values.max()) + 1
+    spec = IndexSpec(
+        cardinality=cardinality,
+        scheme=args.scheme,
+        num_components=args.components,
+        codec=args.codec,
+    )
+    index = BitmapIndex.build(values, spec)
+    save_index(index, args.output)
+    print(
+        f"built {index!r}: {index.size_bytes() / 1024:.1f} KB in "
+        f"{args.output}"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    print(f"design:       {index.spec.label}")
+    print(f"cardinality:  {index.cardinality}")
+    print(f"components:   {index.num_components} (bases "
+          f"<{','.join(map(str, index.bases))}>)")
+    print(f"records:      {index.num_records}")
+    print(f"bitmaps:      {index.num_bitmaps()}")
+    print(f"stored size:  {index.size_bytes() / 1024:.1f} KB "
+          f"({index.size_pages()} pages)")
+    print(f"uncompressed: {index.uncompressed_bytes() / 1024:.1f} KB")
+    return 0
+
+
+def _parse_query(args: argparse.Namespace, cardinality: int):
+    if args.values:
+        members = {int(v) for v in args.values.split(",")}
+        return MembershipQuery.of(members, cardinality)
+    low = args.low if args.low is not None else 0
+    high = args.high if args.high is not None else cardinality - 1
+    return IntervalQuery(low, high, cardinality)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    query = _parse_query(args, index.cardinality)
+    result = index.query(query)
+    print(f"query:         {query}")
+    print(f"matching rows: {result.row_count}")
+    print(f"bitmap scans:  {result.stats.scans}")
+    print(f"simulated ms:  {result.simulated_ms:.3f}")
+    if args.show_rows:
+        ids = result.row_ids()
+        shown = ids[: args.show_rows]
+        tail = "..." if ids.size > args.show_rows else ""
+        print(f"row ids:       {' '.join(map(str, shown))}{tail}")
+    return 0
+
+
+def _cmd_append(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    batch = _load_column(args.column)
+    report = index.append(batch)
+    save_index(index, args.index)
+    print(
+        f"appended {report.records_appended} records; "
+        f"{report.bitmaps_touched}/{report.bitmaps_extended} bitmaps gained bits"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig, run_all, run_experiment
+
+    config = ExperimentConfig(num_records=args.num_records)
+    if args.name == "all":
+        for name, result in run_all(config).items():
+            print(result.render())
+            print()
+    else:
+        print(run_experiment(args.name, config).render())
+    return 0
+
+
+def _cmd_theorems(args: argparse.Namespace) -> int:
+    from repro.analysis.theorems import all_theorem_checks
+
+    for check in all_theorem_checks():
+        verdict = {True: "VERIFIED", False: "REFUTED", None: "PAPER-PROVED"}[
+            check.holds
+        ]
+        print(f"[{verdict:12s}] {check.statement}")
+        print(f"               method: {check.method}")
+        if args.verbose:
+            for line in check.details:
+                print(f"               {line}")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.index import recommend
+    from repro.queries import generate_query_set, paper_query_sets
+
+    values = _load_column(args.column)
+    cardinality = args.cardinality or int(values.max()) + 1
+    workload = {
+        spec.label: generate_query_set(spec, cardinality, 10, seed=args.seed)
+        for spec in paper_query_sets()
+    }
+    outcome = recommend(
+        values,
+        cardinality,
+        workload,
+        space_budget_bytes=args.budget_kb * 1024 if args.budget_kb else None,
+    )
+    print(f"{'design':18s} {'space KB':>10s} {'avg ms':>10s}")
+    for point in outcome.candidates:
+        marker = " *" if point in outcome.frontier else ""
+        print(
+            f"{point.label:18s} {point.space_bytes / 1024:10.1f} "
+            f"{point.avg_time_ms:10.2f}{marker}"
+        )
+    if outcome.best is not None:
+        print(f"recommended: {outcome.best.label}")
+    else:
+        print("no design fits the budget")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Bitmap index toolkit reproducing Chan & Ioannidis, "
+            "SIGMOD 1999"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic Zipf column")
+    p.add_argument("output", help="output .npy path")
+    p.add_argument("--num-records", type=int, default=100_000)
+    p.add_argument("--cardinality", type=int, default=50)
+    p.add_argument("--skew", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("build", help="build and save a bitmap index")
+    p.add_argument("column", help=".npy or text column file")
+    p.add_argument("output", help="index directory")
+    p.add_argument("--scheme", choices=ALL_SCHEME_NAMES + ("I+",), default="I")
+    p.add_argument("--components", type=int, default=1)
+    p.add_argument("--codec", default="bbc")
+    p.add_argument(
+        "--cardinality",
+        type=int,
+        default=None,
+        help="attribute cardinality (default: max value + 1)",
+    )
+    p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser("info", help="describe a saved index")
+    p.add_argument("index", help="index directory")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("query", help="query a saved index")
+    p.add_argument("index", help="index directory")
+    p.add_argument("--low", type=int, default=None, help="interval lower bound")
+    p.add_argument("--high", type=int, default=None, help="interval upper bound")
+    p.add_argument(
+        "--values", default=None, help="comma-separated membership values"
+    )
+    p.add_argument(
+        "--show-rows", type=int, default=0, help="print up to N matching row ids"
+    )
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("append", help="append a batch to a saved index")
+    p.add_argument("index", help="index directory")
+    p.add_argument("column", help=".npy or text column file with new records")
+    p.set_defaults(func=_cmd_append)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument(
+        "name",
+        choices=[
+            "figure3",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "table1",
+            "all",
+        ],
+    )
+    p.add_argument("--num-records", type=int, default=50_000)
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "theorems", help="verify the paper's optimality theorems"
+    )
+    p.add_argument("--verbose", action="store_true", help="show per-C details")
+    p.set_defaults(func=_cmd_theorems)
+
+    p = sub.add_parser("advise", help="recommend an index design")
+    p.add_argument("column", help=".npy or text column file")
+    p.add_argument("--cardinality", type=int, default=None)
+    p.add_argument("--budget-kb", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_advise)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Bitmap compression codecs.
+
+The paper's experiments store indexes both uncompressed and compressed
+with "a byte-aligned run-length encoding scheme proposed by Antoshenkov"
+(the BBC codec used by Oracle 8).  This subpackage provides:
+
+* :mod:`repro.compress.raw` — identity codec (uncompressed storage);
+* :mod:`repro.compress.bbc` — a byte-aligned run-length codec following
+  the BBC atom structure;
+* :mod:`repro.compress.wah` — 32-bit Word-Aligned Hybrid, the codec that
+  later superseded BBC in FastBit (included as a cross-check/ablation);
+* :mod:`repro.compress.ewah` — 64-bit Enhanced WAH (ablation).
+
+Codecs are looked up by name via :func:`get_codec`.
+"""
+
+from repro.compress.base import Codec, available_codecs, get_codec, register_codec
+from repro.compress.bbc import BbcCodec
+from repro.compress.compressed_ops import (
+    CompressedBitmap,
+    ewah_count,
+    ewah_logical,
+    ewah_not,
+)
+from repro.compress.ewah import EwahCodec
+from repro.compress.raw import RawCodec
+from repro.compress.stats import CompressionStats, measure_codec
+from repro.compress.wah import WahCodec
+from repro.compress.wah_ops import wah_count, wah_logical, wah_not
+
+__all__ = [
+    "Codec",
+    "RawCodec",
+    "BbcCodec",
+    "WahCodec",
+    "EwahCodec",
+    "get_codec",
+    "register_codec",
+    "available_codecs",
+    "CompressionStats",
+    "measure_codec",
+    "CompressedBitmap",
+    "ewah_logical",
+    "ewah_not",
+    "ewah_count",
+    "wah_logical",
+    "wah_not",
+    "wah_count",
+]

@@ -1,0 +1,62 @@
+"""Codec interface and registry.
+
+A codec turns a :class:`~repro.bitmap.BitVector` into bytes and back.
+Codecs are stateless; the registry maps short names (``"raw"``, ``"bbc"``,
+``"wah"``, ``"ewah"``) to singleton instances so that experiment configs
+can refer to codecs by name.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.bitmap import BitVector
+from repro.errors import CodecError
+
+
+class Codec(ABC):
+    """Stateless bitmap compressor/decompressor."""
+
+    #: Short registry name; subclasses must override.
+    name: str = ""
+
+    @abstractmethod
+    def encode(self, vector: BitVector) -> bytes:
+        """Compress ``vector`` into a self-contained byte string."""
+
+    @abstractmethod
+    def decode(self, payload: bytes, length: int) -> BitVector:
+        """Decompress ``payload`` back into a vector of ``length`` bits."""
+
+    def encoded_size(self, vector: BitVector) -> int:
+        """Size in bytes of the encoded form (default: encode and measure)."""
+        return len(self.encode(vector))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: dict[str, Codec] = {}
+
+
+def register_codec(codec: Codec) -> Codec:
+    """Register ``codec`` under ``codec.name``; returns the codec."""
+    if not codec.name:
+        raise CodecError(f"codec {codec!r} has no name")
+    _REGISTRY[codec.name] = codec
+    return codec
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a codec by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise CodecError(
+            f"unknown codec {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_codecs() -> list[str]:
+    """Sorted names of all registered codecs."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,29 @@
+"""Identity codec: uncompressed bitmap storage."""
+
+from __future__ import annotations
+
+from repro.bitmap import BitVector
+from repro.compress.base import Codec, register_codec
+
+
+class RawCodec(Codec):
+    """Stores the bitmap's word payload verbatim.
+
+    The encoded size is the logical size rounded up to whole 64-bit
+    words, which matches how the uncompressed indexes in the paper are
+    laid out on disk.
+    """
+
+    name = "raw"
+
+    def encode(self, vector: BitVector) -> bytes:
+        return vector.to_bytes()
+
+    def decode(self, payload: bytes, length: int) -> BitVector:
+        return BitVector.from_bytes(length, payload)
+
+    def encoded_size(self, vector: BitVector) -> int:
+        return vector.num_words * 8
+
+
+register_codec(RawCodec())

@@ -1,0 +1,42 @@
+"""Compression measurement helpers."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.bitmap import BitVector
+from repro.compress.base import Codec
+
+
+@dataclass(frozen=True)
+class CompressionStats:
+    """Aggregate sizes for a collection of bitmaps under one codec.
+
+    ``ratio`` is compressed/uncompressed, the quantity plotted in the
+    paper's Figure 6(b).
+    """
+
+    codec: str
+    num_bitmaps: int
+    raw_bytes: int
+    encoded_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        """Compressed size over uncompressed size (0 when there is no data)."""
+        if self.raw_bytes == 0:
+            return 0.0
+        return self.encoded_bytes / self.raw_bytes
+
+
+def measure_codec(codec: Codec, vectors: Iterable[BitVector]) -> CompressionStats:
+    """Encode every vector and tally raw vs encoded sizes."""
+    num = 0
+    raw = 0
+    enc = 0
+    for vector in vectors:
+        num += 1
+        raw += vector.num_words * 8
+        enc += codec.encoded_size(vector)
+    return CompressionStats(codec.name, num, raw, enc)

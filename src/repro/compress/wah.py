@@ -1,0 +1,105 @@
+"""Word-Aligned Hybrid (WAH) codec, 32-bit variant.
+
+WAH is the codec that replaced BBC in FastBit.  It is included here as a
+cross-check and ablation partner for the byte-aligned codec: both are
+run-length schemes, but WAH trades some compression for word-aligned
+decoding.  The format is the classic one:
+
+* the bit sequence is split into groups of 31 bits (the last group is
+  zero-padded);
+* a *literal word* has MSB 0 and carries one group verbatim;
+* a *fill word* has MSB 1, bit 30 the fill value, and bits 29..0 a count
+  of consecutive all-equal groups.
+
+Runs longer than ``2**30`` groups are emitted as multiple fill words.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmap import BitVector
+from repro.compress.base import Codec, register_codec
+from repro.errors import CodecError
+
+_GROUP_BITS = 31
+_LITERAL_MASK = (1 << _GROUP_BITS) - 1
+_FILL_FLAG = 1 << 31
+_FILL_VALUE_FLAG = 1 << 30
+_MAX_FILL = (1 << 30) - 1
+
+
+class WahCodec(Codec):
+    """32-bit Word-Aligned Hybrid run-length codec."""
+
+    name = "wah"
+
+    def encode(self, vector: BitVector) -> bytes:
+        n = len(vector)
+        num_groups = (n + _GROUP_BITS - 1) // _GROUP_BITS
+        if num_groups == 0:
+            return b""
+        bits = np.zeros(num_groups * _GROUP_BITS, dtype=bool)
+        bits[:n] = vector.to_bools()
+        groups = bits.reshape(num_groups, _GROUP_BITS)
+        # Group value as a 31-bit integer, LSB = first bit of the group.
+        weights = (np.uint64(1) << np.arange(_GROUP_BITS, dtype=np.uint64)).astype(
+            np.uint64
+        )
+        values = (groups.astype(np.uint64) * weights).sum(axis=1).astype(np.uint32)
+
+        words: list[int] = []
+        i = 0
+        num = values.shape[0]
+        vals = values.tolist()
+        while i < num:
+            value = vals[i]
+            if value == 0 or value == _LITERAL_MASK:
+                j = i + 1
+                while j < num and vals[j] == value:
+                    j += 1
+                run = j - i
+                if run == 1:
+                    words.append(value)
+                else:
+                    fill_bit = _FILL_VALUE_FLAG if value else 0
+                    while run > 0:
+                        chunk = min(run, _MAX_FILL)
+                        words.append(_FILL_FLAG | fill_bit | chunk)
+                        run -= chunk
+                i = j
+            else:
+                words.append(value)
+                i += 1
+        return np.asarray(words, dtype=np.uint32).tobytes()
+
+    def decode(self, payload: bytes, length: int) -> BitVector:
+        if len(payload) % 4:
+            raise CodecError(f"WAH payload size {len(payload)} not word aligned")
+        words = np.frombuffer(payload, dtype=np.uint32)
+        num_groups = (length + _GROUP_BITS - 1) // _GROUP_BITS
+        values = np.empty(num_groups, dtype=np.uint32)
+        pos = 0
+        for word in words.tolist():
+            if word & _FILL_FLAG:
+                run = word & _MAX_FILL
+                value = _LITERAL_MASK if word & _FILL_VALUE_FLAG else 0
+                if pos + run > num_groups:
+                    raise CodecError("WAH stream overruns the declared length")
+                values[pos : pos + run] = value
+                pos += run
+            else:
+                if pos >= num_groups:
+                    raise CodecError("WAH stream overruns the declared length")
+                values[pos] = word
+                pos += 1
+        if pos != num_groups:
+            raise CodecError(
+                f"WAH stream produced {pos} groups, expected {num_groups}"
+            )
+        shifts = np.arange(_GROUP_BITS, dtype=np.uint32)
+        bits = ((values[:, None] >> shifts[None, :]) & 1).astype(bool).reshape(-1)
+        return BitVector.from_bools(bits[:length])
+
+
+register_codec(WahCodec())

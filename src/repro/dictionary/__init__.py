@@ -1,0 +1,22 @@
+"""Indexing arbitrary ordered domains (extension).
+
+The paper assumes "the domain of A is a set of consecutive integers
+from 0 to C-1".  Real attributes are strings, floats or sparse
+integers; production bitmap indexes put a translation layer in front:
+
+* :class:`~repro.dictionary.dictionary.ValueDictionary` — an
+  order-preserving dense coding of the distinct values (exact, for
+  attributes whose cardinality is acceptable);
+* :class:`~repro.dictionary.binning.Binner` — equi-width or equi-depth
+  binning for continuous/high-cardinality attributes, with the classic
+  candidate-recheck of boundary bins so answers stay exact;
+* :class:`~repro.dictionary.attribute.AttributeIndex` — the facade that
+  picks a strategy and answers raw-value range/membership queries
+  through a :class:`~repro.index.BitmapIndex` over the codes.
+"""
+
+from repro.dictionary.attribute import AttributeIndex
+from repro.dictionary.binning import Binner
+from repro.dictionary.dictionary import ValueDictionary
+
+__all__ = ["ValueDictionary", "Binner", "AttributeIndex"]

@@ -1,0 +1,176 @@
+"""Attribute indexes over arbitrary ordered domains.
+
+:class:`AttributeIndex` is the facade that makes the paper's machinery
+usable on real columns: it either dictionary-encodes the distinct
+values (exact translation) or bins them (with candidate rechecks), then
+builds a :class:`~repro.index.BitmapIndex` over the codes and answers
+raw-value queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmap import BitVector
+from repro.dictionary.binning import Binner
+from repro.dictionary.dictionary import ValueDictionary
+from repro.errors import QueryError, ReproError
+from repro.index.bitmap_index import BitmapIndex, IndexSpec
+from repro.queries.model import IntervalQuery, MembershipQuery
+
+
+class AttributeIndex:
+    """A bitmap index over a raw column of any ordered dtype.
+
+    Parameters
+    ----------
+    values:
+        The raw column (ints, floats or strings; any numpy-sortable
+        dtype).
+    scheme, num_components, codec:
+        Index design, as in :class:`~repro.index.IndexSpec`.
+    max_cardinality:
+        Distinct-value budget: at or below it the column is
+        dictionary-encoded (exact); above it, numeric columns are
+        binned into ``num_bins`` bins with candidate rechecks.
+    num_bins:
+        Bin count for the binned strategy.
+    binning:
+        ``"equi-depth"`` (default; balances bin populations) or
+        ``"equi-width"``.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        scheme: str = "I",
+        num_components: int = 1,
+        codec: str = "raw",
+        max_cardinality: int = 1024,
+        num_bins: int = 64,
+        binning: str = "equi-depth",
+    ):
+        raw = np.asarray(values)
+        if raw.size == 0:
+            raise ReproError("cannot index an empty column")
+        self._raw = raw
+
+        distinct = np.unique(raw)
+        if distinct.shape[0] <= max_cardinality:
+            self._dictionary: ValueDictionary | None = ValueDictionary(distinct)
+            self._binner: Binner | None = None
+            codes = self._dictionary.encode(raw)
+            cardinality = self._dictionary.cardinality
+        else:
+            if not np.issubdtype(raw.dtype, np.number):
+                raise ReproError(
+                    f"column has {distinct.shape[0]} distinct non-numeric "
+                    f"values; raise max_cardinality or pre-bin"
+                )
+            self._dictionary = None
+            if binning == "equi-depth":
+                self._binner = Binner.equi_depth(raw, num_bins)
+            elif binning == "equi-width":
+                self._binner = Binner.equi_width(
+                    float(raw.min()), float(raw.max()), num_bins
+                )
+            else:
+                raise ReproError(f"unknown binning {binning!r}")
+            codes = self._binner.encode(raw)
+            cardinality = self._binner.num_bins
+
+        self.index = BitmapIndex.build(
+            codes,
+            IndexSpec(
+                cardinality=cardinality,
+                scheme=scheme,
+                num_components=num_components,
+                codec=codec,
+            ),
+        )
+        self._engine = self.index.engine()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_exact(self) -> bool:
+        """True when dictionary-encoded (no candidate rechecks ever)."""
+        return self._dictionary is not None
+
+    @property
+    def num_records(self) -> int:
+        """Records in the indexed column."""
+        return int(self._raw.size)
+
+    def size_bytes(self) -> int:
+        """Stored size of the underlying bitmap index."""
+        return self.index.size_bytes()
+
+    # ------------------------------------------------------------------
+
+    def range_query(self, low, high) -> BitVector:
+        """Records with ``low <= A <= high`` over raw values (exact)."""
+        if low > high:
+            raise QueryError(f"empty raw range [{low!r}, {high!r}]")
+        if self._dictionary is not None:
+            code_range = self._dictionary.code_range(low, high)
+            if code_range is None:
+                return BitVector.zeros(self.num_records)
+            query = IntervalQuery(
+                code_range[0], code_range[1], self._dictionary.cardinality
+            )
+            return self._engine.execute(query).bitmap
+
+        assert self._binner is not None
+        inner, edges = self._binner.range_plan(float(low), float(high))
+        answer = BitVector.zeros(self.num_records)
+        if inner is not None:
+            query = IntervalQuery(inner[0], inner[1], self._binner.num_bins)
+            answer |= self._engine.execute(query).bitmap
+        for edge_bin in edges:
+            candidates = self._engine.execute(
+                IntervalQuery(edge_bin, edge_bin, self._binner.num_bins)
+            ).bitmap
+            # Candidate recheck against the raw column.
+            ids = candidates.to_indices()
+            qualifying = ids[
+                (self._raw[ids] >= low) & (self._raw[ids] <= high)
+            ]
+            answer |= BitVector.from_indices(self.num_records, qualifying)
+        return answer
+
+    def equality_query(self, value) -> BitVector:
+        """Records with ``A == value`` over raw values (exact)."""
+        if self._dictionary is not None:
+            if not self._dictionary.contains(value):
+                return BitVector.zeros(self.num_records)
+            code = int(self._dictionary.encode(np.asarray([value]))[0])
+            query = IntervalQuery(code, code, self._dictionary.cardinality)
+            return self._engine.execute(query).bitmap
+        return self.range_query(value, value)
+
+    def membership_query(self, values) -> BitVector:
+        """Records with ``A IN values`` over raw values (exact)."""
+        if self._dictionary is not None:
+            codes = {
+                int(self._dictionary.encode(np.asarray([v]))[0])
+                for v in values
+                if self._dictionary.contains(v)
+            }
+            if not codes:
+                return BitVector.zeros(self.num_records)
+            query = MembershipQuery(
+                frozenset(codes), self._dictionary.cardinality
+            )
+            return self._engine.execute(query).bitmap
+        answer = BitVector.zeros(self.num_records)
+        for value in values:
+            answer |= self.range_query(value, value)
+        return answer
+
+    def __repr__(self) -> str:
+        strategy = "dictionary" if self.is_exact else "binned"
+        return (
+            f"AttributeIndex({strategy}, records={self.num_records}, "
+            f"{self.index.spec.label})"
+        )

@@ -1,0 +1,132 @@
+"""Binning for continuous / high-cardinality attributes.
+
+When the distinct-value count is too large for a per-value bitmap
+index, values are grouped into bins and the index is built over bin
+codes.  A raw-value range query then decomposes into
+
+* *inner bins* — bins entirely inside the range: their records qualify
+  without looking at the data;
+* *edge bins* — at most two bins straddling a range endpoint: their
+  records are *candidates* and must be rechecked against the raw
+  column (the classic candidate-check of binned bitmap indexes).
+
+Two bin layouts are provided: equi-width (uniform value intervals) and
+equi-depth (quantile boundaries, which balance bin populations under
+skew and so minimize expected candidate rechecks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class Binner:
+    """Maps raw values to bin codes via sorted bin boundaries.
+
+    ``boundaries`` holds the *right-open* upper edges of bins 0..B-2;
+    bin B-1 is everything above the last boundary.  Values equal to a
+    boundary fall into the bin above it (searchsorted ``right``
+    convention below keeps bins disjoint and exhaustive).
+    """
+
+    def __init__(self, boundaries: np.ndarray):
+        arr = np.asarray(boundaries, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ReproError("binner needs a non-empty 1-d boundary array")
+        if np.any(np.diff(arr) <= 0):
+            raise ReproError("bin boundaries must be strictly increasing")
+        self._boundaries = arr
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def equi_width(cls, low: float, high: float, num_bins: int) -> "Binner":
+        """Uniform bins over ``[low, high]``."""
+        if num_bins < 2:
+            raise ReproError(f"need >= 2 bins, got {num_bins}")
+        if not low < high:
+            raise ReproError(f"need low < high, got [{low}, {high}]")
+        return cls(np.linspace(low, high, num_bins + 1)[1:-1])
+
+    @classmethod
+    def equi_depth(cls, values: np.ndarray, num_bins: int) -> "Binner":
+        """Quantile bins over a sample of the column."""
+        if num_bins < 2:
+            raise ReproError(f"need >= 2 bins, got {num_bins}")
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            raise ReproError("cannot build equi-depth bins from no data")
+        quantiles = np.quantile(arr, np.linspace(0, 1, num_bins + 1)[1:-1])
+        # Duplicate quantiles (heavy skew) collapse; the resulting bin
+        # count may be below the request but stays >= 2.
+        return cls(np.unique(quantiles))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_bins(self) -> int:
+        """Number of bins (the bitmap-index domain size)."""
+        return int(self._boundaries.shape[0]) + 1
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """The bin upper edges (right-open)."""
+        return self._boundaries
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Bin code of each raw value."""
+        return np.searchsorted(
+            self._boundaries, np.asarray(values, dtype=np.float64), side="right"
+        ).astype(np.int64)
+
+    def range_plan(self, low: float, high: float) -> tuple[
+        tuple[int, int] | None, list[int]
+    ]:
+        """Decompose ``low <= A <= high`` into inner bins and edge bins.
+
+        Returns ``(inner, edges)``: ``inner`` is an inclusive bin-code
+        interval whose bins lie entirely inside the raw range (or None),
+        and ``edges`` lists the (at most two) bins that straddle an
+        endpoint and require a candidate recheck.
+        """
+        if low > high:
+            raise ReproError(f"empty raw range [{low!r}, {high!r}]")
+        first = int(np.searchsorted(self._boundaries, low, side="right"))
+        last = int(np.searchsorted(self._boundaries, high, side="right"))
+
+        # A bin is entirely inside iff its full value interval is within
+        # [low, high].
+        def bin_low(code: int) -> float:
+            return -np.inf if code == 0 else float(self._boundaries[code - 1])
+
+        def bin_high(code: int) -> float:
+            if code == self.num_bins - 1:
+                return np.inf
+            return float(self._boundaries[code])
+
+        # Bin c holds [bin_low(c), bin_high(c)); it is entirely inside
+        # the query range iff bin_low(c) >= low and bin_high(c) <= high
+        # (the upper edge is exclusive, so equality there is fine).
+        low_straddles = bin_low(first) < low
+        high_straddles = bin_high(last) > high
+
+        if first == last:
+            if low_straddles or high_straddles:
+                return None, [first]
+            return (first, last), []
+
+        edges: list[int] = []
+        inner_first, inner_last = first, last
+        if low_straddles:
+            edges.append(first)
+            inner_first += 1
+        if high_straddles:
+            edges.append(last)
+            inner_last -= 1
+        if inner_first > inner_last:
+            return None, edges
+        return (inner_first, inner_last), edges

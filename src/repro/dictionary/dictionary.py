@@ -1,0 +1,83 @@
+"""Order-preserving value dictionaries.
+
+A :class:`ValueDictionary` maps the distinct values of a column to
+dense codes ``0..C-1`` in sort order, so that raw-value range queries
+translate to code range queries exactly (the property every encoding
+scheme in the paper relies on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class ValueDictionary:
+    """Dense, order-preserving coding of a column's distinct values."""
+
+    def __init__(self, sorted_values: np.ndarray):
+        if sorted_values.ndim != 1:
+            raise ReproError("dictionary values must be one-dimensional")
+        self._values = sorted_values
+
+    @classmethod
+    def from_column(cls, values: np.ndarray) -> "ValueDictionary":
+        """Build from a raw column (distinct values, sorted)."""
+        arr = np.asarray(values)
+        if arr.size == 0:
+            raise ReproError("cannot build a dictionary from an empty column")
+        return cls(np.unique(arr))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct values (the bitmap-index domain size)."""
+        return int(self._values.shape[0])
+
+    @property
+    def values(self) -> np.ndarray:
+        """The distinct values in code order."""
+        return self._values
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Codes of raw values; raises on values absent from the dictionary."""
+        arr = np.asarray(values)
+        codes = np.searchsorted(self._values, arr)
+        codes = np.clip(codes, 0, self.cardinality - 1)
+        if arr.size and not np.array_equal(self._values[codes], arr):
+            missing = arr[self._values[codes] != arr]
+            raise ReproError(
+                f"values not in dictionary: {np.unique(missing)[:5]!r}"
+            )
+        return codes.astype(np.int64)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Raw values of codes."""
+        codes = np.asarray(codes)
+        if codes.size and (codes.min() < 0 or codes.max() >= self.cardinality):
+            raise ReproError(
+                f"codes outside [0, {self.cardinality})"
+            )
+        return self._values[codes]
+
+    def contains(self, value) -> bool:
+        """True iff ``value`` is in the dictionary."""
+        position = int(np.searchsorted(self._values, value))
+        return position < self.cardinality and self._values[position] == value
+
+    def code_range(self, low, high) -> tuple[int, int] | None:
+        """Code interval for the raw-value range ``low <= A <= high``.
+
+        The endpoints need not be dictionary members: the returned code
+        interval covers exactly the dictionary values falling inside
+        the raw range.  Returns None when the range selects nothing.
+        """
+        if low > high:
+            raise ReproError(f"empty raw range [{low!r}, {high!r}]")
+        code_low = int(np.searchsorted(self._values, low, side="left"))
+        code_high = int(np.searchsorted(self._values, high, side="right")) - 1
+        if code_low > code_high:
+            return None
+        return code_low, code_high

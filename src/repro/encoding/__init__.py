@@ -1,0 +1,66 @@
+"""Bitmap encoding schemes.
+
+An encoding scheme decides which attribute values set each stored
+bitmap's bits (Section 1 of the paper).  This subpackage implements all
+seven schemes studied in the paper:
+
+=========  ==========================================  =========
+Name       Class                                        Paper §
+=========  ==========================================  =========
+``E``      :class:`~repro.encoding.equality.EqualityEncoding`       §2, Eq. 1
+``R``      :class:`~repro.encoding.range_enc.RangeEncoding`         §2, Eq. 2
+``I``      :class:`~repro.encoding.interval.IntervalEncoding`       §4, Eqs. 4–6
+``ER``     :class:`~repro.encoding.hybrid_er.EqualityRangeEncoding` §5.1
+``O``      :class:`~repro.encoding.oreo.OreoEncoding`               §5.2
+``EI``     :class:`~repro.encoding.hybrid_ei.EqualityIntervalEncoding` §5.3
+``EI*``    :class:`~repro.encoding.hybrid_ei_star.EqualityIntervalStarEncoding` §5.4
+=========  ==========================================  =========
+
+Schemes are looked up by name via :func:`~repro.encoding.registry.get_scheme`.
+"""
+
+from repro.encoding.base import EncodingScheme
+from repro.encoding.costmodel import (
+    expected_scans,
+    query_class_queries,
+    space_cost,
+    update_costs,
+)
+from repro.encoding.binary import BinaryEncoding
+from repro.encoding.equality import EqualityEncoding
+from repro.encoding.hybrid_ei import EqualityIntervalEncoding
+from repro.encoding.hybrid_ei_star import EqualityIntervalStarEncoding
+from repro.encoding.hybrid_er import EqualityRangeEncoding
+from repro.encoding.interval import IntervalEncoding
+from repro.encoding.interval_plus import IntervalPlusEncoding
+from repro.encoding.oreo import OreoEncoding
+from repro.encoding.range_enc import RangeEncoding
+from repro.encoding.registry import (
+    ALL_SCHEME_NAMES,
+    BASIC_SCHEME_NAMES,
+    EXTENDED_SCHEME_NAMES,
+    HYBRID_SCHEME_NAMES,
+    get_scheme,
+)
+
+__all__ = [
+    "EncodingScheme",
+    "EqualityEncoding",
+    "RangeEncoding",
+    "IntervalEncoding",
+    "EqualityRangeEncoding",
+    "OreoEncoding",
+    "EqualityIntervalEncoding",
+    "EqualityIntervalStarEncoding",
+    "IntervalPlusEncoding",
+    "BinaryEncoding",
+    "get_scheme",
+    "ALL_SCHEME_NAMES",
+    "BASIC_SCHEME_NAMES",
+    "HYBRID_SCHEME_NAMES",
+    "EXTENDED_SCHEME_NAMES",
+    "expected_scans",
+    "space_cost",
+    "update_costs",
+    "query_class_queries",
+]

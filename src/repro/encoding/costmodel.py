@@ -1,0 +1,126 @@
+"""Analytic space-time cost model for encoding schemes (Section 3).
+
+The paper measures time as the *expected number of bitmap scans* for a
+query drawn uniformly from a query class, and space as the *number of
+bitmaps stored*.  Both are exactly computable for any scheme by
+enumerating the class and counting the distinct leaves of each query's
+evaluation expression; no sampling or approximation is involved.
+
+Query classes (Section 1):
+
+* ``EQ``  — ``A = v``              for each v in [0, C);
+* ``1RQ`` — ``A <= y`` (0 < y < C-1 ... including y = 0) and
+            ``A >= x`` (0 < x < C-1 ... including x = C-1), i.e. every
+            interval with exactly one endpoint clamped to the domain
+            boundary that is not itself an equality or the full domain;
+* ``2RQ`` — ``x <= A <= y`` with 0 < x < y < C-1;
+* ``RQ``  — the union of 1RQ and 2RQ.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.encoding.base import EncodingScheme
+from repro.errors import QueryError
+from repro.expr import expression_scan_count, simplify
+
+QUERY_CLASSES = ("EQ", "1RQ", "2RQ", "RQ")
+
+
+def query_class_queries(cardinality: int, query_class: str) -> Iterator[tuple[int, int]]:
+    """Enumerate every interval ``(low, high)`` in a query class.
+
+    The classification follows the paper's precedence: an interval with
+    ``low == high`` is an equality query even when it touches a domain
+    boundary, and the full domain ``[0, C-1]`` belongs to no class.
+    """
+    c = cardinality
+    if query_class == "EQ":
+        for v in range(c):
+            yield (v, v)
+    elif query_class == "1RQ":
+        # "A <= y": exclude the equality [0, 0] and the full domain.
+        for y in range(1, c - 1):
+            yield (0, y)
+        # "A >= x": exclude the full domain and the equality [C-1, C-1].
+        for x in range(1, c - 1):
+            yield (x, c - 1)
+    elif query_class == "2RQ":
+        for x in range(1, c - 1):
+            for y in range(x + 1, c - 1):
+                yield (x, y)
+    elif query_class == "RQ":
+        yield from query_class_queries(c, "1RQ")
+        yield from query_class_queries(c, "2RQ")
+    else:
+        raise QueryError(
+            f"unknown query class {query_class!r}; expected one of {QUERY_CLASSES}"
+        )
+
+
+def scan_cost(scheme: EncodingScheme, cardinality: int, low: int, high: int) -> int:
+    """Distinct bitmaps the scheme's expression reads for ``[low, high]``."""
+    expr = simplify(scheme.interval_expr(cardinality, low, high))
+    return expression_scan_count(expr)
+
+
+def expected_scans(
+    scheme: EncodingScheme, cardinality: int, query_class: str
+) -> float:
+    """Expected bitmap scans for a uniform query in ``query_class``.
+
+    This is the paper's ``Time(S, C, Q)``; it is computed by exact
+    enumeration.  Returns 0.0 for classes that are empty at this
+    cardinality (e.g. 2RQ for C < 4).
+    """
+    total = 0
+    count = 0
+    for low, high in query_class_queries(cardinality, query_class):
+        total += scan_cost(scheme, cardinality, low, high)
+        count += 1
+    if count == 0:
+        return 0.0
+    return total / count
+
+
+def worst_case_scans(
+    scheme: EncodingScheme, cardinality: int, query_class: str
+) -> int:
+    """Maximum bitmap scans over the class (0 for empty classes)."""
+    return max(
+        (
+            scan_cost(scheme, cardinality, low, high)
+            for low, high in query_class_queries(cardinality, query_class)
+        ),
+        default=0,
+    )
+
+
+def space_cost(scheme: EncodingScheme, cardinality: int) -> int:
+    """The paper's ``Space(S, C)``: number of stored bitmaps."""
+    return scheme.num_bitmaps(cardinality)
+
+
+@dataclass(frozen=True)
+class UpdateCosts:
+    """Bitmap updates required to insert one record (§4.2)."""
+
+    best: int
+    expected: float
+    worst: int
+
+
+def update_costs(scheme: EncodingScheme, cardinality: int) -> UpdateCosts:
+    """Best/expected/worst bitmap updates over a uniform new value.
+
+    Matches §4.2: equality encoding is (1, 1, 1); range encoding is
+    (1, ~(C-1)/2, C-1); interval encoding is (1, ~C/4, floor(C/2)).
+    """
+    costs = [scheme.update_cost(cardinality, v) for v in range(cardinality)]
+    return UpdateCosts(
+        best=min(costs),
+        expected=sum(costs) / len(costs),
+        worst=max(costs),
+    )

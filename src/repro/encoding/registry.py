@@ -1,0 +1,51 @@
+"""Name-based lookup of encoding schemes."""
+
+from __future__ import annotations
+
+from repro.encoding.base import EncodingScheme
+from repro.encoding.equality import EqualityEncoding
+from repro.encoding.hybrid_ei import EqualityIntervalEncoding
+from repro.encoding.hybrid_ei_star import EqualityIntervalStarEncoding
+from repro.encoding.hybrid_er import EqualityRangeEncoding
+from repro.encoding.binary import BinaryEncoding
+from repro.encoding.interval import IntervalEncoding
+from repro.encoding.interval_plus import IntervalPlusEncoding
+from repro.encoding.oreo import OreoEncoding
+from repro.encoding.range_enc import RangeEncoding
+from repro.errors import EncodingSchemeError
+
+#: The three basic encoding schemes studied in Sections 2-4.
+BASIC_SCHEME_NAMES = ("E", "R", "I")
+#: The four hybrid schemes of Section 5.
+HYBRID_SCHEME_NAMES = ("ER", "O", "EI", "EI*")
+#: All seven schemes in the paper's order.
+ALL_SCHEME_NAMES = BASIC_SCHEME_NAMES + HYBRID_SCHEME_NAMES
+#: Extension schemes beyond the paper's main text: the footnote-4 odd-C
+#: interval variant and the §2 related-work binary (bit-sliced) scheme.
+EXTENDED_SCHEME_NAMES = ("I+", "B")
+
+_SCHEMES: dict[str, EncodingScheme] = {
+    scheme.name: scheme
+    for scheme in (
+        EqualityEncoding(),
+        RangeEncoding(),
+        IntervalEncoding(),
+        EqualityRangeEncoding(),
+        OreoEncoding(),
+        EqualityIntervalEncoding(),
+        EqualityIntervalStarEncoding(),
+        IntervalPlusEncoding(),
+        BinaryEncoding(),
+    )
+}
+
+
+def get_scheme(name: str) -> EncodingScheme:
+    """Look up a scheme by its paper name (``"E"``, ``"R"``, ``"I"``,
+    ``"ER"``, ``"O"``, ``"EI"``, ``"EI*"``)."""
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise EncodingSchemeError(
+            f"unknown encoding scheme {name!r}; available: {ALL_SCHEME_NAMES}"
+        ) from None

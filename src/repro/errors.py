@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so that callers can catch library failures without
+also catching programming errors (``TypeError`` etc. are still raised for
+misuse that the standard library would also reject).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class BitmapError(ReproError):
+    """Raised for invalid bit-vector operations (length mismatch, bad index)."""
+
+
+class CodecError(ReproError):
+    """Raised when encoding or decoding a compressed bitmap fails."""
+
+
+class EncodingSchemeError(ReproError):
+    """Raised for invalid encoding-scheme parameters (bad cardinality, slot)."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed queries (empty membership set, reversed range)."""
+
+
+class DecompositionError(ReproError):
+    """Raised for invalid attribute-value decompositions (bad base sequence)."""
+
+
+class StorageError(ReproError):
+    """Raised for storage-layer failures (unknown bitmap key, closed store)."""
+
+
+class BufferError_(ReproError):
+    """Raised for buffer-pool misuse (zero capacity, unpinned release)."""
+
+
+class PlanningError(ReproError):
+    """Raised when the expression planner cannot produce a plan."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment is configured inconsistently."""

@@ -1,0 +1,23 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+One module per experiment; each exposes ``run(config) -> ExperimentResult``
+whose ``render()`` prints the same rows/series the paper reports.  See
+DESIGN.md for the per-experiment index and EXPERIMENTS.md for
+paper-vs-measured records.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    EXPERIMENT_NAMES,
+    ExperimentResult,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "run_all",
+    "EXPERIMENT_NAMES",
+]

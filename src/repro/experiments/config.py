@@ -1,0 +1,52 @@
+"""Shared experiment configuration.
+
+Defaults mirror the paper's settings (C = 50, Zipf z, the 8 query
+sets); the record count is scaled down from the paper's 6 million to
+keep the full suite laptop-fast — space *ratios* and scan counts are
+unaffected and simulated times scale linearly (DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workload.datasets import DEFAULT_NUM_RECORDS
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments."""
+
+    #: Attribute cardinality (the paper reports C = 50; C = 200 behaved
+    #: the same).
+    cardinality: int = 50
+    #: Zipf skew for experiments at a fixed skew (Figures 6 and 8 use 1).
+    skew: float = 1.0
+    #: Records in the synthetic column.
+    num_records: int = DEFAULT_NUM_RECORDS
+    #: Deterministic seed for data and queries.
+    seed: int = 0
+    #: Component counts swept by the space plots.
+    component_counts: tuple[int, ...] = (1, 2, 3, 4, 5)
+    #: Compression codec for "compressed" indexes.
+    codec: str = "bbc"
+    #: Queries per query set (the paper uses 10).
+    queries_per_set: int = 10
+    #: Encoding schemes included (basic three by default, as plotted).
+    schemes: tuple[str, ...] = ("E", "R", "I")
+    #: Skew sweep for the skew-effect experiments (Figures 7 and 9).
+    skews: tuple[float, ...] = (0.0, 1.0, 2.0, 3.0)
+
+    def scaled(self, num_records: int) -> "ExperimentConfig":
+        """A copy with a different record count (for quick benches)."""
+        return ExperimentConfig(
+            cardinality=self.cardinality,
+            skew=self.skew,
+            num_records=num_records,
+            seed=self.seed,
+            component_counts=self.component_counts,
+            codec=self.codec,
+            queries_per_set=self.queries_per_set,
+            schemes=self.schemes,
+            skews=self.skews,
+        )

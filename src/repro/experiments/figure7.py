@@ -1,0 +1,48 @@
+"""Figure 7: effect of data skew on compressed index space.
+
+For n in {1, 2, 5} components and z in {0, 1, 2, 3}, the ratio of the
+compressed n-component index size to the uncompressed one-component
+equality-encoded index size, per basic encoding scheme (C = 50).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure6 import build_point
+from repro.experiments.runner import ExperimentResult
+from repro.workload.datasets import DatasetSpec, generate_dataset
+
+#: The component counts the paper plots in Figure 7.
+FIGURE7_COMPONENTS = (1, 2, 5)
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Regenerate the Figure 7 skew sweep."""
+    words = -(-config.num_records // 64)
+    baseline_bytes = config.cardinality * words * 8
+
+    result = ExperimentResult(
+        experiment=(
+            f"Figure 7: compressed space vs skew (C={config.cardinality}, "
+            f"N={config.num_records})"
+        ),
+        headers=["n", "scheme", *[f"z={z:g}" for z in config.skews]],
+    )
+    for n in FIGURE7_COMPONENTS:
+        for scheme_name in config.schemes:
+            ratios: list[float] = []
+            for skew in config.skews:
+                values = generate_dataset(
+                    DatasetSpec(
+                        cardinality=config.cardinality,
+                        skew=skew,
+                        num_records=config.num_records,
+                        seed=config.seed,
+                    )
+                )
+                index = build_point(
+                    values, config.cardinality, scheme_name, n, config.codec
+                )
+                ratios.append(index.size_bytes() / baseline_bytes)
+            result.rows.append([n, scheme_name, *ratios])
+    return result

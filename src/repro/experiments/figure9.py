@@ -1,0 +1,71 @@
+"""Figure 9: effect of data skew on the space-time tradeoff (C = 50).
+
+For each z in {0, 1, 2, 3}, a scatter of design points (encoding x
+components x compressed-or-not) with processing time averaged over all
+queries in all 8 query sets.  The paper's headline: uncompressed
+indexes win for low-to-medium skew, compressed ones for medium-to-high
+skew, with interval encoding the overall winner at low skew.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.pareto import pareto_frontier
+from repro.analysis.spacetime import measure_design
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure8 import design_specs
+from repro.experiments.runner import ExperimentResult
+from repro.queries.generator import generate_query_set, paper_query_sets
+from repro.workload.datasets import DatasetSpec, generate_dataset
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Regenerate the Figure 9 skew scatter."""
+    query_sets = {
+        spec.label: generate_query_set(
+            spec,
+            config.cardinality,
+            num_queries=config.queries_per_set,
+            seed=config.seed,
+        )
+        for spec in paper_query_sets()
+    }
+
+    result = ExperimentResult(
+        experiment=(
+            f"Figure 9: space-time vs skew (C={config.cardinality}, "
+            f"N={config.num_records})"
+        ),
+        headers=["z", "design", "space KB", "avg time ms", "pareto"],
+    )
+    for skew in config.skews:
+        values = generate_dataset(
+            DatasetSpec(
+                cardinality=config.cardinality,
+                skew=skew,
+                num_records=config.num_records,
+                seed=config.seed,
+            )
+        )
+        points = [
+            measure_design(values, spec, query_sets)
+            for spec in design_specs(config)
+        ]
+        frontier = set(
+            id(p)
+            for p in pareto_frontier(
+                points,
+                space=lambda p: p.space_bytes,
+                time=lambda p: p.avg_time_ms,
+            )
+        )
+        for point in sorted(points, key=lambda p: p.space_bytes):
+            result.rows.append(
+                [
+                    f"{skew:g}",
+                    point.label,
+                    point.space_bytes / 1024,
+                    point.avg_time_ms,
+                    "*" if id(point) in frontier else "",
+                ]
+            )
+    return result

@@ -1,0 +1,80 @@
+"""Experiment result container and dispatch."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_table
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one regenerated table or figure."""
+
+    experiment: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The experiment as an aligned text table (plus notes)."""
+        parts = [render_table(self.headers, self.rows, title=self.experiment)]
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def column(self, header: str) -> list[object]:
+        """All values of one column, by header name."""
+        try:
+            index = list(self.headers).index(header)
+        except ValueError:
+            raise ExperimentError(
+                f"no column {header!r} in experiment {self.experiment}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+
+def run_experiment(
+    name: str, config: ExperimentConfig | None = None
+) -> ExperimentResult:
+    """Run one experiment by id (``"figure6"``, ..., ``"table1"``)."""
+    # Imports are local to avoid import cycles and to keep start-up fast.
+    from repro.experiments import figure3, figure6, figure7, figure8, figure9, table1
+
+    runners = {
+        "figure3": figure3.run,
+        "figure6": figure6.run,
+        "figure7": figure7.run,
+        "figure8": figure8.run,
+        "figure9": figure9.run,
+        "table1": table1.run,
+    }
+    try:
+        runner = runners[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {sorted(runners)}"
+        ) from None
+    return runner(config or ExperimentConfig())
+
+
+EXPERIMENT_NAMES = (
+    "table1",
+    "figure3",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+)
+
+
+def run_all(
+    config: ExperimentConfig | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run every experiment; returns results keyed by experiment id."""
+    return {
+        name: run_experiment(name, config) for name in EXPERIMENT_NAMES
+    }

@@ -1,0 +1,153 @@
+"""Table 1: optimality of the encoding schemes per query class.
+
+Every entry of the paper's matrix is re-established numerically, by the
+strongest method feasible at each cardinality:
+
+* ``search`` — exhaustive enumeration of the canonical design space
+  (:mod:`repro.analysis.optimality`), a genuine verification, used for
+  small C;
+* ``dominated-by`` — a concrete named scheme that dominates the entry
+  (proves non-optimality at *any* C; e.g. interval dominates range for
+  2RQ because it has at most the same expected scans in half the
+  space);
+* ``paper`` — entries whose verification needs the tech-report proof
+  (optimality at large C, and interval's EQ non-optimality at C >= 14,
+  whose witness scheme is not constructible by feasible search).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.optimality import (
+    dominates,
+    scheme_point,
+    verify_scheme_optimality,
+)
+from repro.encoding import get_scheme
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult
+
+#: Cardinalities verified exhaustively (C = 6 roughly doubles the
+#: runtime of the whole experiment; it is included because the paper's
+#: "R optimal for EQ iff C <= 5" flips exactly there).
+SEARCH_CARDINALITIES = (4, 5, 6)
+QUERY_CLASSES = ("EQ", "1RQ", "2RQ", "RQ")
+SCHEMES = ("E", "R", "I", "I+")
+
+#: The paper's Table 1, for comparison against our verdicts.  "I+" is
+#: the footnote-4 odd-C variant; the paper states no explicit claims
+#: for it, so its entries mirror the I column.
+PAPER_MATRIX = {
+    ("EQ", "I+"): "not optimal if C>=14",
+    ("1RQ", "I+"): "optimal",
+    ("2RQ", "I+"): "optimal",
+    ("RQ", "I+"): "optimal",
+    ("EQ", "E"): "optimal",
+    ("EQ", "R"): "optimal iff C<=5",
+    ("EQ", "I"): "not optimal if C>=14",
+    ("1RQ", "E"): "not optimal",
+    ("1RQ", "R"): "optimal",
+    ("1RQ", "I"): "optimal",
+    ("2RQ", "E"): "not optimal",
+    ("2RQ", "R"): "not optimal",
+    ("2RQ", "I"): "optimal",
+    ("RQ", "E"): "not optimal",
+    ("RQ", "R"): "optimal",
+    ("RQ", "I"): "optimal",
+}
+
+
+def dominance_checks(cardinality: int) -> list[tuple[str, str, str, str]]:
+    """Direct scheme-vs-scheme dominance facts at one cardinality.
+
+    Returns rows ``(class, scheme, verdict, detail)`` for entries that a
+    named dominator settles without search.
+    """
+    rows: list[tuple[str, str, str, str]] = []
+    points = {
+        (name, q): scheme_point(get_scheme(name), cardinality, q)
+        for name in SCHEMES
+        for q in QUERY_CLASSES
+    }
+    for q in QUERY_CLASSES:
+        for name in SCHEMES:
+            for other in SCHEMES:
+                if other == name:
+                    continue
+                if dominates(points[(other, q)], points[(name, q)]):
+                    rows.append(
+                        (
+                            q,
+                            name,
+                            "not optimal",
+                            f"dominated by {other} "
+                            f"{points[(other, q)]} vs {points[(name, q)]}",
+                        )
+                    )
+                    break
+    return rows
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Re-establish Table 1's entries numerically."""
+    result = ExperimentResult(
+        experiment="Table 1: optimality of encoding schemes",
+        headers=["C", "class", "scheme", "verdict", "method", "paper says"],
+    )
+
+    for cardinality in SEARCH_CARDINALITIES:
+        for query_class in QUERY_CLASSES:
+            for scheme_name in SCHEMES:
+                verification = verify_scheme_optimality(
+                    get_scheme(scheme_name), cardinality, query_class
+                )
+                if verification.optimal is True:
+                    verdict = "optimal"
+                    method = "search (exhaustive)"
+                elif verification.optimal is False:
+                    verdict = "not optimal"
+                    method = f"search: {verification.dominator}"
+                else:
+                    verdict = "unknown"
+                    method = "search infeasible"
+                result.rows.append(
+                    [
+                        cardinality,
+                        query_class,
+                        scheme_name,
+                        verdict,
+                        method,
+                        PAPER_MATRIX[(query_class, scheme_name)],
+                    ]
+                )
+
+    # Any-C dominance facts at the paper's experimental cardinality.
+    for q, name, verdict, detail in dominance_checks(config.cardinality):
+        result.rows.append(
+            [
+                config.cardinality,
+                q,
+                name,
+                verdict,
+                f"dominance: {detail}",
+                PAPER_MATRIX[(q, name)],
+            ]
+        )
+
+    result.notes.append(
+        "search entries are exhaustive over all complete canonical "
+        "encoding schemes; dominance entries hold at any C"
+    )
+    result.notes.append(
+        "interval encoding's EQ non-optimality at C>=14 (Theorem 4.1.1) "
+        "requires the tech-report witness; not searchable at that scale"
+    )
+    result.notes.append(
+        "DEVIATION: at C=5 (odd) the exhaustive search finds complete "
+        "3-bitmap catalogs with strictly lower expected 1RQ/2RQ/RQ scans "
+        "than interval encoding (both the main-text I and the footnote-4 "
+        "variant I+), e.g. {[1,3],[3,4],[2,3,4]} at 1RQ expectation 4/3; "
+        "under the information-theoretic minimal-scan measure used here, "
+        "Theorem 4.1's small-odd-C claims do not hold exactly.  At C=4 "
+        "and C=6 every verdict matches the paper; see EXPERIMENTS.md"
+    )
+    return result

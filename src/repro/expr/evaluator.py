@@ -1,0 +1,140 @@
+"""Expression evaluation with scan and operation accounting.
+
+The evaluator combines stored bitmaps fetched through a caller-supplied
+function.  It performs common-subexpression elimination so that a bitmap
+referenced several times in one expression is fetched exactly once —
+this models the paper's component-wise evaluation strategy where each
+bitmap is scanned at most once per query (Section 6.3).
+
+:class:`EvalStats` records what a query costed: distinct bitmaps
+fetched (the paper's "number of bitmap scans") and the number of bulk
+logical word operations performed (the CPU side of the time model).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass, field
+
+from repro.bitmap import BitVector
+from repro.errors import BitmapError
+from repro.expr.nodes import And, Const, Expr, Leaf, Not, Or, Xor
+
+FetchFn = Callable[[Hashable], BitVector]
+
+
+@dataclass
+class EvalStats:
+    """Accounting for one or more expression evaluations."""
+
+    #: Distinct stored bitmaps fetched ("bitmap scans").
+    scans: int = 0
+    #: Bulk logical operations executed (each combines two operands or
+    #: complements one).
+    operations: int = 0
+    #: Keys fetched, in first-fetch order (useful in tests).
+    fetched_keys: list[Hashable] = field(default_factory=list)
+
+    def merge(self, other: "EvalStats") -> None:
+        """Fold another stats object into this one."""
+        self.scans += other.scans
+        self.operations += other.operations
+        self.fetched_keys.extend(other.fetched_keys)
+
+
+def expression_scan_count(expr: Expr) -> int:
+    """Distinct stored bitmaps an expression needs (its scan cost)."""
+    return len(expr.leaf_keys())
+
+
+def evaluate(
+    expr: Expr,
+    fetch: FetchFn,
+    length: int,
+    stats: EvalStats | None = None,
+    cache: dict[Hashable, BitVector] | None = None,
+) -> BitVector:
+    """Evaluate ``expr`` into a bit vector of ``length`` bits.
+
+    Parameters
+    ----------
+    expr:
+        The expression to evaluate.
+    fetch:
+        Callback mapping a leaf key to its stored bitmap.
+    length:
+        Length of the result (the relation cardinality); needed for
+        constants and validated against every fetched bitmap.
+    stats:
+        Optional accumulator for scan/operation counts.
+    cache:
+        Optional bitmap cache shared across several evaluations of the
+        same query (the component-wise strategy passes one per query so
+        that no bitmap is fetched twice).
+    """
+    if stats is None:
+        stats = EvalStats()
+    if cache is None:
+        cache = {}
+    memo: dict[Expr, BitVector] = {}
+    return _eval(expr, fetch, length, stats, cache, memo)
+
+
+def _fetch_leaf(
+    key: Hashable,
+    fetch: FetchFn,
+    length: int,
+    stats: EvalStats,
+    cache: dict[Hashable, BitVector],
+) -> BitVector:
+    if key in cache:
+        return cache[key]
+    vector = fetch(key)
+    if len(vector) != length:
+        raise BitmapError(
+            f"bitmap {key!r} has length {len(vector)}, expected {length}"
+        )
+    cache[key] = vector
+    stats.scans += 1
+    stats.fetched_keys.append(key)
+    return vector
+
+
+def _eval(
+    expr: Expr,
+    fetch: FetchFn,
+    length: int,
+    stats: EvalStats,
+    cache: dict[Hashable, BitVector],
+    memo: dict[Expr, BitVector],
+) -> BitVector:
+    if expr in memo:
+        return memo[expr]
+
+    if isinstance(expr, Leaf):
+        result = _fetch_leaf(expr.key, fetch, length, stats, cache)
+    elif isinstance(expr, Const):
+        result = BitVector.ones(length) if expr.value else BitVector.zeros(length)
+    elif isinstance(expr, Not):
+        child = _eval(expr.child, fetch, length, stats, cache, memo)
+        result = ~child
+        stats.operations += 1
+    elif isinstance(expr, (And, Or, Xor)):
+        operands = [
+            _eval(child, fetch, length, stats, cache, memo)
+            for child in expr.children()
+        ]
+        result = operands[0].copy()
+        for other in operands[1:]:
+            if isinstance(expr, And):
+                result &= other
+            elif isinstance(expr, Or):
+                result |= other
+            else:
+                result ^= other
+            stats.operations += 1
+    else:
+        raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+    memo[expr] = result
+    return result

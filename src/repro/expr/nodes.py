@@ -1,0 +1,281 @@
+"""Expression AST over stored bitmaps.
+
+Nodes are immutable and hashable; ``And``/``Or``/``Xor`` are n-ary with
+children stored as tuples.  Leaves carry an opaque hashable *key* naming
+a stored bitmap (the index layer uses ``(component, slot)`` pairs).
+
+Two interpretations are supported:
+
+* *bitmap semantics* — :func:`repro.expr.evaluator.evaluate` combines
+  fetched :class:`~repro.bitmap.BitVector` objects;
+* *set semantics* — :meth:`Expr.value_set` combines the sets of
+  attribute values each bitmap represents (the paper's notational
+  overload of ``B``), which is how expressions are verified and planned.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from dataclasses import dataclass, field
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+    # -- structural helpers ------------------------------------------------
+
+    def leaves(self) -> list["Leaf"]:
+        """All leaf nodes in depth-first order (with duplicates)."""
+        out: list[Leaf] = []
+        self._collect_leaves(out)
+        return out
+
+    def leaf_keys(self) -> set[Hashable]:
+        """The distinct bitmap keys referenced by this expression.
+
+        The size of this set is the expression's *scan count*: the number
+        of distinct stored bitmaps that must be read to evaluate it.
+        """
+        return {node.key for node in self.leaves()}
+
+    def _collect_leaves(self, out: list["Leaf"]) -> None:
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expr", ...]:
+        """Immediate sub-expressions."""
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """All nodes, depth first, parents before children."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    # -- set semantics ------------------------------------------------------
+
+    def value_set(
+        self, catalog: dict[Hashable, frozenset[int]], domain: frozenset[int]
+    ) -> frozenset[int]:
+        """Evaluate under set semantics.
+
+        ``catalog`` maps each bitmap key to the set of attribute values
+        it represents; ``domain`` is the full attribute domain (needed to
+        interpret NOT).
+        """
+        raise NotImplementedError
+
+    # -- operator sugar ------------------------------------------------------
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, other))
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Xor((self, other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Leaf(Expr):
+    """Reference to a stored bitmap by key."""
+
+    key: Hashable
+
+    def _collect_leaves(self, out: list["Leaf"]) -> None:
+        out.append(self)
+
+    def value_set(self, catalog, domain):
+        return catalog[self.key]
+
+    def __str__(self) -> str:
+        return str(self.key)
+
+    __and__ = Expr.__and__
+    __or__ = Expr.__or__
+    __xor__ = Expr.__xor__
+    __invert__ = Expr.__invert__
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    """The all-ones (True) or all-zeros (False) bitmap."""
+
+    value: bool
+
+    def _collect_leaves(self, out: list["Leaf"]) -> None:
+        return
+
+    def value_set(self, catalog, domain):
+        return domain if self.value else frozenset()
+
+    def __str__(self) -> str:
+        return "ONE" if self.value else "ZERO"
+
+    __and__ = Expr.__and__
+    __or__ = Expr.__or__
+    __xor__ = Expr.__xor__
+    __invert__ = Expr.__invert__
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Expr):
+    """Bitwise complement."""
+
+    child: Expr
+
+    def _collect_leaves(self, out: list["Leaf"]) -> None:
+        self.child._collect_leaves(out)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def value_set(self, catalog, domain):
+        return domain - self.child.value_set(catalog, domain)
+
+    def __str__(self) -> str:
+        return f"NOT({self.child})"
+
+    __and__ = Expr.__and__
+    __or__ = Expr.__or__
+    __xor__ = Expr.__xor__
+    __invert__ = Expr.__invert__
+
+
+class _Nary(Expr):
+    """Shared behaviour for n-ary operators."""
+
+    __slots__ = ()
+    _symbol = "?"
+
+    def _collect_leaves(self, out: list["Leaf"]) -> None:
+        for child in self.children():
+            child._collect_leaves(out)
+
+    def __str__(self) -> str:
+        inner = f" {self._symbol} ".join(str(c) for c in self.children())
+        return f"({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class And(_Nary):
+    """n-ary AND; requires at least one operand."""
+
+    operands: tuple[Expr, ...]
+    _symbol = "AND"
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.operands
+
+    def value_set(self, catalog, domain):
+        result = domain
+        for child in self.operands:
+            result = result & child.value_set(catalog, domain)
+        return result
+
+    __and__ = Expr.__and__
+    __or__ = Expr.__or__
+    __xor__ = Expr.__xor__
+    __invert__ = Expr.__invert__
+
+
+@dataclass(frozen=True, slots=True)
+class Or(_Nary):
+    """n-ary OR; requires at least one operand."""
+
+    operands: tuple[Expr, ...]
+    _symbol = "OR"
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.operands
+
+    def value_set(self, catalog, domain):
+        result: frozenset[int] = frozenset()
+        for child in self.operands:
+            result = result | child.value_set(catalog, domain)
+        return result
+
+    __and__ = Expr.__and__
+    __or__ = Expr.__or__
+    __xor__ = Expr.__xor__
+    __invert__ = Expr.__invert__
+
+
+@dataclass(frozen=True, slots=True)
+class Xor(_Nary):
+    """n-ary XOR; requires at least one operand."""
+
+    operands: tuple[Expr, ...]
+    _symbol = "XOR"
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.operands
+
+    def value_set(self, catalog, domain):
+        result: frozenset[int] = frozenset()
+        for child in self.operands:
+            result = result ^ child.value_set(catalog, domain)
+        return result
+
+    __and__ = Expr.__and__
+    __or__ = Expr.__or__
+    __xor__ = Expr.__xor__
+    __invert__ = Expr.__invert__
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def leaf(key: Hashable) -> Leaf:
+    """A leaf referencing the stored bitmap named ``key``."""
+    return Leaf(key)
+
+
+def not_of(expr: Expr) -> Expr:
+    """Complement, collapsing double negation."""
+    if isinstance(expr, Not):
+        return expr.child
+    if isinstance(expr, Const):
+        return Const(not expr.value)
+    return Not(expr)
+
+
+def _nary(cls, exprs: Iterable[Expr], empty: Expr) -> Expr:
+    items = tuple(exprs)
+    if not items:
+        return empty
+    if len(items) == 1:
+        return items[0]
+    return cls(items)
+
+
+def and_of(exprs: Iterable[Expr]) -> Expr:
+    """AND of any number of expressions (empty AND is ONE)."""
+    return _nary(And, exprs, Const(True))
+
+
+def or_of(exprs: Iterable[Expr]) -> Expr:
+    """OR of any number of expressions (empty OR is ZERO)."""
+    return _nary(Or, exprs, Const(False))
+
+
+def xor_of(exprs: Iterable[Expr]) -> Expr:
+    """XOR of any number of expressions (empty XOR is ZERO)."""
+    return _nary(Xor, exprs, Const(False))
+
+
+def one() -> Const:
+    """The all-ones constant."""
+    return Const(True)
+
+
+def zero() -> Const:
+    """The all-zeros constant."""
+    return Const(False)

@@ -1,0 +1,66 @@
+"""Rendering expressions as trees and DOT graphs.
+
+Section 6.1 describes the rewrite output as a "query evaluation graph,
+where each internal node ... represents a logical operator and each
+leaf node represents a bitmap".  These helpers make that graph visible:
+:func:`to_tree` for an indented text rendering, :func:`to_dot` for a
+Graphviz document of the evaluation *DAG* (shared subexpressions are
+rendered once, which is exactly the sharing the component-wise
+evaluator exploits).
+"""
+
+from __future__ import annotations
+
+from repro.expr.nodes import And, Const, Expr, Leaf, Not, Or, Xor
+
+_OP_LABELS = {And: "AND", Or: "OR", Xor: "XOR", Not: "NOT"}
+
+
+def _node_label(expr: Expr) -> str:
+    if isinstance(expr, Leaf):
+        return f"bitmap {expr.key!r}"
+    if isinstance(expr, Const):
+        return "ONE" if expr.value else "ZERO"
+    return _OP_LABELS[type(expr)]
+
+
+def to_tree(expr: Expr, indent: str = "  ") -> str:
+    """Indented text rendering of the expression tree."""
+    lines: list[str] = []
+
+    def walk(node: Expr, depth: int) -> None:
+        lines.append(f"{indent * depth}{_node_label(node)}")
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(expr, 0)
+    return "\n".join(lines)
+
+
+def to_dot(expr: Expr, graph_name: str = "evaluation_graph") -> str:
+    """Graphviz DOT for the evaluation DAG.
+
+    Structurally equal subexpressions collapse into one node, so the
+    output shows the acyclic *graph* of Section 6.3 (with its sharing),
+    not merely the syntax tree.  Leaves are drawn as boxes, operators
+    as ellipses.
+    """
+    ids: dict[Expr, str] = {}
+    lines = [f"digraph {graph_name} {{", "  rankdir=BT;"]
+
+    def visit(node: Expr) -> str:
+        if node in ids:
+            return ids[node]
+        node_id = f"n{len(ids)}"
+        ids[node] = node_id
+        label = _node_label(node).replace('"', r"\"")
+        shape = "box" if isinstance(node, (Leaf, Const)) else "ellipse"
+        lines.append(f'  {node_id} [label="{label}", shape={shape}];')
+        for child in node.children():
+            child_id = visit(child)
+            lines.append(f"  {child_id} -> {node_id};")
+        return node_id
+
+    visit(expr)
+    lines.append("}")
+    return "\n".join(lines)

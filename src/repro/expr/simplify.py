@@ -1,0 +1,110 @@
+"""Algebraic simplification of bitmap expressions.
+
+The rewrite phase (Section 6) can generate expressions with constants,
+duplicate operands, nested same-operator chains and double negations.
+:func:`simplify` normalizes them:
+
+* constant folding (``x AND ZERO -> ZERO``, ``x OR ONE -> ONE``,
+  ``x XOR ONE -> NOT x``, ...);
+* flattening of nested ``And``/``Or``/``Xor`` chains;
+* idempotence for ``And``/``Or`` (duplicate operands dropped) and
+  pair-cancellation for ``Xor``;
+* annihilation (``x AND NOT x -> ZERO``, ``x OR NOT x -> ONE``);
+* double negation elimination.
+
+Simplification never increases the number of distinct leaves, so the
+scan-count accounting of an expression can only improve.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+from repro.expr.nodes import And, Const, Expr, Leaf, Not, Or, Xor, not_of
+
+
+def simplify(expr: Expr) -> Expr:
+    """Return an equivalent, normalized expression."""
+    if isinstance(expr, (Leaf, Const)):
+        return expr
+    if isinstance(expr, Not):
+        return not_of(simplify(expr.child))
+    if isinstance(expr, And):
+        return _simplify_and_or(expr, is_and=True)
+    if isinstance(expr, Or):
+        return _simplify_and_or(expr, is_and=False)
+    if isinstance(expr, Xor):
+        return _simplify_xor(expr)
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _flatten(expr: Expr, cls) -> list[Expr]:
+    """Simplify children and flatten same-operator nesting."""
+    out: list[Expr] = []
+    for child in expr.children():
+        child = simplify(child)
+        if isinstance(child, cls):
+            out.extend(child.children())
+        else:
+            out.append(child)
+    return out
+
+
+def _simplify_and_or(expr: Expr, is_and: bool) -> Expr:
+    cls = And if is_and else Or
+    identity = Const(True) if is_and else Const(False)
+    annihilator = Const(False) if is_and else Const(True)
+
+    seen: list[Expr] = []
+    seen_set: set[Expr] = set()
+    for child in _flatten(expr, cls):
+        if child == annihilator:
+            return annihilator
+        if child == identity:
+            continue
+        if child in seen_set:
+            continue  # idempotence
+        seen.append(child)
+        seen_set.add(child)
+
+    # Annihilation: x op NOT x.
+    for child in seen:
+        if not_of(child) in seen_set:
+            return annihilator
+
+    if not seen:
+        return identity
+    if len(seen) == 1:
+        return seen[0]
+    return cls(tuple(seen))
+
+
+def _simplify_xor(expr: Expr) -> Expr:
+    # XOR with ONE toggles an overall complement; pairs cancel.  A
+    # worklist is used because stripping a Not can expose another Xor
+    # chain that must also be flattened.
+    complement = False
+    counts: Counter[Expr] = Counter()
+    worklist = deque(_flatten(expr, Xor))
+    while worklist:
+        child = worklist.popleft()
+        if isinstance(child, Const):
+            if child.value:
+                complement = not complement
+            continue
+        if isinstance(child, Not):
+            complement = not complement
+            child = child.child
+        if isinstance(child, Xor):
+            worklist.extend(child.children())
+            continue
+        counts[child] += 1
+
+    survivors = [node for node, count in counts.items() if count % 2]
+    if not survivors:
+        result: Expr = Const(False)
+    elif len(survivors) == 1:
+        result = survivors[0]
+    else:
+        result = Xor(tuple(survivors))
+    return not_of(result) if complement else result

@@ -1,0 +1,130 @@
+"""Index design advisor (extension of the paper's framework).
+
+Section 2 frames bitmap index design as "an optimization problem of
+identifying a point in this two-dimensional space that exhibits optimal
+space-time performance".  The advisor operationalizes that: given a
+workload (query sets) and a space budget, it measures every candidate
+design point (scheme x component count x codec) on a sample of the data
+and recommends the fastest design that fits the budget, along with the
+full Pareto frontier for inspection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.pareto import pareto_frontier
+from repro.analysis.spacetime import SpaceTimePoint, measure_design
+from repro.encoding import ALL_SCHEME_NAMES, get_scheme
+from repro.errors import ExperimentError
+from repro.index.bitmap_index import IndexSpec
+from repro.index.decompose import optimal_bases
+from repro.queries.model import IntervalQuery, MembershipQuery
+
+Query = IntervalQuery | MembershipQuery
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Outcome of an advisor run."""
+
+    #: The fastest design within the space budget (None if none fits).
+    best: SpaceTimePoint | None
+    #: Pareto frontier over all measured candidates.
+    frontier: tuple[SpaceTimePoint, ...]
+    #: Every measured candidate, sorted by space.
+    candidates: tuple[SpaceTimePoint, ...]
+
+
+def candidate_specs(
+    cardinality: int,
+    schemes: Sequence[str] = ALL_SCHEME_NAMES,
+    component_counts: Sequence[int] = (1, 2, 3),
+    codecs: Sequence[str] = ("raw", "bbc"),
+) -> list[IndexSpec]:
+    """The advisor's candidate grid."""
+    specs: list[IndexSpec] = []
+    for scheme_name in schemes:
+        scheme = get_scheme(scheme_name)
+        for n in component_counts:
+            try:
+                bases = optimal_bases(cardinality, n, scheme)
+            except Exception:
+                continue
+            for codec in codecs:
+                specs.append(
+                    IndexSpec(
+                        cardinality=cardinality,
+                        scheme=scheme_name,
+                        bases=bases,
+                        codec=codec,
+                    )
+                )
+    return specs
+
+
+def recommend(
+    values: np.ndarray,
+    cardinality: int,
+    workload: dict[str, Sequence[Query]],
+    space_budget_bytes: int | None = None,
+    schemes: Sequence[str] = ALL_SCHEME_NAMES,
+    component_counts: Sequence[int] = (1, 2, 3),
+    codecs: Sequence[str] = ("raw", "bbc"),
+    sample_records: int | None = 50_000,
+    seed: int = 0,
+) -> Recommendation:
+    """Measure the candidate grid on (a sample of) the data and recommend.
+
+    ``workload`` maps labels to query sequences, as in
+    :func:`repro.analysis.spacetime.measure_design`.  When
+    ``sample_records`` is smaller than the column, measurement runs on a
+    random sample and the measured space is scaled back up linearly
+    (bitmap space is proportional to N).
+    """
+    vals = np.asarray(values)
+    scale = 1.0
+    if sample_records is not None and vals.size > sample_records:
+        rng = np.random.default_rng(seed)
+        sample = rng.choice(vals, size=sample_records, replace=False)
+        scale = vals.size / sample_records
+        vals = sample
+    if not workload:
+        raise ExperimentError("advisor needs a non-empty workload")
+
+    points = [
+        measure_design(vals, spec, workload)
+        for spec in candidate_specs(cardinality, schemes, component_counts, codecs)
+    ]
+    if scale != 1.0:
+        points = [
+            SpaceTimePoint(
+                spec=p.spec,
+                num_bitmaps=p.num_bitmaps,
+                space_bytes=int(p.space_bytes * scale),
+                space_pages=int(p.space_pages * scale),
+                uncompressed_bytes=int(p.uncompressed_bytes * scale),
+                avg_time_ms=p.avg_time_ms * scale,
+                avg_scans=p.avg_scans,
+                per_set_ms={k: v * scale for k, v in p.per_set_ms.items()},
+            )
+            for p in points
+        ]
+
+    frontier = pareto_frontier(
+        points, space=lambda p: p.space_bytes, time=lambda p: p.avg_time_ms
+    )
+    fitting = [
+        p
+        for p in points
+        if space_budget_bytes is None or p.space_bytes <= space_budget_bytes
+    ]
+    best = min(fitting, key=lambda p: p.avg_time_ms) if fitting else None
+    return Recommendation(
+        best=best,
+        frontier=tuple(frontier),
+        candidates=tuple(sorted(points, key=lambda p: p.space_bytes)),
+    )

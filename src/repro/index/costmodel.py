@@ -1,0 +1,127 @@
+"""Analytic cost model for multi-component indexes.
+
+The one-component model (:mod:`repro.encoding.costmodel`) counts leaves
+of the scheme equations; the multi-component generalization counts the
+distinct bitmaps the Section 6 rewriter's expressions touch, by exact
+enumeration of a query class.  On top of it,
+:func:`time_optimal_bases` searches the base-sequence space for the
+decomposition minimizing expected scans at a fixed component count —
+the time-side counterpart of
+:func:`repro.index.decompose.optimal_bases` (which minimizes space),
+together spanning the §2 design-space optimization.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from itertools import combinations_with_replacement
+
+from repro.encoding.base import EncodingScheme
+from repro.encoding.costmodel import query_class_queries
+from repro.errors import DecompositionError
+from repro.expr import expression_scan_count
+from repro.index.decompose import validate_bases
+from repro.index.rewrite import QueryRewriter
+from repro.queries.model import IntervalQuery
+
+
+def index_expected_scans(
+    cardinality: int,
+    bases: Sequence[int],
+    scheme: EncodingScheme,
+    query_class: str,
+) -> float:
+    """Expected distinct-bitmap scans of a (scheme, bases) design.
+
+    Exact enumeration of the query class through the rewriter; reduces
+    to :func:`repro.encoding.costmodel.expected_scans` for one
+    component.
+    """
+    rewriter = QueryRewriter(cardinality, bases, scheme)
+    total = 0
+    count = 0
+    for low, high in query_class_queries(cardinality, query_class):
+        expr = rewriter.rewrite_interval(IntervalQuery(low, high, cardinality))
+        total += expression_scan_count(expr)
+        count += 1
+    if count == 0:
+        return 0.0
+    return total / count
+
+
+def index_space(bases: Sequence[int], scheme: EncodingScheme) -> int:
+    """Stored bitmaps of a (scheme, bases) design."""
+    return sum(scheme.num_bitmaps(base) for base in bases)
+
+
+def candidate_base_sequences(
+    cardinality: int, num_components: int
+) -> list[tuple[int, ...]]:
+    """All tight base sequences with ``num_components`` components.
+
+    Lower bases are enumerated as non-increasing multisets — component
+    order never changes space, and the sequences are canonicalized to
+    non-increasing order as the representative layout — with the top
+    base tightened to the domain.
+    """
+    if num_components == 1:
+        return [(cardinality,)] if cardinality >= 1 else []
+    sequences = []
+    seen = set()
+    for lower in combinations_with_replacement(
+        range(2, cardinality), num_components - 1
+    ):
+        product = math.prod(lower)
+        if product >= cardinality:
+            continue
+        top = -(-cardinality // product)
+        if top < 2:
+            continue
+        candidate = (top, *sorted(lower, reverse=True))
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        try:
+            sequences.append(validate_bases(candidate, cardinality))
+        except DecompositionError:
+            continue
+    return sequences
+
+
+def time_optimal_bases(
+    cardinality: int,
+    num_components: int,
+    scheme: EncodingScheme,
+    query_class: str = "RQ",
+    space_budget: int | None = None,
+    max_candidates: int = 5000,
+) -> tuple[int, ...]:
+    """The base sequence minimizing expected scans at a component count.
+
+    ``space_budget`` (in bitmaps) restricts the candidates; ties break
+    toward smaller space, then toward more uniform sequences.  Raises
+    :class:`DecompositionError` when no candidate qualifies.
+    """
+    best: tuple[int, ...] | None = None
+    best_key: tuple[float, int, int] | None = None
+    candidates = candidate_base_sequences(cardinality, num_components)
+    if len(candidates) > max_candidates:
+        raise DecompositionError(
+            f"{len(candidates)} candidate base sequences exceed the guard "
+            f"({max_candidates}); lower the component count or cardinality"
+        )
+    for bases in candidates:
+        space = index_space(bases, scheme)
+        if space_budget is not None and space > space_budget:
+            continue
+        scans = index_expected_scans(cardinality, bases, scheme, query_class)
+        key = (scans, space, max(bases) - min(bases))
+        if best_key is None or key < best_key:
+            best, best_key = bases, key
+    if best is None:
+        raise DecompositionError(
+            f"no {num_components}-component design for C={cardinality} fits "
+            f"a budget of {space_budget} bitmaps"
+        )
+    return best

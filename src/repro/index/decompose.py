@@ -1,0 +1,198 @@
+"""Attribute-value decomposition (Section 2, Equation 3).
+
+Given a base sequence ``<b_n, ..., b_1>`` (most significant first, as
+in the paper), an attribute value decomposes into n digits::
+
+    v = v_n * (b_{n-1} * ... * b_1) + ... + v_2 * b_1 + v_1
+
+with ``0 <= v_i < b_i``.  A valid base sequence has every ``b_i >= 2``
+and covers the domain: ``b_n * ... * b_1 >= C``.  The paper additionally
+fixes ``b_n = ceil(C / (b_{n-1} * ... * b_1))`` — the top base is as
+small as the remaining bases allow; :func:`validate_bases` enforces
+this *tightness* so no index wastes slots that can never be set.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from itertools import combinations_with_replacement
+
+import numpy as np
+
+from repro.encoding.base import EncodingScheme
+from repro.errors import DecompositionError
+
+
+def validate_bases(bases: Sequence[int], cardinality: int) -> tuple[int, ...]:
+    """Check a base sequence against a domain; returns it as a tuple.
+
+    Requirements: at least one component, every base >= 2 (except that a
+    one-component index over a unary domain may have base 1), coverage
+    of the domain, and tightness of the most significant base.
+    """
+    seq = tuple(int(b) for b in bases)
+    if not seq:
+        raise DecompositionError("base sequence must have at least one component")
+    if cardinality < 1:
+        raise DecompositionError(f"cardinality must be >= 1, got {cardinality}")
+    if cardinality == 1:
+        if seq != (1,):
+            raise DecompositionError(
+                f"a unary domain admits only the base sequence (1,), got {seq}"
+            )
+        return seq
+    if any(b < 2 for b in seq):
+        raise DecompositionError(f"every base must be >= 2, got {seq}")
+    lower_product = math.prod(seq[1:])
+    expected_top = -(-cardinality // lower_product)
+    if expected_top < 2 and len(seq) > 1:
+        raise DecompositionError(
+            f"bases {seq} over-cover C={cardinality}: the top component "
+            "would never exceed digit 0; drop a component"
+        )
+    if seq[0] != expected_top:
+        raise DecompositionError(
+            f"top base must be tight: ceil({cardinality} / {lower_product}) "
+            f"= {expected_top}, got {seq[0]}"
+        )
+    return seq
+
+
+def decompose_value(value: int, bases: Sequence[int]) -> tuple[int, ...]:
+    """Digits of ``value`` under ``bases``, most significant first."""
+    digits = [0] * len(bases)
+    remainder = int(value)
+    for i in range(len(bases) - 1, 0, -1):
+        remainder, digits[i] = divmod(remainder, bases[i])
+    digits[0] = remainder
+    if digits[0] >= bases[0]:
+        raise DecompositionError(
+            f"value {value} does not fit base sequence {tuple(bases)}"
+        )
+    return tuple(digits)
+
+
+def compose_value(digits: Sequence[int], bases: Sequence[int]) -> int:
+    """Inverse of :func:`decompose_value`."""
+    if len(digits) != len(bases):
+        raise DecompositionError(
+            f"{len(digits)} digits for {len(bases)} bases"
+        )
+    value = 0
+    for digit, base in zip(digits, bases):
+        if not 0 <= digit < base:
+            raise DecompositionError(f"digit {digit} outside base {base}")
+        value = value * base + digit
+    return value
+
+
+def decompose_column(values: np.ndarray, bases: Sequence[int]) -> list[np.ndarray]:
+    """Vectorized decomposition of a whole column.
+
+    Returns one digit array per component, most significant first.
+    """
+    remainder = np.asarray(values).astype(np.int64)
+    columns: list[np.ndarray] = [np.empty(0)] * len(bases)
+    for i in range(len(bases) - 1, 0, -1):
+        remainder, columns[i] = np.divmod(remainder, bases[i])
+    if remainder.size and remainder.max() >= bases[0]:
+        raise DecompositionError(
+            f"column values do not fit base sequence {tuple(bases)}"
+        )
+    columns[0] = remainder
+    return columns
+
+
+def uniform_bases(cardinality: int, num_components: int) -> tuple[int, ...]:
+    """The near-uniform base sequence with ``num_components`` components.
+
+    All components get ``ceil(C ** (1/n))`` except the top one, which is
+    tightened to ``ceil(C / product(rest))``.  This is the natural
+    default decomposition (the space-optimal one for a fixed component
+    count is computed by :func:`optimal_bases`).
+    """
+    if cardinality == 1:
+        if num_components != 1:
+            raise DecompositionError("a unary domain admits only one component")
+        return (1,)
+    if num_components < 1:
+        raise DecompositionError(
+            f"need at least one component, got {num_components}"
+        )
+    if 2**num_components > max(cardinality, 2):
+        raise DecompositionError(
+            f"C={cardinality} does not admit {num_components} components "
+            "with bases >= 2"
+        )
+    if num_components == 1:
+        return (cardinality,)
+    base = max(2, math.ceil(cardinality ** (1.0 / num_components)))
+    rest = [base] * (num_components - 1)
+    # If the uniform guess over-covers (tight top base would drop below
+    # 2), shrink lower components until the top base is >= 2 again.
+    i = len(rest) - 1
+    while -(-cardinality // math.prod(rest)) < 2:
+        while i >= 0 and rest[i] <= 2:
+            i -= 1
+        if i < 0:
+            raise DecompositionError(
+                f"C={cardinality} does not admit {num_components} "
+                "components with bases >= 2"
+            )
+        rest[i] -= 1
+    top = -(-cardinality // math.prod(rest))
+    return validate_bases((top, *rest), cardinality)
+
+
+def optimal_bases(
+    cardinality: int,
+    num_components: int,
+    scheme: EncodingScheme,
+    max_candidates: int = 2_000_000,
+) -> tuple[int, ...]:
+    """Space-optimal base sequence for a scheme at a fixed component count.
+
+    Minimizes the total number of stored bitmaps
+    ``sum_i scheme.num_bitmaps(b_i)`` over all valid base sequences
+    (the paper's Figure 6 plots, for each n, the best index among all
+    n-component ones).  The search enumerates non-decreasing lower-base
+    multisets with product below C and tightens the top base; ties are
+    broken toward more uniform sequences.
+    """
+    if cardinality == 1 or num_components == 1:
+        return uniform_bases(cardinality, num_components)
+    if 2**num_components > max(cardinality, 2):
+        raise DecompositionError(
+            f"C={cardinality} does not admit {num_components} components "
+            "with bases >= 2"
+        )
+
+    best: tuple[int, ...] | None = None
+    best_key: tuple[float, float] | None = None
+    examined = 0
+    max_lower = -(-cardinality // 2 ** (num_components - 2)) if num_components > 1 else 2
+    for lower in combinations_with_replacement(
+        range(2, max(3, max_lower + 1)), num_components - 1
+    ):
+        examined += 1
+        if examined > max_candidates:
+            break
+        product = math.prod(lower)
+        if product >= cardinality:
+            continue
+        top = -(-cardinality // product)
+        if top < 2:
+            continue
+        candidate = (top, *sorted(lower, reverse=True))
+        bitmaps = sum(scheme.num_bitmaps(b) for b in candidate)
+        spread = max(candidate) - min(candidate)
+        key = (bitmaps, spread)
+        if best_key is None or key < best_key:
+            best, best_key = candidate, key
+    if best is None:
+        raise DecompositionError(
+            f"no valid {num_components}-component base sequence for "
+            f"C={cardinality}"
+        )
+    return validate_bases(best, cardinality)

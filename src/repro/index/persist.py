@@ -1,0 +1,126 @@
+"""Saving and loading bitmap indexes on disk.
+
+An index directory contains one file per bitmap (written through a
+:class:`~repro.storage.DirectoryStore`) plus a ``manifest.json`` with
+the spec, record count and the key of every bitmap file.  Slot keys are
+scheme-specific (ints like ``3`` or tuples like ``("P", 2)``), so the
+manifest stores them in a tagged JSON form.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.index.bitmap_index import BitmapIndex, IndexSpec
+from repro.encoding import get_scheme
+from repro.storage import DirectoryStore
+
+MANIFEST_NAME = "manifest.json"
+FORMAT_VERSION = 1
+
+
+def _encode_slot(slot) -> list | int | str:
+    """JSON-safe encoding of a scheme slot key."""
+    if isinstance(slot, int):
+        return slot
+    if isinstance(slot, str):
+        return slot
+    if isinstance(slot, tuple):
+        return ["tuple", *[_encode_slot(part) for part in slot]]
+    raise StorageError(f"unsupported slot key {slot!r}")
+
+
+def _decode_slot(data):
+    if isinstance(data, list):
+        if not data or data[0] != "tuple":
+            raise StorageError(f"malformed slot key {data!r}")
+        return tuple(_decode_slot(part) for part in data[1:])
+    return data
+
+
+def save_index(index: BitmapIndex, directory: str | Path) -> Path:
+    """Write ``index`` to ``directory``; returns the manifest path.
+
+    The index's bitmaps are re-encoded with its own codec into the
+    directory; an existing manifest is overwritten.
+    """
+    directory = Path(directory)
+    disk_store = DirectoryStore(
+        directory, codec=index.store.codec, page_size=index.store.page_size
+    )
+    entries = []
+    for key in index.store.keys():
+        component, slot = key
+        disk_store.put(key, index.store.get(key))
+        entries.append(
+            {
+                "component": component,
+                "slot": _encode_slot(slot),
+                "file": disk_store.path_for(key).name,
+                "length": index.num_records,
+            }
+        )
+    manifest = {
+        "format": FORMAT_VERSION,
+        "cardinality": index.cardinality,
+        "scheme": index.spec.scheme,
+        "bases": list(index.bases),
+        "codec": index.store.codec.name,
+        "page_size": index.store.page_size,
+        "num_records": index.num_records,
+        "bitmaps": entries,
+    }
+    manifest_path = directory / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    return manifest_path
+
+
+def load_index(directory: str | Path) -> BitmapIndex:
+    """Load an index previously written by :func:`save_index`."""
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise StorageError(f"no {MANIFEST_NAME} in {directory}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt manifest in {directory}: {exc}") from exc
+    if manifest.get("format") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported index format {manifest.get('format')!r}"
+        )
+
+    store = DirectoryStore(
+        directory,
+        codec=manifest["codec"],
+        page_size=manifest["page_size"],
+    )
+    num_records = manifest["num_records"]
+    # Read every payload before any put: puts assign fresh file names
+    # and may overwrite a file a later entry still needs.
+    payloads = [
+        (
+            (entry["component"], _decode_slot(entry["slot"])),
+            (directory / entry["file"]).read_bytes(),
+            entry["length"],
+        )
+        for entry in manifest["bitmaps"]
+    ]
+    for key, payload, length in payloads:
+        store.put(key, store.codec.decode(payload, length))
+
+    spec = IndexSpec(
+        cardinality=manifest["cardinality"],
+        scheme=manifest["scheme"],
+        bases=tuple(manifest["bases"]),
+        codec=manifest["codec"],
+    )
+    return BitmapIndex(
+        spec=spec,
+        store=store,
+        num_records=num_records,
+        scheme=get_scheme(manifest["scheme"]),
+        bases=tuple(manifest["bases"]),
+    )

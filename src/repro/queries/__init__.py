@@ -1,0 +1,19 @@
+"""Query model: interval and membership queries, and their generators.
+
+An *interval query* is ``x <= A <= y`` (Section 1); a *membership
+query* is ``A IN {v1, ..., vk}`` (Section 5), which rewrites uniquely
+into a minimal disjunction of interval queries.
+"""
+
+from repro.queries.generator import QuerySetSpec, generate_query_set, paper_query_sets
+from repro.queries.model import IntervalQuery, MembershipQuery
+from repro.queries.rewrite import minimal_intervals
+
+__all__ = [
+    "IntervalQuery",
+    "MembershipQuery",
+    "minimal_intervals",
+    "QuerySetSpec",
+    "generate_query_set",
+    "paper_query_sets",
+]

@@ -1,0 +1,128 @@
+"""Random query-set generation (Section 7, "Queries").
+
+The paper uses 8 query sets characterized by two parameters: the total
+number of interval constituents per membership query, N_int ∈ {1, 2, 5},
+and the number of equality constituents among them, N_equ ∈ {0,
+ceil(N_int/2), N_int} (deduplicated, giving 2 + 3 + 3 = 8 sets).  Ten
+queries are generated per set.
+
+A generated membership query is a union of N_int non-adjacent runs of
+consecutive values — non-adjacency guarantees that the minimal interval
+rewrite recovers exactly the constituents that were planted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.queries.model import MembershipQuery
+
+
+@dataclass(frozen=True)
+class QuerySetSpec:
+    """Parameters of one paper query set."""
+
+    num_intervals: int
+    num_equalities: int
+
+    def __post_init__(self) -> None:
+        if self.num_intervals < 1:
+            raise QueryError(
+                f"a membership query needs >= 1 constituent, got {self.num_intervals}"
+            )
+        if not 0 <= self.num_equalities <= self.num_intervals:
+            raise QueryError(
+                f"N_equ={self.num_equalities} outside [0, N_int="
+                f"{self.num_intervals}]"
+            )
+
+    @property
+    def label(self) -> str:
+        """Short display label, e.g. ``"Nint=5,Nequ=3"``."""
+        return f"Nint={self.num_intervals},Nequ={self.num_equalities}"
+
+
+def paper_query_sets() -> list[QuerySetSpec]:
+    """The paper's 8 query sets, in (N_int, N_equ) order."""
+    specs: list[QuerySetSpec] = []
+    seen: set[tuple[int, int]] = set()
+    for n_int in (1, 2, 5):
+        for n_equ in (0, -(-n_int // 2), n_int):
+            if (n_int, n_equ) not in seen:
+                seen.add((n_int, n_equ))
+                specs.append(QuerySetSpec(n_int, n_equ))
+    return specs
+
+
+def generate_membership_query(
+    spec: QuerySetSpec,
+    cardinality: int,
+    rng: np.random.Generator,
+    max_range_length: int | None = None,
+) -> MembershipQuery:
+    """One random membership query matching ``spec`` exactly.
+
+    The query's minimal interval rewrite has exactly
+    ``spec.num_intervals`` constituents of which ``spec.num_equalities``
+    are equalities.  Raises :class:`QueryError` when the domain is too
+    small to fit the requested constituents with separating gaps.
+    """
+    n_int = spec.num_intervals
+    n_equ = spec.num_equalities
+    n_rng = n_int - n_equ
+    if max_range_length is None:
+        # Keep ranges a modest fraction of the domain so several fit.
+        max_range_length = max(2, cardinality // (2 * n_int))
+    min_total = n_equ + 2 * n_rng + (n_int - 1)
+    if min_total > cardinality:
+        raise QueryError(
+            f"domain C={cardinality} too small for {n_equ} equalities and "
+            f"{n_rng} ranges with separating gaps"
+        )
+
+    # Choose constituent lengths: 1 for equalities, >= 2 for ranges.
+    lengths = [1] * n_equ
+    for _ in range(n_rng):
+        hi = max(2, max_range_length)
+        lengths.append(int(rng.integers(2, hi + 1)))
+    # Shrink ranges if the draw overshot the domain.
+    while sum(lengths) + (n_int - 1) > cardinality:
+        widest = max(range(len(lengths)), key=lambda i: lengths[i])
+        if lengths[widest] <= 2:
+            raise QueryError(
+                f"cannot fit constituents into domain C={cardinality}"
+            )
+        lengths[widest] -= 1
+    order = rng.permutation(n_int)
+    lengths = [lengths[i] for i in order]
+
+    # Distribute the slack into n_int + 1 gaps; interior gaps get +1 so
+    # runs never merge.
+    slack = cardinality - sum(lengths) - (n_int - 1)
+    cuts = np.sort(rng.integers(0, slack + 1, size=n_int))
+    gaps = np.diff(np.concatenate(([0], cuts, [slack])))
+
+    values: list[int] = []
+    position = 0
+    for i, length in enumerate(lengths):
+        position += int(gaps[i]) + (1 if i else 0)
+        values.extend(range(position, position + length))
+        position += length
+    return MembershipQuery.of(values, cardinality)
+
+
+def generate_query_set(
+    spec: QuerySetSpec,
+    cardinality: int,
+    num_queries: int = 10,
+    seed: int | None = 0,
+) -> list[MembershipQuery]:
+    """The paper's query set: ``num_queries`` random queries for ``spec``."""
+    rng = np.random.default_rng(seed)
+    return [
+        generate_membership_query(spec, cardinality, rng)
+        for _ in range(num_queries)
+    ]

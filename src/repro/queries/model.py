@@ -1,0 +1,133 @@
+"""Query objects.
+
+Queries are immutable values; classification (equality / one-sided /
+two-sided) follows the paper's Section 1 definitions and is exposed as
+properties so that the rewrite layer and the cost model agree on the
+taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class IntervalQuery:
+    """The interval query ``low <= A <= high`` on a domain ``[0, C)``.
+
+    ``negated`` models the paper's ``NOT (x <= A <= y)`` form.
+    """
+
+    low: int
+    high: int
+    cardinality: int
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 1:
+            raise QueryError(f"cardinality must be >= 1, got {self.cardinality}")
+        if not 0 <= self.low <= self.high < self.cardinality:
+            raise QueryError(
+                f"invalid interval [{self.low}, {self.high}] for "
+                f"C={self.cardinality}"
+            )
+
+    # -- classification (Section 1) ---------------------------------------
+
+    @property
+    def is_equality(self) -> bool:
+        """True iff this is an EQ-query (x == y)."""
+        return self.low == self.high
+
+    @property
+    def is_one_sided(self) -> bool:
+        """True iff this is a 1RQ-query (one endpoint on the boundary)."""
+        if self.is_equality or self.is_full_domain:
+            return False
+        return self.low == 0 or self.high == self.cardinality - 1
+
+    @property
+    def is_two_sided(self) -> bool:
+        """True iff this is a 2RQ-query (0 < x < y < C-1)."""
+        return 0 < self.low < self.high < self.cardinality - 1
+
+    @property
+    def is_full_domain(self) -> bool:
+        """True iff the interval covers the whole domain."""
+        return self.low == 0 and self.high == self.cardinality - 1
+
+    @property
+    def query_class(self) -> str:
+        """``"EQ"``, ``"1RQ"``, ``"2RQ"`` or ``"ALL"`` (full domain)."""
+        if self.is_equality:
+            return "EQ"
+        if self.is_full_domain:
+            return "ALL"
+        if self.is_one_sided:
+            return "1RQ"
+        return "2RQ"
+
+    # -- semantics ----------------------------------------------------------
+
+    def value_set(self) -> frozenset[int]:
+        """The set of attribute values satisfying the query."""
+        inside = frozenset(range(self.low, self.high + 1))
+        if self.negated:
+            return frozenset(range(self.cardinality)) - inside
+        return inside
+
+    def matches(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of records satisfying the query (naive scan)."""
+        mask = (values >= self.low) & (values <= self.high)
+        return ~mask if self.negated else mask
+
+    def __str__(self) -> str:
+        if self.is_equality:
+            body = f"A = {self.low}"
+        elif self.low == 0:
+            body = f"A <= {self.high}"
+        elif self.high == self.cardinality - 1:
+            body = f"A >= {self.low}"
+        else:
+            body = f"{self.low} <= A <= {self.high}"
+        return f"NOT ({body})" if self.negated else body
+
+
+@dataclass(frozen=True)
+class MembershipQuery:
+    """The membership query ``A IN values`` on a domain ``[0, C)``."""
+
+    values: frozenset[int]
+    cardinality: int
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 1:
+            raise QueryError(f"cardinality must be >= 1, got {self.cardinality}")
+        if not self.values:
+            raise QueryError("membership query over an empty value set")
+        if min(self.values) < 0 or max(self.values) >= self.cardinality:
+            raise QueryError(
+                f"membership values outside domain [0, {self.cardinality})"
+            )
+
+    @classmethod
+    def of(cls, values, cardinality: int) -> "MembershipQuery":
+        """Build from any iterable of values."""
+        return cls(frozenset(int(v) for v in values), cardinality)
+
+    def value_set(self) -> frozenset[int]:
+        """The set of attribute values satisfying the query."""
+        return self.values
+
+    def matches(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of records satisfying the query (naive scan)."""
+        return np.isin(values, np.fromiter(self.values, dtype=np.int64))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(v) for v in sorted(self.values))
+        return f"A IN {{{inner}}}"

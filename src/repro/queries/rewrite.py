@@ -1,0 +1,44 @@
+"""Membership-query rewrite (Section 5 / Section 6.1 step 1).
+
+"Each membership query can be uniquely expressed as a disjunction of a
+minimal number of equality and range queries": sort the value set and
+split it into maximal runs of consecutive values.  Each run of length
+one becomes an equality constituent; each longer run a range
+constituent.  Minimality is immediate — any interval in a disjunction
+covering the set must be contained in one maximal run (intervals are
+contiguous and may not cover excluded values), and each maximal run
+needs at least one interval.
+"""
+
+from __future__ import annotations
+
+from repro.queries.model import IntervalQuery, MembershipQuery
+
+
+def minimal_intervals(query: MembershipQuery) -> list[IntervalQuery]:
+    """The unique minimal interval decomposition of a membership query.
+
+    Returns constituent :class:`IntervalQuery` objects in increasing
+    value order; their value sets partition ``query.values``.
+    """
+    values = sorted(query.values)
+    runs: list[IntervalQuery] = []
+    start = prev = values[0]
+    for value in values[1:]:
+        if value == prev + 1:
+            prev = value
+            continue
+        runs.append(IntervalQuery(start, prev, query.cardinality))
+        start = prev = value
+    runs.append(IntervalQuery(start, prev, query.cardinality))
+    return runs
+
+
+def constituent_counts(query: MembershipQuery) -> tuple[int, int]:
+    """``(total constituents, equality constituents)`` of the rewrite.
+
+    These are the paper's query-set parameters N_int and N_equ.
+    """
+    intervals = minimal_intervals(query)
+    num_equalities = sum(1 for q in intervals if q.is_equality)
+    return len(intervals), num_equalities

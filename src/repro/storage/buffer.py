@@ -1,0 +1,125 @@
+"""LRU buffer pool over a bitmap store.
+
+The query evaluation phase (Section 6.3) is a scheduling problem only
+because the buffer is finite: bitmaps evicted between constituent
+queries must be re-read from disk.  :class:`BufferPool` makes that
+observable — every fetch is either a hit (free) or a miss (charged to
+the :class:`~repro.storage.iomodel.CostClock` as one read request plus
+decompression CPU), and eviction is LRU over decoded bitmaps measured
+in *uncompressed* pages (decoded bitmaps live in memory uncompressed,
+as in the paper's setup where an 11 MB pool sufficed).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from repro.bitmap import BitVector
+from repro.compress import RawCodec
+from repro.errors import BufferError_
+from repro.storage.iomodel import CostClock
+from repro.storage.pages import pages_for
+from repro.storage.store import BitmapStore
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss/eviction counters for one buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def fetches(self) -> int:
+        """Total fetches (hits plus misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over fetches (0.0 when nothing was fetched)."""
+        if not self.fetches:
+            return 0.0
+        return self.hits / self.fetches
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of decoded bitmaps.
+
+    Parameters
+    ----------
+    store:
+        Backing :class:`BitmapStore`.
+    capacity_pages:
+        Buffer size in pages of *decoded* bitmap data.  Must admit at
+        least one bitmap; a fetch larger than the whole capacity is
+        still served (it simply occupies the pool alone).
+    clock:
+        Optional cost clock charged for misses.
+    """
+
+    def __init__(
+        self,
+        store: BitmapStore,
+        capacity_pages: int,
+        clock: CostClock | None = None,
+    ):
+        if capacity_pages < 1:
+            raise BufferError_(
+                f"buffer capacity must be >= 1 page, got {capacity_pages}"
+            )
+        self._store = store
+        self._capacity = capacity_pages
+        self._clock = clock
+        self._resident: OrderedDict[Hashable, tuple[BitVector, int]] = OrderedDict()
+        self._used_pages = 0
+        self.stats = BufferStats()
+
+    @property
+    def capacity_pages(self) -> int:
+        """Configured capacity in pages."""
+        return self._capacity
+
+    @property
+    def used_pages(self) -> int:
+        """Pages currently occupied by resident bitmaps."""
+        return self._used_pages
+
+    def fetch(self, key: Hashable) -> BitVector:
+        """Return the bitmap for ``key``, reading through on a miss."""
+        entry = self._resident.get(key)
+        if entry is not None:
+            self._resident.move_to_end(key)
+            self.stats.hits += 1
+            return entry[0]
+
+        self.stats.misses += 1
+        info = self._store.info(key)
+        vector = self._store.get(key)
+        if self._clock is not None:
+            self._clock.charge_read(info.pages)
+            if not isinstance(self._store.codec, RawCodec):
+                self._clock.charge_decompress(info.encoded_bytes)
+
+        decoded_pages = pages_for(vector.num_words * 8, self._store.page_size)
+        self._evict_to_fit(decoded_pages)
+        self._resident[key] = (vector, decoded_pages)
+        self._used_pages += decoded_pages
+        return vector
+
+    def _evict_to_fit(self, incoming_pages: int) -> None:
+        while self._resident and self._used_pages + incoming_pages > self._capacity:
+            _, (_, pages) = self._resident.popitem(last=False)
+            self._used_pages -= pages
+            self.stats.evictions += 1
+
+    def contains(self, key: Hashable) -> bool:
+        """True iff ``key`` is resident (does not touch LRU order)."""
+        return key in self._resident
+
+    def clear(self) -> None:
+        """Drop every resident bitmap (stats are kept)."""
+        self._resident.clear()
+        self._used_pages = 0

@@ -1,0 +1,136 @@
+"""Simulated disk/CPU cost model.
+
+The constants approximate the paper's testbed (200 MHz Pentium Pro, a
+1997 Quantum Fireball over a Unix file system): ~10 ms average
+positioning time per read request, ~10 MB/s sequential transfer
+(0.8 ms per 8 KiB page), tens of nanoseconds per 64-bit word of bitmap
+logic, and a per-byte decompression cost that makes decompression
+competitive with I/O savings only when bitmaps actually compress —
+which is what produces the paper's Figure 9 crossover between
+uncompressed and compressed indexes as skew grows.
+
+Absolute values are not calibrated to the original hardware (DESIGN.md
+§1); only the *ratios* matter for reproducing the paper's shapes, and
+they are all configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Cost constants for the simulated storage stack."""
+
+    #: Positioning (seek + rotational) cost per read request, in ms.
+    seek_ms: float = 10.0
+    #: Transfer cost per page, in ms (8 KiB at ~10 MB/s).
+    transfer_ms_per_page: float = 0.8
+    #: CPU cost per 64-bit word touched by a logical operation, in ns.
+    cpu_ns_per_word: float = 20.0
+    #: CPU cost per compressed byte decoded, in ns.
+    decompress_ns_per_byte: float = 60.0
+
+
+#: Shared default model used by the experiments.
+DEFAULT_DISK_MODEL = DiskModel()
+
+#: Named hardware generations.  The paper's conclusions about when
+#: compression pays (Figure 9) depend on the I/O : CPU cost ratio, so
+#: the presets let the experiments show how those conclusions move
+#: across hardware — the 1999 profile is the default everywhere.
+DISK_MODEL_PRESETS: dict[str, DiskModel] = {
+    # ~1997 Quantum Fireball behind a Unix FS, 200 MHz CPU.
+    "hdd-1999": DiskModel(
+        seek_ms=10.0,
+        transfer_ms_per_page=0.8,
+        cpu_ns_per_word=20.0,
+        decompress_ns_per_byte=60.0,
+    ),
+    # 7200 rpm SATA drive, ~50 MB/s, GHz-class CPU.
+    "hdd-2005": DiskModel(
+        seek_ms=8.0,
+        transfer_ms_per_page=0.16,
+        cpu_ns_per_word=4.0,
+        decompress_ns_per_byte=12.0,
+    ),
+    # SATA SSD: no positioning cost to speak of, ~500 MB/s.
+    "ssd-2015": DiskModel(
+        seek_ms=0.1,
+        transfer_ms_per_page=0.016,
+        cpu_ns_per_word=1.5,
+        decompress_ns_per_byte=4.0,
+    ),
+    # NVMe flash: reads are nearly free next to CPU work.
+    "nvme-2020": DiskModel(
+        seek_ms=0.02,
+        transfer_ms_per_page=0.003,
+        cpu_ns_per_word=1.0,
+        decompress_ns_per_byte=2.5,
+    ),
+}
+
+
+def get_disk_model(name: str) -> DiskModel:
+    """Look up a preset disk model by name."""
+    try:
+        return DISK_MODEL_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown disk model {name!r}; available: "
+            f"{sorted(DISK_MODEL_PRESETS)}"
+        ) from None
+
+
+@dataclass
+class CostClock:
+    """Accumulates simulated time and raw event counts.
+
+    All times are milliseconds.  The clock is shared between the buffer
+    pool (I/O and decompression charges) and the evaluation harness
+    (word-operation charges).
+    """
+
+    model: DiskModel = field(default_factory=lambda: DEFAULT_DISK_MODEL)
+    io_ms: float = 0.0
+    cpu_ms: float = 0.0
+    read_requests: int = 0
+    pages_read: int = 0
+    bytes_decompressed: int = 0
+    words_operated: int = 0
+
+    @property
+    def total_ms(self) -> float:
+        """Total simulated time (I/O plus CPU), in ms."""
+        return self.io_ms + self.cpu_ms
+
+    def charge_read(self, pages: int) -> None:
+        """Charge one read request transferring ``pages`` pages."""
+        self.read_requests += 1
+        self.pages_read += pages
+        self.io_ms += self.model.seek_ms + pages * self.model.transfer_ms_per_page
+
+    def charge_decompress(self, num_bytes: int) -> None:
+        """Charge CPU time for decoding ``num_bytes`` compressed bytes."""
+        self.bytes_decompressed += num_bytes
+        self.cpu_ms += num_bytes * self.model.decompress_ns_per_byte * 1e-6
+
+    def charge_word_ops(self, operations: int, words_per_operation: int) -> None:
+        """Charge CPU time for bulk logical operations.
+
+        ``operations`` bulk ops each touching ``words_per_operation``
+        64-bit words.
+        """
+        words = operations * words_per_operation
+        self.words_operated += words
+        self.cpu_ms += words * self.model.cpu_ns_per_word * 1e-6
+
+    def reset(self) -> None:
+        """Zero all accumulators (the model is kept)."""
+        self.io_ms = 0.0
+        self.cpu_ms = 0.0
+        self.read_requests = 0
+        self.pages_read = 0
+        self.bytes_decompressed = 0
+        self.words_operated = 0

@@ -1,0 +1,168 @@
+"""Bitmap stores: codec-encoded bitmap blobs addressed by key.
+
+:class:`BitmapStore` keeps encoded payloads in memory;
+:class:`DirectoryStore` additionally writes each bitmap to its own file
+under a directory, mirroring the paper's one-file-region-per-bitmap
+layout on the Unix file system.  Neither store caches decoded bitmaps —
+caching is the :class:`~repro.storage.buffer.BufferPool`'s job, so that
+buffer-size effects are observable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bitmap import BitVector
+from repro.compress import Codec, get_codec
+from repro.errors import StorageError
+from repro.storage.pages import DEFAULT_PAGE_SIZE, pages_for
+
+
+@dataclass(frozen=True)
+class StoredBitmapInfo:
+    """Metadata for one stored bitmap."""
+
+    key: Hashable
+    length: int
+    encoded_bytes: int
+    pages: int
+
+
+class BitmapStore:
+    """In-memory store of codec-encoded bitmaps.
+
+    Parameters
+    ----------
+    codec:
+        Codec instance or registry name (``"raw"``, ``"bbc"``, ...).
+    page_size:
+        Page granularity for space and I/O accounting.
+    """
+
+    def __init__(
+        self,
+        codec: Codec | str = "raw",
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ):
+        self._codec = get_codec(codec) if isinstance(codec, str) else codec
+        self._page_size = page_size
+        self._blobs: dict[Hashable, bytes] = {}
+        self._lengths: dict[Hashable, int] = {}
+
+    @property
+    def codec(self) -> Codec:
+        """The codec used for every bitmap in this store."""
+        return self._codec
+
+    @property
+    def page_size(self) -> int:
+        """Page size used for space accounting."""
+        return self._page_size
+
+    # ------------------------------------------------------------------
+
+    def put(self, key: Hashable, vector: BitVector) -> StoredBitmapInfo:
+        """Encode and store ``vector`` under ``key`` (replacing any old one)."""
+        payload = self._codec.encode(vector)
+        self._store_payload(key, payload)
+        self._blobs[key] = payload
+        self._lengths[key] = len(vector)
+        return self.info(key)
+
+    def _store_payload(self, key: Hashable, payload: bytes) -> None:
+        """Hook for persistent subclasses."""
+
+    def get(self, key: Hashable) -> BitVector:
+        """Decode and return the bitmap stored under ``key``."""
+        payload = self._payload(key)
+        return self._codec.decode(payload, self._lengths[key])
+
+    def get_payload(self, key: Hashable) -> tuple[bytes, int]:
+        """The stored (encoded payload, bit length) without decoding.
+
+        Used by compressed-domain evaluation, which operates on encoded
+        payloads directly.
+        """
+        return self._payload(key), self._lengths[key]
+
+    def _payload(self, key: Hashable) -> bytes:
+        try:
+            return self._blobs[key]
+        except KeyError:
+            raise StorageError(f"no bitmap stored under key {key!r}") from None
+
+    def info(self, key: Hashable) -> StoredBitmapInfo:
+        """Metadata for the bitmap stored under ``key``."""
+        payload = self._payload(key)
+        return StoredBitmapInfo(
+            key=key,
+            length=self._lengths[key],
+            encoded_bytes=len(payload),
+            pages=pages_for(len(payload), self._page_size),
+        )
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._blobs
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def keys(self) -> Iterator[Hashable]:
+        """All stored keys."""
+        return iter(self._blobs)
+
+    def total_bytes(self) -> int:
+        """Sum of encoded payload sizes."""
+        return sum(len(blob) for blob in self._blobs.values())
+
+    def total_pages(self) -> int:
+        """Sum of page footprints (the store's disk-space cost)."""
+        return sum(
+            pages_for(len(blob), self._page_size) for blob in self._blobs.values()
+        )
+
+
+class DirectoryStore(BitmapStore):
+    """A :class:`BitmapStore` that also persists blobs to files.
+
+    Each bitmap is written to ``directory / <sequential id>.bm``; an
+    index file is not needed because the in-memory maps are the source
+    of truth within a process (this class exists to let benchmarks
+    exercise real file I/O when desired).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        codec: Codec | str = "raw",
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ):
+        super().__init__(codec, page_size)
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._paths: dict[Hashable, Path] = {}
+        self._next_id = 0
+
+    def _store_payload(self, key: Hashable, payload: bytes) -> None:
+        path = self._paths.get(key)
+        if path is None:
+            path = self._directory / f"{self._next_id}.bm"
+            self._next_id += 1
+            self._paths[key] = path
+        path.write_bytes(payload)
+
+    def path_for(self, key: Hashable) -> Path:
+        """Filesystem path of the bitmap stored under ``key``."""
+        try:
+            return self._paths[key]
+        except KeyError:
+            raise StorageError(f"no bitmap stored under key {key!r}") from None
+
+    def read_from_disk(self, key: Hashable) -> BitVector:
+        """Decode the bitmap by actually reading its file."""
+        payload = self.path_for(key).read_bytes()
+        return self._codec.decode(payload, self._lengths[key])

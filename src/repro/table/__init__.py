@@ -1,0 +1,27 @@
+"""Multi-attribute relations over bitmap indexes.
+
+The paper motivates bitmap indexes with decision-support queries that
+constrain several attributes at once; the per-attribute answers are
+combined with bit-wise AND/OR (Section 1).  This subpackage provides
+that layer: a :class:`~repro.table.table.Table` holds one bitmap index
+per indexed column and evaluates multi-attribute selections.
+"""
+
+from repro.table.advisor import TableRecommendation, recommend_table
+from repro.table.table import (
+    ColumnConfig,
+    IsNotNull,
+    IsNull,
+    SelectionResult,
+    Table,
+)
+
+__all__ = [
+    "Table",
+    "ColumnConfig",
+    "SelectionResult",
+    "IsNull",
+    "IsNotNull",
+    "recommend_table",
+    "TableRecommendation",
+]

@@ -1,0 +1,137 @@
+"""Table-level index advisor: split one space budget across columns.
+
+The single-column advisor (:func:`repro.index.recommend`) finds the
+per-column space-time frontier.  A table has one budget for *all* its
+indexes, which turns design selection into a small knapsack: pick one
+design per column so that total size fits the budget and total workload
+time is minimal.  Candidate sets per column are tiny (a dozen design
+points), so the knapsack is solved exactly by dynamic programming over
+a page-discretized budget.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.spacetime import SpaceTimePoint, measure_design
+from repro.errors import ExperimentError
+from repro.index.advisor import candidate_specs
+from repro.queries.model import IntervalQuery, MembershipQuery
+
+Query = IntervalQuery | MembershipQuery
+
+#: Budget discretization for the DP (bytes per knapsack unit).
+BUDGET_GRANULARITY = 4096
+
+
+@dataclass(frozen=True)
+class TableRecommendation:
+    """Outcome of a table-level advisor run."""
+
+    #: Chosen design per column (None when nothing fits).
+    per_column: dict[str, SpaceTimePoint] | None
+    #: Total size of the chosen designs, bytes.
+    total_bytes: int
+    #: Total workload time of the chosen designs, simulated ms.
+    total_time_ms: float
+    #: All measured candidates, per column.
+    candidates: dict[str, tuple[SpaceTimePoint, ...]]
+
+
+def recommend_table(
+    columns: Mapping[str, np.ndarray],
+    cardinalities: Mapping[str, int],
+    workloads: Mapping[str, Mapping[str, Sequence[Query]]],
+    space_budget_bytes: int,
+    schemes: Sequence[str] = ("E", "R", "I", "EI*"),
+    component_counts: Sequence[int] = (1, 2),
+    codecs: Sequence[str] = ("raw", "bbc"),
+) -> TableRecommendation:
+    """Choose one index design per column under a shared budget.
+
+    ``workloads`` maps column name -> query sets (as in
+    :func:`repro.analysis.measure_design`); every column must appear in
+    all three mappings.  Raises :class:`ExperimentError` on empty or
+    inconsistent inputs.  When no combination fits the budget,
+    ``per_column`` is None and the candidate tables are still returned.
+    """
+    names = list(columns)
+    if not names:
+        raise ExperimentError("table advisor needs at least one column")
+    for name in names:
+        if name not in cardinalities or name not in workloads:
+            raise ExperimentError(
+                f"column {name!r} missing a cardinality or workload"
+            )
+
+    # Measure every candidate per column.
+    measured: dict[str, list[SpaceTimePoint]] = {}
+    for name in names:
+        specs = candidate_specs(
+            cardinalities[name], schemes, component_counts, codecs
+        )
+        points = [
+            measure_design(np.asarray(columns[name]), spec, workloads[name])
+            for spec in specs
+        ]
+        if not points:
+            raise ExperimentError(
+                f"no candidate designs for column {name!r}"
+            )
+        measured[name] = points
+
+    # Exact knapsack over the discretized budget: dp[u] = (time, picks).
+    units = max(1, space_budget_bytes // BUDGET_GRANULARITY)
+    infinity = float("inf")
+    dp: list[tuple[float, dict[str, SpaceTimePoint]]] = [
+        (0.0, {})
+    ] + [(infinity, {})] * units
+
+    for name in names:
+        next_dp: list[tuple[float, dict[str, SpaceTimePoint]]] = [
+            (infinity, {})
+        ] * (units + 1)
+        for used in range(units + 1):
+            time_so_far, picks = dp[used]
+            if time_so_far == infinity:
+                continue
+            for point in measured[name]:
+                cost_units = -(-point.space_bytes // BUDGET_GRANULARITY)
+                total_units = used + cost_units
+                if total_units > units:
+                    continue
+                candidate_time = time_so_far + point.avg_time_ms
+                if candidate_time < next_dp[total_units][0]:
+                    next_dp[total_units] = (
+                        candidate_time,
+                        {**picks, name: point},
+                    )
+        dp = next_dp
+
+    best_time = infinity
+    best_picks: dict[str, SpaceTimePoint] = {}
+    for time_ms, picks in dp:
+        if len(picks) == len(names) and time_ms < best_time:
+            best_time = time_ms
+            best_picks = picks
+
+    candidates = {
+        name: tuple(sorted(points, key=lambda p: p.space_bytes))
+        for name, points in measured.items()
+    }
+    if best_time == infinity:
+        return TableRecommendation(
+            per_column=None,
+            total_bytes=0,
+            total_time_ms=0.0,
+            candidates=candidates,
+        )
+    return TableRecommendation(
+        per_column=best_picks,
+        total_bytes=sum(p.space_bytes for p in best_picks.values()),
+        total_time_ms=best_time,
+        candidates=candidates,
+    )

@@ -1,0 +1,270 @@
+"""Tables: several indexed attributes over one record set.
+
+A :class:`Table` owns one :class:`~repro.index.BitmapIndex` per indexed
+column (each with its own encoding/decomposition/codec, chosen per the
+column's query mix) plus a long-lived query engine per column so that
+repeated dashboard queries hit the buffer pool.  Selections combine
+per-attribute predicates with AND or OR, optionally negated per
+predicate — the classic bitmap query plan.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitmap import BitVector
+from repro.errors import QueryError, ReproError
+from repro.expr import EvalStats
+from repro.index.bitmap_index import BitmapIndex, IndexSpec
+from repro.index.evaluation import QueryEngine
+from repro.queries.model import IntervalQuery, MembershipQuery
+
+@dataclass(frozen=True)
+class IsNull:
+    """Predicate marker: the column's value is missing."""
+
+
+@dataclass(frozen=True)
+class IsNotNull:
+    """Predicate marker: the column's value is present."""
+
+
+Query = IntervalQuery | MembershipQuery | IsNull | IsNotNull
+
+
+@dataclass(frozen=True)
+class ColumnConfig:
+    """Index configuration for one table column."""
+
+    cardinality: int
+    scheme: str = "I"
+    num_components: int = 1
+    codec: str = "raw"
+
+    def to_spec(self) -> IndexSpec:
+        """The equivalent :class:`~repro.index.IndexSpec`."""
+        return IndexSpec(
+            cardinality=self.cardinality,
+            scheme=self.scheme,
+            num_components=self.num_components,
+            codec=self.codec,
+        )
+
+
+@dataclass
+class SelectionResult:
+    """Answer of a multi-attribute selection."""
+
+    bitmap: BitVector
+    #: Per-attribute scan/operation statistics.
+    per_column: dict[str, EvalStats] = field(default_factory=dict)
+    #: Total simulated milliseconds across all touched columns.
+    simulated_ms: float = 0.0
+
+    @property
+    def row_count(self) -> int:
+        """Number of qualifying records."""
+        return self.bitmap.count()
+
+    def row_ids(self) -> np.ndarray:
+        """Sorted qualifying record ids."""
+        return self.bitmap.to_indices()
+
+    @property
+    def total_scans(self) -> int:
+        """Bitmap scans summed over all predicates."""
+        return sum(stats.scans for stats in self.per_column.values())
+
+
+class Table:
+    """A fixed-length record set with per-column bitmap indexes."""
+
+    def __init__(self, num_records: int):
+        if num_records < 0:
+            raise ReproError(f"num_records must be >= 0, got {num_records}")
+        self._num_records = num_records
+        self._indexes: dict[str, BitmapIndex] = {}
+        self._engines: dict[str, QueryEngine] = {}
+        #: Per-column validity bitmap; None means every record is valid.
+        self._validity: dict[str, BitVector | None] = {}
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Mapping[str, np.ndarray],
+        configs: Mapping[str, ColumnConfig],
+        valid_masks: Mapping[str, np.ndarray] | None = None,
+    ) -> "Table":
+        """Build a table from column arrays and per-column configs.
+
+        ``valid_masks`` optionally maps column names to boolean arrays
+        marking non-NULL records.
+        """
+        lengths = {name: np.asarray(col).size for name, col in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise ReproError(f"column lengths differ: {lengths}")
+        num_records = next(iter(lengths.values()), 0)
+        table = cls(num_records)
+        for name, values in columns.items():
+            if name not in configs:
+                raise ReproError(f"no ColumnConfig for column {name!r}")
+            mask = None if valid_masks is None else valid_masks.get(name)
+            table.add_column(name, values, configs[name], valid_mask=mask)
+        return table
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_records(self) -> int:
+        """Number of records in the relation."""
+        return self._num_records
+
+    @property
+    def column_names(self) -> list[str]:
+        """Indexed column names, in insertion order."""
+        return list(self._indexes)
+
+    def add_column(
+        self,
+        name: str,
+        values: np.ndarray,
+        config: ColumnConfig,
+        valid_mask: np.ndarray | None = None,
+    ) -> BitmapIndex:
+        """Index a new column; all columns share the record count.
+
+        ``valid_mask`` marks non-NULL records; NULL records' values are
+        ignored (they are indexed under value 0 but masked out of every
+        answer, per SQL semantics: a NULL matches no predicate and no
+        negated predicate).
+        """
+        vals = np.asarray(values)
+        if vals.size != self._num_records:
+            raise ReproError(
+                f"column {name!r} has {vals.size} records, table has "
+                f"{self._num_records}"
+            )
+        if name in self._indexes:
+            raise ReproError(f"column {name!r} already indexed")
+
+        validity: BitVector | None = None
+        if valid_mask is not None:
+            mask = np.asarray(valid_mask, dtype=bool)
+            if mask.size != self._num_records:
+                raise ReproError(
+                    f"valid_mask for {name!r} has {mask.size} entries, "
+                    f"table has {self._num_records}"
+                )
+            if not mask.all():
+                validity = BitVector.from_bools(mask)
+                vals = np.where(mask, vals, 0)
+
+        index = BitmapIndex.build(vals, config.to_spec())
+        self._indexes[name] = index
+        self._engines[name] = index.engine()
+        self._validity[name] = validity
+        return index
+
+    def validity_of(self, name: str) -> BitVector:
+        """The column's validity bitmap (all ones when NULL-free)."""
+        if name not in self._indexes:
+            raise QueryError(
+                f"no indexed column {name!r}; have {self.column_names}"
+            )
+        validity = self._validity.get(name)
+        if validity is None:
+            return BitVector.ones(self._num_records)
+        return validity.copy()
+
+    def index_for(self, name: str) -> BitmapIndex:
+        """The bitmap index of one column."""
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise QueryError(
+                f"no indexed column {name!r}; have {self.column_names}"
+            ) from None
+
+    def total_index_bytes(self) -> int:
+        """Stored size of all column indexes."""
+        return sum(index.size_bytes() for index in self._indexes.values())
+
+    # ------------------------------------------------------------------
+
+    def select(
+        self,
+        predicates: Mapping[str, Query],
+        mode: str = "and",
+        negate: frozenset[str] | set[str] = frozenset(),
+    ) -> SelectionResult:
+        """Evaluate a multi-attribute selection.
+
+        ``predicates`` maps column names to per-attribute queries;
+        ``mode`` combines the per-attribute answers with ``"and"`` or
+        ``"or"``; columns listed in ``negate`` contribute their
+        complement (``NOT (x <= A <= y)``, Section 1's negated interval
+        form, generalized to membership predicates).
+        """
+        if not predicates:
+            raise QueryError("selection needs at least one predicate")
+        if mode not in ("and", "or"):
+            raise QueryError(f"unknown combination mode {mode!r}")
+        unknown_negations = set(negate) - set(predicates)
+        if unknown_negations:
+            raise QueryError(
+                f"negated columns without predicates: {sorted(unknown_negations)}"
+            )
+
+        combined: BitVector | None = None
+        per_column: dict[str, EvalStats] = {}
+        simulated = 0.0
+        for name, query in predicates.items():
+            engine = self._engines.get(name)
+            if engine is None:
+                raise QueryError(
+                    f"no indexed column {name!r}; have {self.column_names}"
+                )
+            validity = self._validity.get(name)
+            if isinstance(query, (IsNull, IsNotNull)):
+                if name in negate:
+                    raise QueryError(
+                        "negate IS [NOT] NULL by using the opposite marker"
+                    )
+                answer = self.validity_of(name)
+                if isinstance(query, IsNull):
+                    answer.invert_inplace()
+                per_column[name] = EvalStats()
+            else:
+                result = engine.execute(query)
+                answer = result.bitmap
+                # SQL three-valued logic: NULLs satisfy neither the
+                # predicate nor its negation.
+                if name in negate:
+                    answer = ~answer
+                if validity is not None:
+                    answer = answer & validity
+                per_column[name] = result.stats
+                simulated += result.simulated_ms
+            if combined is None:
+                combined = answer
+            elif mode == "and":
+                combined &= answer
+            else:
+                combined |= answer
+        assert combined is not None
+        return SelectionResult(
+            bitmap=combined, per_column=per_column, simulated_ms=simulated
+        )
+
+    def count(self, predicates: Mapping[str, Query], mode: str = "and") -> int:
+        """Convenience: qualifying-record count of a selection."""
+        return self.select(predicates, mode=mode).row_count
+
+    def __repr__(self) -> str:
+        return (
+            f"Table(records={self._num_records}, "
+            f"columns={self.column_names})"
+        )

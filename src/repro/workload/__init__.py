@@ -1,0 +1,11 @@
+"""Synthetic data generation (Section 7, "Data Sets")."""
+
+from repro.workload.datasets import DatasetSpec, generate_dataset
+from repro.workload.zipf import zipf_column, zipf_probabilities
+
+__all__ = [
+    "DatasetSpec",
+    "generate_dataset",
+    "zipf_column",
+    "zipf_probabilities",
+]

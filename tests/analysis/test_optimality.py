@@ -1,0 +1,116 @@
+"""Tests for the optimality search machinery and the theorem statements
+it can verify quickly (the C=6 searches live in the table1 benchmark)."""
+
+import pytest
+
+from repro.analysis.optimality import (
+    _candidate_masks,
+    _expected_scans_catalog,
+    _is_complete,
+    _min_scans,
+    dominates,
+    scheme_point,
+    search_dominating_catalog,
+    verify_scheme_optimality,
+)
+from repro.encoding import get_scheme
+from repro.errors import ExperimentError
+
+
+class TestMachinery:
+    def test_candidate_masks_exclude_value_zero(self):
+        masks = _candidate_masks(4)
+        assert len(masks) == 7  # 2^3 - 1
+        assert all(not mask & 1 for mask in masks)
+
+    def test_completeness_check(self):
+        # {1}, {2}, {3} distinguishes everything over C = 4.
+        assert _is_complete((0b0010, 0b0100, 0b1000), 4)
+        # {1,2} alone cannot separate 1 from 2 or 0 from 3.
+        assert not _is_complete((0b0110,), 4)
+
+    def test_min_scans_trivial(self):
+        catalog = (0b0010, 0b0100, 0b1000)
+        assert _min_scans(catalog, 4, 0b0000) == 0
+        assert _min_scans(catalog, 4, 0b1111) == 0
+
+    def test_min_scans_singleton(self):
+        catalog = (0b0010, 0b0100, 0b1000)
+        assert _min_scans(catalog, 4, 0b0010) == 1
+        # {0} needs all three (complement of their union).
+        assert _min_scans(catalog, 4, 0b0001) == 3
+
+    def test_min_scans_on_incomplete_catalog_raises(self):
+        with pytest.raises(ExperimentError):
+            _min_scans((0b0110,), 4, 0b0010)
+
+    def test_expected_scans_with_pruning(self):
+        catalog = (0b0010, 0b0100, 0b1000)
+        exact = _expected_scans_catalog(catalog, 4, "EQ")
+        assert exact == pytest.approx((3 + 1 + 1 + 1) / 4)
+        assert _expected_scans_catalog(catalog, 4, "EQ", abort_above=1.0) is None
+
+    def test_guard_rejects_large_c(self):
+        with pytest.raises(ExperimentError):
+            search_dominating_catalog(12, "EQ", 5, 2.0)
+
+
+class TestTheorem31SmallC:
+    """Theorem 3.1 statements verifiable in well under a second."""
+
+    def test_range_optimal_for_eq_at_c4_and_c5(self):
+        for c in (4, 5):
+            assert verify_scheme_optimality(get_scheme("R"), c, "EQ").optimal
+
+    def test_range_optimal_for_1rq(self):
+        for c in (4, 5):
+            assert verify_scheme_optimality(get_scheme("R"), c, "1RQ").optimal
+
+    def test_range_not_optimal_for_2rq(self):
+        for c in (4, 5):
+            result = verify_scheme_optimality(get_scheme("R"), c, "2RQ")
+            assert result.optimal is False
+            assert result.dominator is not None
+
+    def test_equality_optimal_for_eq(self):
+        for c in (4, 5):
+            assert verify_scheme_optimality(get_scheme("E"), c, "EQ").optimal
+
+    def test_equality_not_optimal_for_ranges(self):
+        for c in (4, 5):
+            for q in ("1RQ", "2RQ", "RQ"):
+                assert not verify_scheme_optimality(get_scheme("E"), c, q).optimal
+
+    def test_interval_optimal_for_2rq(self):
+        for c in (4, 5):
+            assert verify_scheme_optimality(get_scheme("I"), c, "2RQ").optimal
+
+
+class TestDominanceAtAnyC:
+    """The direct arguments that hold for every cardinality."""
+
+    @pytest.mark.parametrize("c", [6, 10, 50, 200])
+    def test_interval_dominates_range_for_2rq(self, c):
+        assert dominates(
+            scheme_point(get_scheme("I"), c, "2RQ"),
+            scheme_point(get_scheme("R"), c, "2RQ"),
+        )
+
+    @pytest.mark.parametrize("c", [8, 10, 50, 200])
+    def test_range_dominates_equality_for_range_classes(self, c):
+        for q in ("1RQ", "2RQ", "RQ"):
+            assert dominates(
+                scheme_point(get_scheme("R"), c, q),
+                scheme_point(get_scheme("E"), c, q),
+            )
+
+    @pytest.mark.parametrize("c", [10, 50])
+    def test_no_scheme_dominates_interval(self, c):
+        """Among the paper's schemes, I is never dominated (it is on the
+        Figure 3 frontier for every class)."""
+        for q in ("EQ", "1RQ", "2RQ", "RQ"):
+            point_i = scheme_point(get_scheme("I"), c, q)
+            for other in ("E", "R", "ER", "O", "EI", "EI*"):
+                assert not dominates(
+                    scheme_point(get_scheme(other), c, q), point_i
+                ), (q, other)

@@ -1,0 +1,68 @@
+"""Tests for Pareto-frontier computation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.pareto import dominates_pair, pareto_frontier
+
+
+class TestDominatesPair:
+    def test_strict_both(self):
+        assert dominates_pair(1, 1, 2, 2)
+
+    def test_one_equal_one_strict(self):
+        assert dominates_pair(1, 2, 2, 2)
+        assert dominates_pair(2, 1, 2, 2)
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates_pair(2, 2, 2, 2)
+
+    def test_incomparable(self):
+        assert not dominates_pair(1, 3, 2, 2)
+        assert not dominates_pair(3, 1, 2, 2)
+
+
+class TestFrontier:
+    def test_figure3_shape(self):
+        # A staircase: the frontier keeps only the strictly improving
+        # time points as space increases.
+        points = [(1, 10), (2, 8), (3, 9), (4, 5), (5, 6), (6, 5)]
+        frontier = pareto_frontier(points, lambda p: p[0], lambda p: p[1])
+        assert frontier == [(1, 10), (2, 8), (4, 5)]
+
+    def test_single_point(self):
+        assert pareto_frontier([(3, 3)], lambda p: p[0], lambda p: p[1]) == [(3, 3)]
+
+    def test_empty(self):
+        assert pareto_frontier([], lambda p: p[0], lambda p: p[1]) == []
+
+    def test_duplicate_points_all_kept(self):
+        points = [(1, 1), (1, 1)]
+        frontier = pareto_frontier(points, lambda p: p[0], lambda p: p[1])
+        assert len(frontier) == 2
+
+
+@given(
+    points=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=20),
+            st.integers(min_value=0, max_value=20),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=300)
+def test_frontier_properties(points):
+    frontier = pareto_frontier(points, lambda p: p[0], lambda p: p[1])
+    frontier_set = list(frontier)
+    # 1. No frontier point is dominated by any input point.
+    for a in frontier_set:
+        for b in points:
+            assert not dominates_pair(b[0], b[1], a[0], a[1])
+    # 2. Every dropped point is dominated by some frontier point.
+    from collections import Counter
+
+    dropped = Counter(points) - Counter(frontier_set)
+    for point in dropped:
+        assert any(
+            dominates_pair(f[0], f[1], point[0], point[1]) for f in frontier_set
+        ), point

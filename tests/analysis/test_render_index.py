@@ -1,0 +1,63 @@
+"""Tests for the paper-style index matrix renderer."""
+
+import numpy as np
+
+from repro.analysis import render_index
+from repro.index import BitmapIndex, IndexSpec
+
+
+def test_figure1b_layout(paper_column):
+    index = BitmapIndex.build(
+        paper_column, IndexSpec(cardinality=10, scheme="E")
+    )
+    text = render_index(index)
+    lines = text.splitlines()
+    # Header: E^9 leftmost down to E^0 rightmost, as in Figure 1(b).
+    header_slots = lines[0].split()[1:]
+    assert header_slots[0] == "E^9"
+    assert header_slots[-1] == "E^0"
+    # Record 1 has value 3: a single 1 in the E^3 column.
+    record1 = lines[2].split()
+    assert record1[0] == "1"
+    bits = record1[1:]
+    assert bits[9 - 3] == "1"
+    assert bits.count("1") == 1
+
+
+def test_multi_component_labels(paper_column):
+    index = BitmapIndex.build(
+        paper_column, IndexSpec(cardinality=10, scheme="E", bases=(3, 4))
+    )
+    text = render_index(index)
+    header = text.splitlines()[0]
+    # Paper's Figure 2 numbering: component 2 is most significant.
+    assert "E_2^2" in header
+    assert "E_1^3" in header
+    assert header.index("E_2^2") < header.index("E_1^3")
+
+
+def test_interval_index_matches_figure5(paper_column):
+    index = BitmapIndex.build(
+        paper_column, IndexSpec(cardinality=10, scheme="I")
+    )
+    text = render_index(index)
+    lines = text.splitlines()
+    assert lines[0].split()[1:] == ["I^4", "I^3", "I^2", "I^1", "I^0"]
+    # Record 5 (value 8) is only in I^4 = [4, 8].
+    record5 = lines[6].split()
+    assert record5[1:] == ["1", "0", "0", "0", "0"]
+
+
+def test_truncation(rng):
+    values = rng.integers(0, 4, size=100)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=4, scheme="E"))
+    text = render_index(index, max_records=5)
+    assert "95 more records" in text
+
+
+def test_tuple_slot_labels(paper_column):
+    index = BitmapIndex.build(
+        paper_column, IndexSpec(cardinality=10, scheme="EI*")
+    )
+    text = render_index(index)
+    assert "P^1" in text and "I^0" in text

@@ -1,0 +1,87 @@
+"""Tests for the space-time measurement harness and report rendering."""
+
+import pytest
+
+from repro.analysis import measure_design, render_series, render_table
+from repro.index import IndexSpec
+from repro.queries import IntervalQuery
+from repro.workload import zipf_column
+
+
+@pytest.fixture(scope="module")
+def values():
+    return zipf_column(5000, 20, 1.0, seed=6)
+
+
+QUERY_SETS = {
+    "ranges": [IntervalQuery(2, 15, 20), IntervalQuery(0, 9, 20)],
+    "points": [IntervalQuery(7, 7, 20)],
+}
+
+
+class TestMeasureDesign:
+    def test_basic_measurement(self, values):
+        point = measure_design(
+            values, IndexSpec(cardinality=20, scheme="I"), QUERY_SETS
+        )
+        assert point.num_bitmaps == 10
+        assert point.space_bytes > 0
+        assert point.avg_time_ms > 0
+        assert set(point.per_set_ms) == {"ranges", "points"}
+        assert point.avg_scans > 0
+
+    def test_avg_is_weighted_over_all_queries(self, values):
+        point = measure_design(
+            values, IndexSpec(cardinality=20, scheme="I"), QUERY_SETS
+        )
+        weighted = (2 * point.per_set_ms["ranges"] + 1 * point.per_set_ms["points"]) / 3
+        assert point.avg_time_ms == pytest.approx(weighted)
+
+    def test_cold_buffer_costs_more_than_warm(self, values):
+        spec = IndexSpec(cardinality=20, scheme="I")
+        cold = measure_design(values, spec, QUERY_SETS, cold_buffer=True)
+        warm = measure_design(values, spec, QUERY_SETS, cold_buffer=False)
+        assert warm.avg_time_ms <= cold.avg_time_ms
+
+    def test_compressed_smaller_slower_cpu(self, values):
+        raw = measure_design(
+            values, IndexSpec(cardinality=20, scheme="E", codec="raw"), QUERY_SETS
+        )
+        bbc = measure_design(
+            values, IndexSpec(cardinality=20, scheme="E", codec="bbc"), QUERY_SETS
+        )
+        assert bbc.space_bytes < raw.space_bytes
+
+    def test_reuse_prebuilt_index(self, values):
+        from repro.index import BitmapIndex
+
+        spec = IndexSpec(cardinality=20, scheme="R")
+        index = BitmapIndex.build(values, spec)
+        point = measure_design(values, spec, QUERY_SETS, index=index)
+        assert point.num_bitmaps == index.num_bitmaps()
+
+    def test_space_mb_property(self, values):
+        point = measure_design(
+            values, IndexSpec(cardinality=20, scheme="E"), QUERY_SETS
+        )
+        assert point.space_mb == pytest.approx(point.space_bytes / 2**20)
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"], [["a", 1.23456], ["bb", 2]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.235" in text  # 4 significant digits
+
+    def test_render_table_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+    def test_render_series(self):
+        text = render_series("n", [1, 2], {"E": [0.1, 0.2], "I": [0.3, 0.4]})
+        assert "E" in text and "I" in text
+        assert "0.3" in text

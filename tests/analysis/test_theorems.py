@@ -1,0 +1,77 @@
+"""Tests for the machine-checkable theorem statements.
+
+These are the repository's strongest claims: each test asserts that a
+statement of Theorem 3.1 / 4.1 verifies (or is correctly flagged as
+infeasible / deviating).  C=6 searches are exercised by the table1
+benchmark; here the fast cardinalities keep the file quick.
+"""
+
+import pytest
+
+from repro.analysis.theorems import (
+    all_theorem_checks,
+    theorem_3_1_2,
+    theorem_3_1_3,
+    theorem_3_1_4,
+    theorem_3_1_5,
+    theorem_3_1_6,
+    theorem_4_1_1,
+    theorem_4_1_3,
+)
+
+
+class TestTheorem31:
+    def test_statement_2_r_optimal_1rq(self):
+        check = theorem_3_1_2(cardinalities=(4, 5))
+        assert check.holds is True
+        assert "search" in check.method
+
+    def test_statement_3_r_not_optimal_2rq(self):
+        check = theorem_3_1_3()
+        assert check.holds is True
+        assert "interval" in check.method
+        # Dominance was established at every tested cardinality.
+        assert all("True" in line for line in check.details)
+
+    def test_statement_4_r_optimal_rq(self):
+        assert theorem_3_1_4(cardinalities=(4, 5)).holds is True
+
+    def test_statement_5_e_optimal_eq(self):
+        assert theorem_3_1_5(cardinalities=(4, 5)).holds is True
+
+    def test_statement_6_e_not_optimal_ranges(self):
+        check = theorem_3_1_6(cardinalities=(8, 50))
+        assert check.holds is True
+        assert len(check.details) == 2 * 3  # two C values x three classes
+
+
+class TestTheorem41:
+    def test_statement_1_flagged_infeasible(self):
+        check = theorem_4_1_1()
+        assert check.holds is None
+        assert "infeasible" in check.method
+
+    def test_statement_3_i_optimal_2rq(self):
+        assert theorem_4_1_3(cardinalities=(4, 5)).holds is True
+
+
+class TestAllChecks:
+    @pytest.fixture(scope="class")
+    def checks(self):
+        return all_theorem_checks()
+
+    def test_ten_statements(self, checks):
+        assert len(checks) == 10
+
+    def test_no_statement_refuted(self, checks):
+        """Nothing verifiable came out False — the known odd-C deviation
+        is scoped out of the statements' verified cardinalities."""
+        assert all(check.holds in (True, None) for check in checks)
+
+    def test_exactly_one_infeasible(self, checks):
+        assert sum(1 for check in checks if check.holds is None) == 1
+
+    def test_every_check_documents_method(self, checks):
+        for check in checks:
+            assert check.method
+            assert check.details

@@ -1,0 +1,183 @@
+"""Unit tests for the BitVector substrate."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitVector
+from repro.errors import BitmapError
+
+
+class TestConstruction:
+    def test_zeros_has_no_set_bits(self):
+        vec = BitVector.zeros(100)
+        assert len(vec) == 100
+        assert vec.count() == 0
+        assert not vec.any()
+
+    def test_ones_sets_every_bit(self):
+        vec = BitVector.ones(100)
+        assert vec.count() == 100
+        assert vec.all()
+
+    def test_ones_respects_padding_invariant(self):
+        # 70 bits spill into a second word; padding bits must stay 0.
+        vec = BitVector.ones(70)
+        assert vec.count() == 70
+        assert int(vec.words[1]) == (1 << 6) - 1
+
+    def test_zero_length_vector(self):
+        vec = BitVector.zeros(0)
+        assert len(vec) == 0
+        assert vec.count() == 0
+        assert vec.density() == 0.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(BitmapError):
+            BitVector(-1)
+
+    def test_from_indices(self):
+        vec = BitVector.from_indices(10, [0, 3, 9])
+        assert vec.to_indices().tolist() == [0, 3, 9]
+
+    def test_from_indices_empty(self):
+        vec = BitVector.from_indices(10, [])
+        assert vec.count() == 0
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(BitmapError):
+            BitVector.from_indices(10, [10])
+        with pytest.raises(BitmapError):
+            BitVector.from_indices(10, [-1])
+
+    def test_from_bools_roundtrip(self):
+        bits = np.array([True, False, True, True, False])
+        vec = BitVector.from_bools(bits)
+        assert vec.to_bools().tolist() == bits.tolist()
+
+    def test_from_bools_rejects_2d(self):
+        with pytest.raises(BitmapError):
+            BitVector.from_bools(np.zeros((2, 2), dtype=bool))
+
+    def test_bytes_roundtrip(self):
+        vec = BitVector.from_indices(130, [0, 64, 129])
+        again = BitVector.from_bytes(130, vec.to_bytes())
+        assert again == vec
+
+    def test_from_bytes_wrong_size(self):
+        with pytest.raises(BitmapError):
+            BitVector.from_bytes(130, b"\x00" * 8)
+
+    def test_copy_is_independent(self):
+        vec = BitVector.from_indices(10, [1])
+        dup = vec.copy()
+        dup[2] = True
+        assert vec.count() == 1
+        assert dup.count() == 2
+
+
+class TestIndexing:
+    def test_get_and_set(self):
+        vec = BitVector.zeros(70)
+        vec[69] = True
+        assert vec[69]
+        assert not vec[0]
+        vec[69] = False
+        assert vec.count() == 0
+
+    def test_negative_index(self):
+        vec = BitVector.zeros(10)
+        vec[-1] = True
+        assert vec[9]
+
+    def test_out_of_range_index(self):
+        vec = BitVector.zeros(10)
+        with pytest.raises(BitmapError):
+            vec[10]
+        with pytest.raises(BitmapError):
+            vec[-11] = True
+
+
+class TestLogicalOps:
+    def setup_method(self):
+        self.a = BitVector.from_indices(10, [0, 1, 2])
+        self.b = BitVector.from_indices(10, [1, 2, 3])
+
+    def test_and(self):
+        assert (self.a & self.b).to_indices().tolist() == [1, 2]
+
+    def test_or(self):
+        assert (self.a | self.b).to_indices().tolist() == [0, 1, 2, 3]
+
+    def test_xor(self):
+        assert (self.a ^ self.b).to_indices().tolist() == [0, 3]
+
+    def test_not(self):
+        assert (~self.a).to_indices().tolist() == [3, 4, 5, 6, 7, 8, 9]
+
+    def test_not_preserves_padding(self):
+        vec = ~BitVector.zeros(70)
+        assert vec.count() == 70
+        assert (~vec).count() == 0
+
+    def test_inplace_ops(self):
+        acc = self.a.copy()
+        acc &= self.b
+        assert acc.to_indices().tolist() == [1, 2]
+        acc |= self.a
+        assert acc.to_indices().tolist() == [0, 1, 2]
+        acc ^= self.a
+        assert acc.count() == 0
+
+    def test_invert_inplace(self):
+        vec = BitVector.zeros(10)
+        result = vec.invert_inplace()
+        assert result is vec
+        assert vec.count() == 10
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(BitmapError):
+            self.a & BitVector.zeros(11)
+        with pytest.raises(BitmapError):
+            self.a | BitVector.zeros(9)
+
+    def test_operands_unchanged(self):
+        before_a = self.a.copy()
+        before_b = self.b.copy()
+        _ = self.a & self.b
+        _ = self.a | self.b
+        _ = self.a ^ self.b
+        _ = ~self.a
+        assert self.a == before_a
+        assert self.b == before_b
+
+
+class TestQueries:
+    def test_count_across_word_boundary(self):
+        vec = BitVector.from_indices(200, [0, 63, 64, 127, 128, 199])
+        assert vec.count() == 6
+
+    def test_density(self):
+        vec = BitVector.from_indices(10, [0, 1])
+        assert vec.density() == pytest.approx(0.2)
+
+    def test_any_all(self):
+        assert not BitVector.zeros(5).any()
+        assert BitVector.ones(5).all()
+        assert not BitVector.from_indices(5, [0]).all()
+
+    def test_iter_set_bits(self):
+        vec = BitVector.from_indices(100, [7, 70, 99])
+        assert list(vec.iter_set_bits()) == [7, 70, 99]
+
+    def test_equality_and_hash(self):
+        a = BitVector.from_indices(10, [1, 5])
+        b = BitVector.from_indices(10, [1, 5])
+        c = BitVector.from_indices(11, [1, 5])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a vector"
+
+    def test_repr_small_and_large(self):
+        assert "101" in repr(BitVector.from_bools([True, False, True]))
+        assert "popcount=1" in repr(BitVector.from_indices(1000, [3]))

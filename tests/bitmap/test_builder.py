@@ -1,0 +1,77 @@
+"""Unit tests for BitVectorBuilder and column_bitmaps."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitVector, BitVectorBuilder
+from repro.bitmap.builder import column_bitmaps
+from repro.errors import BitmapError
+
+
+class TestBuilder:
+    def test_append_single_bits(self):
+        builder = BitVectorBuilder()
+        for bit in (True, False, True):
+            builder.append(bit)
+        assert builder.finish() == BitVector.from_bools([True, False, True])
+
+    def test_append_run(self):
+        builder = BitVectorBuilder()
+        builder.append_run(True, 3)
+        builder.append_run(False, 2)
+        builder.append_run(True, 0)  # no-op
+        vec = builder.finish()
+        assert vec.to_bools().tolist() == [True] * 3 + [False] * 2
+
+    def test_append_bools(self):
+        builder = BitVectorBuilder()
+        builder.append_bools(np.array([True, True, False]))
+        builder.append_bools(np.array([], dtype=bool))
+        builder.append_bools(np.array([False, True]))
+        assert builder.finish().to_indices().tolist() == [0, 1, 4]
+
+    def test_len_tracks_appended(self):
+        builder = BitVectorBuilder()
+        builder.append_run(False, 7)
+        builder.append(True)
+        assert len(builder) == 8
+
+    def test_empty_finish(self):
+        assert len(BitVectorBuilder().finish()) == 0
+
+    def test_negative_run_rejected(self):
+        builder = BitVectorBuilder()
+        with pytest.raises(BitmapError):
+            builder.append_run(True, -1)
+
+    def test_2d_bools_rejected(self):
+        builder = BitVectorBuilder()
+        with pytest.raises(BitmapError):
+            builder.append_bools(np.zeros((2, 2), dtype=bool))
+
+    def test_use_after_finish_rejected(self):
+        builder = BitVectorBuilder()
+        builder.finish()
+        with pytest.raises(BitmapError):
+            builder.append(True)
+        with pytest.raises(BitmapError):
+            builder.finish()
+
+
+class TestColumnBitmaps:
+    def test_one_bitmap_per_value(self, paper_column):
+        bitmaps = column_bitmaps(paper_column, 10)
+        assert len(bitmaps) == 10
+        # Figure 1(b): E^2 marks records 2, 4, 6 (1-based) = rows 1, 3, 5.
+        assert bitmaps[2].to_indices().tolist() == [1, 3, 5]
+        # E^9 marks only row 7 (1-based record 7).
+        assert bitmaps[9].to_indices().tolist() == [6]
+
+    def test_bitmaps_partition_records(self, paper_column):
+        bitmaps = column_bitmaps(paper_column, 10)
+        total = sum(b.count() for b in bitmaps)
+        assert total == len(paper_column)
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(BitmapError):
+            column_bitmaps(np.array([0, 5]), 5)

@@ -1,0 +1,68 @@
+"""Property tests for word-level bit-vector concatenation."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmap import BitVector, concatenate
+
+
+def reference_concat(vectors):
+    if not vectors:
+        return BitVector(0)
+    bools = np.concatenate([v.to_bools() for v in vectors])
+    return BitVector.from_bools(bools)
+
+
+@st.composite
+def vector_lists(draw):
+    pieces = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=200),
+                st.integers(min_value=0, max_value=2**31 - 1),
+            ),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    vectors = []
+    for length, seed in pieces:
+        rng = np.random.default_rng(seed)
+        vectors.append(BitVector.from_bools(rng.random(length) < 0.5))
+    return vectors
+
+
+@given(vectors=vector_lists())
+@settings(max_examples=300)
+def test_concatenate_matches_reference(vectors):
+    assert concatenate(vectors) == reference_concat(vectors)
+
+
+@given(vectors=vector_lists())
+@settings(max_examples=150)
+def test_concatenate_preserves_counts_and_length(vectors):
+    joined = concatenate(vectors)
+    assert len(joined) == sum(len(v) for v in vectors)
+    assert joined.count() == sum(v.count() for v in vectors)
+
+
+def test_word_aligned_fast_path():
+    a = BitVector.from_indices(128, [0, 127])
+    b = BitVector.from_indices(64, [63])
+    joined = concatenate([a, b])
+    assert joined.to_indices().tolist() == [0, 127, 191]
+
+
+def test_unaligned_spill_across_words():
+    a = BitVector.from_indices(65, [64])       # one bit in the second word
+    b = BitVector.from_indices(64, [0, 63])
+    joined = concatenate([a, b])
+    assert joined.to_indices().tolist() == [64, 65, 128]
+
+
+def test_inputs_untouched():
+    a = BitVector.ones(10)
+    b = BitVector.zeros(10)
+    before = a.copy()
+    concatenate([a, b])
+    assert a == before

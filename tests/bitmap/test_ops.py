@@ -1,0 +1,61 @@
+"""Unit tests for bulk bitmap operations and run iteration."""
+
+import pytest
+
+from repro.bitmap import BitVector, and_all, iter_runs, or_all, xor_all
+from repro.errors import BitmapError
+
+
+class TestReductions:
+    def setup_method(self):
+        self.vectors = [
+            BitVector.from_indices(8, [0, 1]),
+            BitVector.from_indices(8, [1, 2]),
+            BitVector.from_indices(8, [1, 3]),
+        ]
+
+    def test_and_all(self):
+        assert and_all(self.vectors).to_indices().tolist() == [1]
+
+    def test_or_all(self):
+        assert or_all(self.vectors).to_indices().tolist() == [0, 1, 2, 3]
+
+    def test_xor_all(self):
+        assert xor_all(self.vectors).to_indices().tolist() == [0, 1, 2, 3]
+
+    def test_single_operand_is_copy(self):
+        result = or_all(self.vectors[:1])
+        assert result == self.vectors[0]
+        result[4] = True
+        assert not self.vectors[0][4]
+
+    def test_empty_reduction_rejected(self):
+        with pytest.raises(BitmapError):
+            and_all([])
+        with pytest.raises(BitmapError):
+            or_all([])
+
+
+class TestIterRuns:
+    def test_alternating(self):
+        vec = BitVector.from_bools([True, False, False, True, True, True])
+        assert list(iter_runs(vec)) == [(True, 1), (False, 2), (True, 3)]
+
+    def test_uniform(self):
+        assert list(iter_runs(BitVector.zeros(100))) == [(False, 100)]
+        assert list(iter_runs(BitVector.ones(100))) == [(True, 100)]
+
+    def test_empty(self):
+        assert list(iter_runs(BitVector.zeros(0))) == []
+
+    def test_runs_reconstruct_vector(self, rng):
+        from tests.conftest import random_bitvector
+
+        vec = random_bitvector(rng, 500, density=0.3)
+        total = 0
+        bits = []
+        for value, length in iter_runs(vec):
+            bits.extend([value] * length)
+            total += length
+        assert total == 500
+        assert BitVector.from_bools(bits) == vec

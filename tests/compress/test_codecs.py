@@ -1,0 +1,138 @@
+"""Unit tests for the raw, BBC, WAH and EWAH codecs."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitVector
+from repro.compress import available_codecs, get_codec, measure_codec
+from repro.errors import CodecError
+from tests.conftest import random_bitvector
+
+ALL_CODECS = ("raw", "bbc", "wah", "ewah")
+
+
+@pytest.fixture(params=ALL_CODECS)
+def codec(request):
+    return get_codec(request.param)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(ALL_CODECS) <= set(available_codecs())
+
+    def test_unknown_codec(self):
+        with pytest.raises(CodecError):
+            get_codec("lz77")
+
+
+class TestRoundtrip:
+    CASES = [
+        ("empty", BitVector.zeros(0)),
+        ("all zeros", BitVector.zeros(1000)),
+        ("all ones", BitVector.ones(1000)),
+        ("single bit start", BitVector.from_indices(1000, [0])),
+        ("single bit end", BitVector.from_indices(1000, [999])),
+        ("word boundary", BitVector.from_indices(129, [63, 64, 127, 128])),
+        ("byte pattern", BitVector.from_bools([True, False] * 500)),
+        ("one word exactly", BitVector.ones(64)),
+        ("sub-byte", BitVector.from_bools([True, True, False])),
+    ]
+
+    @pytest.mark.parametrize("label,vector", CASES, ids=[c[0] for c in CASES])
+    def test_adversarial_patterns(self, codec, label, vector):
+        payload = codec.encode(vector)
+        assert codec.decode(payload, len(vector)) == vector
+
+    @pytest.mark.parametrize("density", [0.0, 0.01, 0.1, 0.5, 0.9, 1.0])
+    def test_random_densities(self, codec, rng, density):
+        vector = random_bitvector(rng, 3000, density)
+        assert codec.decode(codec.encode(vector), 3000) == vector
+
+    def test_long_runs_compress(self, codec):
+        if codec.name == "raw":
+            pytest.skip("raw codec does not compress")
+        vector = BitVector.zeros(1_000_000)
+        vector[500_000] = True
+        assert codec.encoded_size(vector) < 100
+
+    def test_sparse_bitmap_compresses_below_raw(self, codec, rng):
+        if codec.name == "raw":
+            pytest.skip("raw codec does not compress")
+        vector = random_bitvector(rng, 100_000, density=0.001)
+        assert codec.encoded_size(vector) < vector.num_words * 8 / 4
+
+    def test_incompressible_overhead_bounded(self, codec, rng):
+        vector = random_bitvector(rng, 10_000, density=0.5)
+        raw_bytes = vector.num_words * 8
+        # A run-length codec may expand random data, but only modestly.
+        assert codec.encoded_size(vector) <= raw_bytes * 1.25 + 16
+
+
+class TestBbcFormat:
+    def test_varint_long_fill(self):
+        codec = get_codec("bbc")
+        # > 6 fill bytes triggers the varint extension path.
+        vector = BitVector.zeros(8 * 1000)
+        vector[7999] = True
+        payload = codec.encode(vector)
+        assert len(payload) < 10
+        assert codec.decode(payload, 8000) == vector
+
+    def test_varint_long_literal_tail(self, rng):
+        codec = get_codec("bbc")
+        # > 14 literal bytes triggers the literal varint extension.
+        vector = random_bitvector(rng, 8 * 40, density=0.5)
+        assert codec.decode(codec.encode(vector), 8 * 40) == vector
+
+    def test_truncated_stream_rejected(self):
+        codec = get_codec("bbc")
+        vector = BitVector.ones(64)
+        payload = codec.encode(vector)
+        with pytest.raises(CodecError):
+            codec.decode(payload + b"\x0f", 64)  # header promising literals
+
+    def test_overlong_stream_rejected(self):
+        codec = get_codec("bbc")
+        payload = codec.encode(BitVector.ones(512))
+        with pytest.raises(CodecError):
+            codec.decode(payload, 8)  # fill exceeds the declared length
+
+
+class TestWahFormat:
+    def test_misaligned_payload_rejected(self):
+        with pytest.raises(CodecError):
+            get_codec("wah").decode(b"\x00\x00\x00", 31)
+
+    def test_group_count_mismatch_rejected(self):
+        codec = get_codec("wah")
+        payload = codec.encode(BitVector.zeros(62))
+        with pytest.raises(CodecError):
+            codec.decode(payload, 31 * 10)
+
+
+class TestEwahFormat:
+    def test_misaligned_payload_rejected(self):
+        with pytest.raises(CodecError):
+            get_codec("ewah").decode(b"\x00" * 7, 64)
+
+    def test_truncated_dirty_words_rejected(self):
+        codec = get_codec("ewah")
+        vector = BitVector.from_indices(128, [1, 3, 70])
+        payload = codec.encode(vector)
+        with pytest.raises(CodecError):
+            codec.decode(payload[:-8], 128)
+
+
+class TestStats:
+    def test_measure_codec(self, rng):
+        codec = get_codec("bbc")
+        vectors = [random_bitvector(rng, 1000, 0.01) for _ in range(5)]
+        stats = measure_codec(codec, vectors)
+        assert stats.num_bitmaps == 5
+        assert stats.raw_bytes == 5 * 16 * 8
+        assert 0 < stats.encoded_bytes
+        assert stats.ratio == stats.encoded_bytes / stats.raw_bytes
+
+    def test_empty_ratio(self):
+        stats = measure_codec(get_codec("raw"), [])
+        assert stats.ratio == 0.0

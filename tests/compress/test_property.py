@@ -1,0 +1,68 @@
+"""Property-based tests: codec roundtrips on arbitrary bit patterns."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmap import BitVector
+from repro.compress import get_codec
+
+bit_lists = st.lists(st.booleans(), min_size=0, max_size=600)
+
+# Run-structured vectors: alternating runs with random lengths, the
+# adversarial shape for run-length codecs.
+run_lists = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=1, max_value=200)),
+    min_size=0,
+    max_size=20,
+)
+
+
+def vector_from_runs(runs) -> BitVector:
+    bits = []
+    for value, length in runs:
+        bits.extend([value] * length)
+    return BitVector.from_bools(np.array(bits, dtype=bool))
+
+
+@given(bits=bit_lists)
+@settings(max_examples=150)
+def test_bbc_roundtrip(bits):
+    vector = BitVector.from_bools(np.array(bits, dtype=bool))
+    codec = get_codec("bbc")
+    assert codec.decode(codec.encode(vector), len(vector)) == vector
+
+
+@given(bits=bit_lists)
+@settings(max_examples=150)
+def test_wah_roundtrip(bits):
+    vector = BitVector.from_bools(np.array(bits, dtype=bool))
+    codec = get_codec("wah")
+    assert codec.decode(codec.encode(vector), len(vector)) == vector
+
+
+@given(bits=bit_lists)
+@settings(max_examples=150)
+def test_ewah_roundtrip(bits):
+    vector = BitVector.from_bools(np.array(bits, dtype=bool))
+    codec = get_codec("ewah")
+    assert codec.decode(codec.encode(vector), len(vector)) == vector
+
+
+@given(runs=run_lists)
+@settings(max_examples=150)
+def test_run_structured_roundtrips_all_codecs(runs):
+    vector = vector_from_runs(runs)
+    for name in ("raw", "bbc", "wah", "ewah"):
+        codec = get_codec(name)
+        assert codec.decode(codec.encode(vector), len(vector)) == vector
+
+
+@given(runs=run_lists)
+@settings(max_examples=100)
+def test_popcount_preserved(runs):
+    vector = vector_from_runs(runs)
+    for name in ("bbc", "wah", "ewah"):
+        codec = get_codec(name)
+        assert codec.decode(codec.encode(vector), len(vector)).count() == (
+            vector.count()
+        )

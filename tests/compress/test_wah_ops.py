@@ -1,0 +1,128 @@
+"""Tests for compressed-domain WAH logical operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmap import BitVector
+from repro.compress import get_codec, wah_count, wah_logical, wah_not
+from repro.errors import CodecError
+from tests.conftest import random_bitvector
+
+CODEC = get_codec("wah")
+
+
+def enc(vector: BitVector) -> bytes:
+    return CODEC.encode(vector)
+
+
+def dec(payload: bytes, length: int) -> BitVector:
+    return CODEC.decode(payload, length)
+
+
+class TestBinaryOps:
+    def setup_method(self):
+        rng = np.random.default_rng(11)
+        self.a = random_bitvector(rng, 4000, density=0.05)
+        self.b = random_bitvector(rng, 4000, density=0.4)
+
+    @pytest.mark.parametrize("op", ["and", "or", "xor"])
+    def test_matches_plain_ops(self, op):
+        expected = {
+            "and": self.a & self.b,
+            "or": self.a | self.b,
+            "xor": self.a ^ self.b,
+        }[op]
+        result = wah_logical(op, enc(self.a), enc(self.b))
+        assert dec(result, 4000) == expected
+
+    def test_fill_and_fill_is_constant_size(self):
+        zeros = enc(BitVector.zeros(1_000_000))
+        ones = enc(BitVector.ones(1_000_000))
+        assert len(wah_logical("and", zeros, ones)) <= 8
+        assert dec(wah_logical("or", zeros, ones), 1_000_000).count() == 1_000_000
+
+    def test_fill_short_circuits_literals(self, rng):
+        noisy = random_bitvector(rng, 100_000, density=0.5)
+        zeros = enc(BitVector.zeros(100_000))
+        result = wah_logical("and", zeros, enc(noisy))
+        assert len(result) <= 8
+        assert dec(result, 100_000).count() == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CodecError):
+            wah_logical("and", enc(BitVector.zeros(31)), enc(BitVector.zeros(62)))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(CodecError):
+            wah_logical("nor", b"", b"")
+
+    def test_misaligned_payload_rejected(self):
+        with pytest.raises(CodecError):
+            wah_logical("and", b"\x00\x00\x00", b"\x00\x00\x00")
+
+
+class TestNot:
+    def test_not_masks_tail(self):
+        vec = BitVector.from_indices(40, [0, 39])
+        result = dec(wah_not(enc(vec), 40), 40)
+        assert result == ~vec
+
+    def test_not_of_long_fill_stays_compressed(self):
+        payload = wah_not(enc(BitVector.zeros(10_000_000)), 10_000_000)
+        assert len(payload) <= 12
+        assert wah_count(payload) == 10_000_000
+
+    def test_group_aligned_length(self):
+        vec = BitVector.from_indices(62, [5])
+        assert dec(wah_not(enc(vec), 62), 62).count() == 61
+
+    def test_length_mismatch_detected(self):
+        with pytest.raises(CodecError):
+            wah_not(enc(BitVector.zeros(31)), 62)
+
+
+class TestCount:
+    @pytest.mark.parametrize("density", [0.0, 0.01, 0.5, 1.0])
+    def test_counts_match(self, rng, density):
+        vec = random_bitvector(rng, 3100, density)
+        assert wah_count(enc(vec)) == vec.count()
+
+
+run_lists = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=1, max_value=120)),
+    min_size=0,
+    max_size=10,
+)
+
+
+def vec_of(runs, length):
+    bits = []
+    for value, count in runs:
+        bits.extend([value] * count)
+    bits = (bits + [False] * length)[:length]
+    return BitVector.from_bools(np.array(bits, dtype=bool))
+
+
+@given(runs_a=run_lists, runs_b=run_lists, extra=st.integers(0, 70))
+@settings(max_examples=250, deadline=None)
+def test_wah_ops_property(runs_a, runs_b, extra):
+    length = max(sum(c for _, c in runs_a), sum(c for _, c in runs_b), 1) + extra
+    a, b = vec_of(runs_a, length), vec_of(runs_b, length)
+    pa, pb = enc(a), enc(b)
+    assert dec(wah_logical("and", pa, pb), length) == (a & b)
+    assert dec(wah_logical("or", pa, pb), length) == (a | b)
+    assert dec(wah_logical("xor", pa, pb), length) == (a ^ b)
+    assert dec(wah_not(pa, length), length) == ~a
+    assert wah_count(pa) == a.count()
+
+
+@given(runs=run_lists, extra=st.integers(1, 70))
+@settings(max_examples=150, deadline=None)
+def test_wah_output_is_canonical(runs, extra):
+    """Outputs of compressed ops decode AND re-encode identically —
+    the writer's fill re-detection keeps payloads canonical."""
+    length = max(sum(c for _, c in runs), 1) + extra
+    a = vec_of(runs, length)
+    payload = wah_not(enc(a), length)
+    assert payload == enc(dec(payload, length))

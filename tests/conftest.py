@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitVector
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_column() -> np.ndarray:
+    """The paper's Figure 1(a) example column (C = 10, 12 records)."""
+    return np.array([3, 2, 1, 2, 8, 2, 9, 0, 7, 5, 6, 4])
+
+
+def naive_interval_mask(values: np.ndarray, low: int, high: int) -> np.ndarray:
+    """Ground-truth answer of ``low <= A <= high`` by scanning."""
+    return (values >= low) & (values <= high)
+
+
+def naive_interval_vector(values: np.ndarray, low: int, high: int) -> BitVector:
+    """Ground-truth answer as a bit vector."""
+    return BitVector.from_bools(naive_interval_mask(values, low, high))
+
+
+def random_bitvector(
+    rng: np.random.Generator, length: int, density: float = 0.5
+) -> BitVector:
+    """A random vector with roughly the given density of set bits."""
+    return BitVector.from_bools(rng.random(length) < density)

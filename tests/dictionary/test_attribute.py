@@ -1,0 +1,123 @@
+"""Tests for AttributeIndex over raw domains."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dictionary import AttributeIndex
+from repro.errors import QueryError, ReproError
+
+
+class TestDictionaryStrategy:
+    @pytest.fixture(scope="class")
+    def sparse_ints(self):
+        rng = np.random.default_rng(4)
+        domain = np.array([5, 100, 1000, 10_000, 99_999])
+        return domain[rng.integers(0, 5, size=3000)]
+
+    def test_exact_strategy_chosen(self, sparse_ints):
+        index = AttributeIndex(sparse_ints)
+        assert index.is_exact
+        assert index.index.cardinality == 5
+
+    def test_range_query_raw_values(self, sparse_ints):
+        index = AttributeIndex(sparse_ints)
+        result = index.range_query(100, 10_000)
+        expected = (sparse_ints >= 100) & (sparse_ints <= 10_000)
+        assert result.to_bools().tolist() == expected.tolist()
+
+    def test_range_between_dictionary_values(self, sparse_ints):
+        index = AttributeIndex(sparse_ints)
+        result = index.range_query(6, 99)
+        assert result.count() == 0
+
+    def test_equality_query(self, sparse_ints):
+        index = AttributeIndex(sparse_ints)
+        assert index.equality_query(1000).count() == int(
+            (sparse_ints == 1000).sum()
+        )
+        assert index.equality_query(777).count() == 0
+
+    def test_membership_query(self, sparse_ints):
+        index = AttributeIndex(sparse_ints)
+        result = index.membership_query([5, 99_999, 12345])
+        expected = np.isin(sparse_ints, [5, 99_999])
+        assert result.count() == int(expected.sum())
+
+    def test_string_column(self):
+        values = np.array(["red", "green", "blue", "green", "red", "red"])
+        index = AttributeIndex(values, scheme="E")
+        assert index.is_exact
+        assert index.equality_query("red").count() == 3
+        # Lexicographic range: blue..green.
+        assert index.range_query("blue", "green").count() == 3
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(ReproError):
+            AttributeIndex(np.array([]))
+
+    def test_reversed_range_rejected(self):
+        index = AttributeIndex(np.array([1, 2, 3]))
+        with pytest.raises(QueryError):
+            index.range_query(3, 1)
+
+
+class TestBinnedStrategy:
+    @pytest.fixture(scope="class")
+    def floats(self):
+        rng = np.random.default_rng(5)
+        return rng.normal(loc=50.0, scale=20.0, size=5000)
+
+    @pytest.fixture(scope="class", params=["equi-depth", "equi-width"])
+    def binned_index(self, request, floats):
+        return AttributeIndex(
+            floats, max_cardinality=100, num_bins=32, binning=request.param
+        )
+
+    def test_binned_strategy_chosen(self, binned_index):
+        assert not binned_index.is_exact
+        assert binned_index.index.cardinality == binned_index.index.cardinality
+
+    def test_range_queries_exact_despite_binning(self, binned_index, floats):
+        for low, high in [(30.0, 70.0), (49.5, 50.5), (-10.0, 200.0), (85.0, 90.0)]:
+            result = binned_index.range_query(low, high)
+            expected = (floats >= low) & (floats <= high)
+            assert result.to_bools().tolist() == expected.tolist(), (low, high)
+
+    def test_equality_on_floats(self, binned_index, floats):
+        target = float(floats[17])
+        result = binned_index.equality_query(target)
+        assert result.count() == int((floats == target).sum())
+        assert result[17]
+
+    def test_non_numeric_high_cardinality_rejected(self):
+        values = np.array([f"user-{i}" for i in range(100)])
+        with pytest.raises(ReproError):
+            AttributeIndex(values, max_cardinality=10)
+
+    def test_unknown_binning_rejected(self, floats):
+        with pytest.raises(ReproError):
+            AttributeIndex(floats, max_cardinality=10, binning="kmeans")
+
+    def test_repr(self, binned_index):
+        assert "binned" in repr(binned_index)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    max_cardinality=st.sampled_from([4, 1000]),
+    low=st.floats(min_value=-3, max_value=3),
+    span=st.floats(min_value=0, max_value=4),
+)
+@settings(max_examples=80, deadline=None)
+def test_attribute_index_property(seed, max_cardinality, low, span):
+    """Dictionary and binned strategies both answer raw ranges exactly."""
+    rng = np.random.default_rng(seed)
+    values = np.round(rng.normal(size=400), 1)
+    index = AttributeIndex(
+        values, max_cardinality=max_cardinality, num_bins=8
+    )
+    high = low + span
+    result = index.range_query(low, high)
+    expected = (values >= low) & (values <= high)
+    assert result.to_bools().tolist() == expected.tolist()

@@ -1,0 +1,139 @@
+"""Tests for the binner and its range plans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dictionary import Binner
+from repro.errors import ReproError
+
+
+class TestConstruction:
+    def test_equi_width(self):
+        binner = Binner.equi_width(0.0, 100.0, 4)
+        assert binner.num_bins == 4
+        assert binner.boundaries.tolist() == [25.0, 50.0, 75.0]
+
+    def test_equi_depth_balances_population(self, rng):
+        values = rng.exponential(scale=10.0, size=20_000)
+        binner = Binner.equi_depth(values, 10)
+        codes = binner.encode(values)
+        counts = np.bincount(codes, minlength=binner.num_bins)
+        # Quantile boundaries keep every bin within 2x of the mean.
+        assert counts.max() < 2 * values.size / binner.num_bins
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            Binner.equi_width(0.0, 100.0, 1)
+        with pytest.raises(ReproError):
+            Binner.equi_width(5.0, 5.0, 4)
+        with pytest.raises(ReproError):
+            Binner(np.array([1.0, 1.0]))
+        with pytest.raises(ReproError):
+            Binner.equi_depth(np.array([]), 4)
+
+    def test_equi_depth_collapses_duplicate_quantiles(self):
+        # All-identical samples collapse to a single boundary (2 bins).
+        binner = Binner.equi_depth(np.array([7.0, 7.0, 7.0]), 4)
+        assert binner.num_bins == 2
+
+
+class TestEncode:
+    def test_boundary_goes_up(self):
+        binner = Binner(np.array([10.0, 20.0]))
+        assert binner.encode(np.array([9.9, 10.0, 19.9, 20.0])).tolist() == [
+            0,
+            1,
+            1,
+            2,
+        ]
+
+    def test_extremes(self):
+        binner = Binner(np.array([0.0]))
+        assert binner.encode(np.array([-1e30, 1e30])).tolist() == [0, 1]
+
+
+class TestRangePlan:
+    def setup_method(self):
+        # Bins: [-inf,10) [10,20) [20,30) [30,inf)
+        self.binner = Binner(np.array([10.0, 20.0, 30.0]))
+
+    def test_nearly_aligned_single_bin_still_rechecks(self):
+        # Bin 1 is [10, 20); high = 19.999 leaves (19.999, 20) outside
+        # the query, so the bin must be rechecked.
+        inner, edges = self.binner.range_plan(10.0, 19.999)
+        assert inner is None
+        assert edges == [1]
+
+    def test_exactly_aligned_bin_is_inner(self):
+        # [10, 20] covers bin 1 entirely (20 itself lives in bin 2).
+        inner, edges = self.binner.range_plan(10.0, 20.0)
+        assert inner == (1, 1)
+        assert edges == [2]
+
+    def test_fully_covering_range(self):
+        # Only the unbounded range makes the outer bins inner bins —
+        # any finite bound leaves tail values to recheck.
+        inner, edges = self.binner.range_plan(-np.inf, np.inf)
+        assert inner == (0, 3)
+        assert edges == []
+
+    def test_finite_wide_range_rechecks_outer_bins(self):
+        inner, edges = self.binner.range_plan(-1e30, 1e30)
+        assert inner == (1, 2)
+        assert set(edges) == {0, 3}
+
+    def test_interior_range(self):
+        # 12..27: bins 1 and 2 both straddle; no inner bins.
+        inner, edges = self.binner.range_plan(12.0, 27.0)
+        assert inner is None
+        assert set(edges) == {1, 2}
+
+    def test_single_bin_query(self):
+        inner, edges = self.binner.range_plan(21.0, 22.0)
+        assert inner is None
+        assert edges == [2]
+
+    def test_low_aligned(self):
+        # low exactly at a boundary: bin 1 fully included from below.
+        inner, edges = self.binner.range_plan(10.0, 35.0)
+        assert inner == (1, 2)
+        assert edges == [3]
+
+    def test_reversed_rejected(self):
+        with pytest.raises(ReproError):
+            self.binner.range_plan(5.0, 1.0)
+
+
+@given(
+    boundaries=st.lists(
+        st.integers(min_value=-50, max_value=50), min_size=1, max_size=8, unique=True
+    ),
+    low=st.floats(min_value=-60, max_value=60),
+    span=st.floats(min_value=0, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=300)
+def test_range_plan_partitions_matches(boundaries, low, span, seed):
+    """Inner bins hold only matches; every match is in an inner or edge
+    bin; edge bins are the only place non-matches can share a bin with
+    matches."""
+    binner = Binner(np.array(sorted(boundaries), dtype=np.float64))
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(-70, 70, size=300)
+    codes = binner.encode(values)
+    high = low + span
+    inner, edges = binner.range_plan(low, high)
+
+    in_range = (values >= low) & (values <= high)
+    if inner is not None:
+        inner_mask = (codes >= inner[0]) & (codes <= inner[1])
+        # Every record in an inner bin matches the raw range.
+        assert np.all(in_range[inner_mask])
+    else:
+        inner_mask = np.zeros_like(in_range)
+    edge_mask = np.isin(codes, edges)
+    # Every matching record is covered by inner or edge bins.
+    assert np.all(inner_mask[in_range] | edge_mask[in_range])
+    # At most two edge bins ever.
+    assert len(edges) <= 2

@@ -1,0 +1,100 @@
+"""Tests for order-preserving value dictionaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dictionary import ValueDictionary
+from repro.errors import ReproError
+
+
+class TestBuild:
+    def test_from_integer_column(self):
+        dictionary = ValueDictionary.from_column(np.array([30, 10, 20, 10]))
+        assert dictionary.cardinality == 3
+        assert dictionary.values.tolist() == [10, 20, 30]
+
+    def test_from_string_column(self):
+        dictionary = ValueDictionary.from_column(
+            np.array(["cherry", "apple", "banana", "apple"])
+        )
+        assert dictionary.values.tolist() == ["apple", "banana", "cherry"]
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(ReproError):
+            ValueDictionary.from_column(np.array([]))
+
+
+class TestCoding:
+    def setup_method(self):
+        self.dictionary = ValueDictionary.from_column(
+            np.array([100, 300, 500, 700])
+        )
+
+    def test_encode_decode_roundtrip(self):
+        column = np.array([500, 100, 700, 100, 300])
+        codes = self.dictionary.encode(column)
+        assert codes.tolist() == [2, 0, 3, 0, 1]
+        assert self.dictionary.decode(codes).tolist() == column.tolist()
+
+    def test_order_preserved(self):
+        codes = self.dictionary.encode(np.array([100, 300, 500, 700]))
+        assert codes.tolist() == sorted(codes.tolist())
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(ReproError):
+            self.dictionary.encode(np.array([200]))
+
+    def test_bad_codes_rejected(self):
+        with pytest.raises(ReproError):
+            self.dictionary.decode(np.array([4]))
+
+    def test_contains(self):
+        assert self.dictionary.contains(300)
+        assert not self.dictionary.contains(301)
+        assert not self.dictionary.contains(999)
+
+
+class TestCodeRange:
+    def setup_method(self):
+        self.dictionary = ValueDictionary.from_column(
+            np.array([100, 300, 500, 700])
+        )
+
+    def test_exact_endpoints(self):
+        assert self.dictionary.code_range(100, 500) == (0, 2)
+
+    def test_between_values(self):
+        # 150..650 selects {300, 500}.
+        assert self.dictionary.code_range(150, 650) == (1, 2)
+
+    def test_empty_range(self):
+        assert self.dictionary.code_range(301, 499) is None
+        assert self.dictionary.code_range(701, 900) is None
+
+    def test_full_range(self):
+        assert self.dictionary.code_range(0, 10_000) == (0, 3)
+
+    def test_reversed_rejected(self):
+        with pytest.raises(ReproError):
+            self.dictionary.code_range(500, 100)
+
+
+@given(
+    values=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=60),
+    low=st.integers(min_value=-1200, max_value=1200),
+    span=st.integers(min_value=0, max_value=800),
+)
+@settings(max_examples=300)
+def test_code_range_property(values, low, span):
+    """code_range selects exactly the dictionary values in the range."""
+    column = np.array(values)
+    dictionary = ValueDictionary.from_column(column)
+    high = low + span
+    expected = [v for v in dictionary.values.tolist() if low <= v <= high]
+    got = dictionary.code_range(low, high)
+    if not expected:
+        assert got is None
+    else:
+        lo, hi = got
+        assert dictionary.values[lo : hi + 1].tolist() == expected

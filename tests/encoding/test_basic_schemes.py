@@ -1,0 +1,151 @@
+"""Behavioural tests for the three basic schemes against the paper's
+equations (1), (2) and (4)-(6), including scan-count guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitVector
+from repro.encoding import get_scheme
+from repro.errors import QueryError
+from repro.expr import evaluate, expression_scan_count, simplify
+from tests.conftest import naive_interval_vector
+
+
+def scans(scheme, c, low, high) -> int:
+    return expression_scan_count(simplify(scheme.interval_expr(c, low, high)))
+
+
+def check_query(scheme, values, c, low, high) -> None:
+    bitmaps = scheme.build(values, c)
+    expr = simplify(scheme.interval_expr(c, low, high))
+    got = evaluate(expr, lambda k: bitmaps[k], len(values))
+    assert got == naive_interval_vector(values, low, high)
+
+
+class TestEqualityEncoding:
+    """Equation (1): OR the shorter side, complement if needed."""
+
+    def setup_method(self):
+        self.scheme = get_scheme("E")
+
+    def test_equality_is_single_scan(self):
+        for v in range(10):
+            assert scans(self.scheme, 10, v, v) == 1
+
+    def test_narrow_interval_ors_inside(self):
+        # [2,4] with C = 10: 3 <= floor(10/2), so 3 bitmaps.
+        assert scans(self.scheme, 10, 2, 4) == 3
+
+    def test_wide_interval_complements_outside(self):
+        # [1,8] with C = 10: inside needs 8 > 5, outside needs 2.
+        assert scans(self.scheme, 10, 1, 8) == 2
+
+    def test_worst_case_half_domain(self):
+        assert scans(self.scheme, 10, 0, 4) == 5
+
+    def test_c2_uses_single_stored_bitmap(self, rng):
+        values = rng.integers(0, 2, size=50)
+        for v in (0, 1):
+            check_query(self.scheme, values, 2, v, v)
+            assert scans(self.scheme, 2, v, v) == 1
+
+    def test_two_sided_validation(self):
+        with pytest.raises(QueryError):
+            self.scheme.two_sided_expr(10, 0, 5)
+
+
+class TestRangeEncoding:
+    """Equation (2): all six cases."""
+
+    def setup_method(self):
+        self.scheme = get_scheme("R")
+
+    def test_eq_zero_is_r0(self):
+        assert str(simplify(self.scheme.eq_expr(10, 0))) == "0"
+
+    def test_eq_interior_is_xor(self):
+        assert scans(self.scheme, 10, 5, 5) == 2
+
+    def test_eq_top_is_complement(self):
+        # A = C-1 -> NOT R^{C-2}: one scan.
+        assert scans(self.scheme, 10, 9, 9) == 1
+
+    def test_one_sided_le_single_scan(self):
+        for v in range(9):
+            assert scans(self.scheme, 10, 0, v) == 1
+
+    def test_one_sided_ge_single_scan(self):
+        for v in range(1, 10):
+            assert scans(self.scheme, 10, v, 9) == 1
+
+    def test_two_sided_is_xor_of_two(self):
+        for low, high in [(1, 2), (3, 7), (1, 8)]:
+            assert scans(self.scheme, 10, low, high) == 2
+
+    def test_never_more_than_two_scans(self):
+        for c in (2, 3, 7, 20):
+            for low in range(c):
+                for high in range(low, c):
+                    assert scans(self.scheme, c, low, high) <= 2
+
+    def test_correct_on_random_data(self, rng):
+        values = rng.integers(0, 10, size=400)
+        for low, high in [(0, 0), (3, 3), (9, 9), (0, 6), (4, 9), (2, 7)]:
+            check_query(self.scheme, values, 10, low, high)
+
+
+class TestIntervalEncoding:
+    """Equations (4)-(6) plus the derived two-sided case analysis."""
+
+    def setup_method(self):
+        self.scheme = get_scheme("I")
+
+    def test_paper_figure5_index(self, paper_column):
+        """Figure 5(c): the interval-encoded index for the example data."""
+        bitmaps = self.scheme.build(paper_column, 10)
+        # I^0 = [0,4] marks records with values 0..4 (rows 0,1,2,3,5,7,11).
+        assert bitmaps[0].to_indices().tolist() == [0, 1, 2, 3, 5, 7, 11]
+        # I^4 = [4,8] marks rows with values 4..8 (rows 4,8,9,10,11).
+        assert bitmaps[4].to_indices().tolist() == [4, 8, 9, 10, 11]
+
+    def test_every_query_at_most_two_scans(self):
+        for c in (2, 3, 4, 5, 10, 11, 20, 21, 50):
+            for low in range(c):
+                for high in range(low, c):
+                    assert scans(self.scheme, c, low, high) <= 2, (c, low, high)
+
+    def test_stored_interval_single_scan(self):
+        # [v1, v1+m] is a stored bitmap: m = 4 at C = 10.
+        for v1 in (1, 2, 3):
+            assert scans(self.scheme, 10, v1, v1 + 4) == 1
+
+    def test_le_m_single_scan(self):
+        # "A <= m" is exactly I^0.
+        assert scans(self.scheme, 10, 0, 4) == 1
+
+    def test_equality_cases(self, rng):
+        values = rng.integers(0, 11, size=300)
+        for v in range(11):
+            check_query(self.scheme, values, 11, v, v)
+
+    @pytest.mark.parametrize("c", [2, 3, 4])
+    def test_tiny_domains(self, c, rng):
+        values = rng.integers(0, c, size=64)
+        for low in range(c):
+            for high in range(low, c):
+                check_query(self.scheme, values, c, low, high)
+
+    def test_two_sided_all_three_branches(self, rng):
+        # C = 20, m = 9: d < m with low small (AND of two), low large
+        # (complement form) and d > m (OR form).
+        values = rng.integers(0, 20, size=500)
+        for low, high in [(1, 3), (15, 17), (2, 18), (5, 14), (9, 12)]:
+            check_query(self.scheme, values, 20, low, high)
+
+    def test_update_cost_bounds(self):
+        # §4.2: interval encoding needs at most floor(C/2) updates.
+        for c in (10, 11, 50):
+            worst = max(
+                self.scheme.update_cost(c, v) for v in range(c)
+            )
+            assert worst == c // 2

@@ -1,0 +1,118 @@
+"""Tests for the binary (bit-sliced) encoding extension."""
+
+import numpy as np
+import pytest
+
+from repro.encoding import get_scheme
+from repro.encoding.binary import num_slices
+from repro.encoding.costmodel import expected_scans
+from repro.expr import evaluate, expression_scan_count, simplify
+from tests.conftest import naive_interval_vector
+
+
+def scans(scheme, c, low, high) -> int:
+    return expression_scan_count(simplify(scheme.interval_expr(c, low, high)))
+
+
+class TestCatalog:
+    def test_num_slices(self):
+        assert num_slices(1) == 0
+        assert num_slices(2) == 1
+        assert num_slices(50) == 6
+        assert num_slices(64) == 6
+        assert num_slices(65) == 7
+
+    def test_log_space(self):
+        scheme = get_scheme("B")
+        for c in (2, 5, 50, 200, 1000):
+            assert scheme.num_bitmaps(c) == num_slices(c)
+
+    def test_slices_mark_bits(self):
+        catalog = get_scheme("B").catalog(8)
+        assert catalog[0] == {1, 3, 5, 7}
+        assert catalog[1] == {2, 3, 6, 7}
+        assert catalog[2] == {4, 5, 6, 7}
+
+    def test_complete_for_any_c(self):
+        scheme = get_scheme("B")
+        for c in (1, 2, 3, 7, 50, 100):
+            assert scheme.is_complete(c)
+
+
+class TestScanCounts:
+    def test_every_interval_costs_at_most_k_scans(self):
+        scheme = get_scheme("B")
+        for c in (4, 7, 16, 50):
+            k = num_slices(c)
+            for low in range(c):
+                for high in range(low, c):
+                    assert scans(scheme, c, low, high) <= k, (c, low, high)
+
+    def test_expected_scans_log_like(self):
+        scheme = get_scheme("B")
+        assert expected_scans(scheme, 50, "EQ") <= 6.0
+        assert expected_scans(scheme, 50, "2RQ") <= 6.0
+
+    def test_le_with_trailing_ones_cheaper(self):
+        # A <= 31 at C = 50 depends only on slice 5.
+        scheme = get_scheme("B")
+        assert scans(scheme, 50, 0, 31) == 1
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("c", [1, 2, 3, 4, 5, 8, 9, 16, 23, 50])
+    def test_all_intervals_match_naive(self, c, rng):
+        scheme = get_scheme("B")
+        values = rng.integers(0, c, size=150)
+        bitmaps = scheme.build(values, c)
+        for low in range(c):
+            for high in range(low, c):
+                expr = simplify(scheme.interval_expr(c, low, high))
+                got = evaluate(expr, lambda key: bitmaps[key], 150)
+                assert got == naive_interval_vector(values, low, high), (
+                    c,
+                    low,
+                    high,
+                )
+
+    def test_works_in_bitmap_index(self, rng):
+        from repro.index import BitmapIndex, IndexSpec
+        from repro.queries import MembershipQuery
+
+        values = rng.integers(0, 50, size=2000)
+        index = BitmapIndex.build(
+            values, IndexSpec(cardinality=50, scheme="B", codec="bbc")
+        )
+        assert index.num_bitmaps() == 6
+        query = MembershipQuery.of({3, 17, 40, 41}, 50)
+        assert index.query(query).row_count == int(query.matches(values).sum())
+
+
+class TestDesignSpacePosition:
+    def test_smallest_space_of_all_schemes(self):
+        binary = get_scheme("B")
+        for other in ("E", "R", "I", "ER", "O", "EI", "EI*"):
+            assert binary.num_bitmaps(50) < get_scheme(other).num_bitmaps(50)
+
+    def test_incomparable_with_r_and_i(self):
+        """B trades time for space: neither dominates nor is dominated
+        by the range-style schemes."""
+        from repro.analysis.optimality import dominates, scheme_point
+
+        binary_point = scheme_point(get_scheme("B"), 50, "RQ")
+        for other in ("R", "I"):
+            other_point = scheme_point(get_scheme(other), 50, "RQ")
+            assert not dominates(other_point, binary_point)
+            assert not dominates(binary_point, other_point)
+
+    def test_dominates_equality_on_range_classes(self):
+        """For range queries B beats E in both space (6 vs 50 bitmaps)
+        and expected scans (~5.6 vs ~13) — another witness for Theorem
+        3.1(6), E's non-optimality for range classes."""
+        from repro.analysis.optimality import dominates, scheme_point
+
+        for q in ("1RQ", "2RQ", "RQ"):
+            assert dominates(
+                scheme_point(get_scheme("B"), 50, q),
+                scheme_point(get_scheme("E"), 50, q),
+            )

@@ -1,0 +1,132 @@
+"""Catalog-level tests: sizes, definitions and completeness per scheme.
+
+These check each scheme's *definition* against the paper: the number of
+stored bitmaps (the space costs quoted in §4.2 and §5) and the value
+set each bitmap represents.
+"""
+
+import pytest
+
+from repro.encoding import (
+    ALL_SCHEME_NAMES,
+    EXTENDED_SCHEME_NAMES,
+    get_scheme,
+)
+from repro.errors import EncodingSchemeError
+
+EVERY_SCHEME = ALL_SCHEME_NAMES + EXTENDED_SCHEME_NAMES
+CARDINALITIES = [1, 2, 3, 4, 5, 6, 7, 10, 11, 50, 51, 200]
+
+
+class TestSpaceCosts:
+    """The bitmap counts the paper states for each scheme."""
+
+    @pytest.mark.parametrize("c", [c for c in CARDINALITIES if c >= 3])
+    def test_equality_stores_c_bitmaps(self, c):
+        assert get_scheme("E").num_bitmaps(c) == c
+
+    def test_equality_c2_footnote(self):
+        # Footnote 2: for C = 2 only E^0 is stored.
+        assert get_scheme("E").num_bitmaps(2) == 1
+
+    @pytest.mark.parametrize("c", [c for c in CARDINALITIES if c >= 2])
+    def test_range_stores_c_minus_1(self, c):
+        assert get_scheme("R").num_bitmaps(c) == c - 1
+
+    @pytest.mark.parametrize("c", [c for c in CARDINALITIES if c >= 2])
+    def test_interval_stores_ceil_c_over_2(self, c):
+        assert get_scheme("I").num_bitmaps(c) == (c + 1) // 2
+
+    @pytest.mark.parametrize("c", [c for c in CARDINALITIES if c >= 4])
+    def test_er_stores_2c_minus_3(self, c):
+        # E (C bitmaps) + R (C-1) minus the virtual R^0 and R^{C-2}.
+        assert get_scheme("ER").num_bitmaps(c) == 2 * c - 3
+
+    @pytest.mark.parametrize("c", [c for c in CARDINALITIES if c >= 2])
+    def test_oreo_stores_c_minus_1(self, c):
+        assert get_scheme("O").num_bitmaps(c) == c - 1
+
+    @pytest.mark.parametrize("c", [c for c in CARDINALITIES if c >= 3])
+    def test_ei_stores_c_plus_ceil_c_over_2(self, c):
+        assert get_scheme("EI").num_bitmaps(c) == c + (c + 1) // 2
+
+    @pytest.mark.parametrize("c", [c for c in CARDINALITIES if c >= 5])
+    def test_ei_star_space_formula(self, c):
+        # Paper §5.4: ceil(C/2) + ceil((C-4)/2) bitmaps.
+        expected = (c + 1) // 2 + (c - 4 + 1) // 2
+        assert get_scheme("EI*").num_bitmaps(c) == expected
+
+    def test_ei_star_reduces_to_interval_for_small_c(self):
+        for c in (2, 3, 4):
+            assert (
+                get_scheme("EI*").num_bitmaps(c)
+                == get_scheme("I").num_bitmaps(c)
+            )
+
+    def test_ei_reduces_to_equality_below_c3(self):
+        assert get_scheme("EI").num_bitmaps(2) == get_scheme("E").num_bitmaps(2)
+
+
+class TestDefinitions:
+    def test_equality_bitmaps_are_singletons(self):
+        catalog = get_scheme("E").catalog(10)
+        assert all(catalog[v] == {v} for v in range(10))
+
+    def test_range_bitmaps_are_prefixes(self):
+        catalog = get_scheme("R").catalog(10)
+        assert all(catalog[v] == set(range(v + 1)) for v in range(9))
+
+    def test_interval_bitmaps_match_figure_4b(self):
+        # Figure 4(b), C = 10: I^j = [j, j+4], j = 0..4.
+        catalog = get_scheme("I").catalog(10)
+        assert {j: sorted(s) for j, s in catalog.items()} == {
+            j: list(range(j, j + 5)) for j in range(5)
+        }
+
+    def test_oreo_structure(self):
+        catalog = get_scheme("O").catalog(10)
+        # Odd slots are prefixes, even interior slots are pairs.
+        assert catalog[3] == set(range(4))
+        assert catalog[4] == {3, 4}
+        # The parity bitmap holds the even values.
+        assert catalog[9] == {0, 2, 4, 6, 8}
+
+    def test_ei_star_pairs(self):
+        # C = 10: m = 4, P^i = {i, i+5} for i = 1..3.
+        catalog = get_scheme("EI*").catalog(10)
+        for i in (1, 2, 3):
+            assert catalog[("P", i)] == {i, i + 5}
+
+    def test_interval_plus_is_interval_for_even_c(self):
+        assert get_scheme("I+").catalog(10) == get_scheme("I").catalog(10)
+
+    def test_interval_plus_odd_c_widens(self):
+        # C = 5: the footnote-4 variant stores [0,2], [1,3], [2,4].
+        catalog = get_scheme("I+").catalog(5)
+        assert {j: sorted(s) for j, s in catalog.items()} == {
+            0: [0, 1, 2],
+            1: [1, 2, 3],
+            2: [2, 3, 4],
+        }
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("name", EVERY_SCHEME)
+    @pytest.mark.parametrize("c", CARDINALITIES)
+    def test_every_scheme_complete(self, name, c):
+        assert get_scheme(name).is_complete(c), (name, c)
+
+    @pytest.mark.parametrize("name", EVERY_SCHEME)
+    def test_invalid_cardinality_rejected(self, name):
+        with pytest.raises(EncodingSchemeError):
+            get_scheme(name).catalog(0)
+
+
+class TestRegistry:
+    def test_unknown_scheme(self):
+        with pytest.raises(EncodingSchemeError):
+            get_scheme("Z")
+
+    def test_names_match_instances(self):
+        for name in EVERY_SCHEME:
+            assert get_scheme(name).name == name

@@ -1,0 +1,128 @@
+"""Tests for the analytic cost model against the paper's stated costs."""
+
+import pytest
+
+from repro.encoding import get_scheme
+from repro.encoding.costmodel import (
+    expected_scans,
+    query_class_queries,
+    space_cost,
+    update_costs,
+    worst_case_scans,
+)
+from repro.errors import QueryError
+
+
+class TestQueryClassEnumeration:
+    def test_eq_class(self):
+        assert list(query_class_queries(4, "EQ")) == [
+            (0, 0),
+            (1, 1),
+            (2, 2),
+            (3, 3),
+        ]
+
+    def test_1rq_class(self):
+        assert set(query_class_queries(5, "1RQ")) == {
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 4),
+            (2, 4),
+            (3, 4),
+        }
+
+    def test_2rq_class(self):
+        assert set(query_class_queries(5, "2RQ")) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_2rq_empty_below_c4(self):
+        assert list(query_class_queries(3, "2RQ")) == []
+
+    def test_rq_is_union(self):
+        rq = set(query_class_queries(6, "RQ"))
+        assert rq == set(query_class_queries(6, "1RQ")) | set(
+            query_class_queries(6, "2RQ")
+        )
+
+    def test_classes_are_disjoint(self):
+        eq = set(query_class_queries(8, "EQ"))
+        rq = set(query_class_queries(8, "RQ"))
+        assert not eq & rq
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(QueryError):
+            list(query_class_queries(5, "3RQ"))
+
+
+class TestExpectedScans:
+    """Spot-checks of Time(S, C, Q) against the paper's analysis."""
+
+    def test_equality_eq_is_one(self):
+        assert expected_scans(get_scheme("E"), 50, "EQ") == 1.0
+
+    def test_range_1rq_is_one(self):
+        assert expected_scans(get_scheme("R"), 50, "1RQ") == 1.0
+
+    def test_range_2rq_is_two(self):
+        assert expected_scans(get_scheme("R"), 50, "2RQ") == 2.0
+
+    def test_range_eq_approaches_two(self):
+        # (1 + 2(C-2) + 1) / C = 2 - 2/C.
+        assert expected_scans(get_scheme("R"), 50, "EQ") == pytest.approx(
+            2 - 2 / 50
+        )
+
+    def test_interval_all_classes_at_most_two(self):
+        scheme = get_scheme("I")
+        for c in (4, 10, 50, 51):
+            for q in ("EQ", "1RQ", "2RQ", "RQ"):
+                assert expected_scans(scheme, c, q) <= 2.0
+                assert worst_case_scans(scheme, c, q) <= 2
+
+    def test_equality_range_classes_grow_linearly(self):
+        # Equality encoding averages ~C/4 scans for 1RQ.
+        scheme = get_scheme("E")
+        assert expected_scans(scheme, 50, "1RQ") == pytest.approx(13.0)
+
+    def test_er_beats_both_parents_time(self):
+        er = get_scheme("ER")
+        assert expected_scans(er, 50, "EQ") == 1.0
+        assert expected_scans(er, 50, "1RQ") == 1.0
+        assert expected_scans(er, 50, "2RQ") == 2.0
+
+    def test_empty_class_zero(self):
+        assert expected_scans(get_scheme("E"), 3, "2RQ") == 0.0
+
+
+class TestSpace:
+    def test_space_cost_matches_catalog(self):
+        for name in ("E", "R", "I", "ER", "O", "EI", "EI*"):
+            scheme = get_scheme(name)
+            assert space_cost(scheme, 50) == scheme.num_bitmaps(50)
+
+
+class TestUpdateCosts:
+    """§4.2's best/expected/worst bitmap updates per new record."""
+
+    def test_equality_is_one_one_one(self):
+        costs = update_costs(get_scheme("E"), 50)
+        assert (costs.best, costs.expected, costs.worst) == (1, 1.0, 1)
+
+    def test_range_expected_half_c(self):
+        costs = update_costs(get_scheme("R"), 50)
+        # Value v sets bits in R^v..R^{C-2}; value C-1 sets none (the
+        # paper quotes best = 1 counting the bitmap append itself).
+        assert costs.expected == pytest.approx((50 - 1) / 2)
+        assert costs.worst == 49
+
+    def test_interval_expected_quarter_c(self):
+        costs = update_costs(get_scheme("I"), 50)
+        assert costs.expected == pytest.approx(50 / 4)
+        assert costs.worst == 25
+
+    def test_ordering_matches_section_4_2(self):
+        # E most update-efficient, R least, I in between.
+        e = update_costs(get_scheme("E"), 50).expected
+        i = update_costs(get_scheme("I"), 50).expected
+        r = update_costs(get_scheme("R"), 50).expected
+        assert e < i < r

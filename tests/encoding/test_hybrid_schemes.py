@@ -1,0 +1,188 @@
+"""Behavioural tests for the four hybrid schemes (Section 5) and the
+footnote-4 interval variant."""
+
+import numpy as np
+import pytest
+
+from repro.encoding import get_scheme
+from repro.expr import evaluate, expression_scan_count, simplify
+from tests.conftest import naive_interval_vector
+
+
+def scans(scheme, c, low, high) -> int:
+    return expression_scan_count(simplify(scheme.interval_expr(c, low, high)))
+
+
+def check_query(scheme, values, c, low, high) -> None:
+    bitmaps = scheme.build(values, c)
+    expr = simplify(scheme.interval_expr(c, low, high))
+    got = evaluate(expr, lambda k: bitmaps[k], len(values))
+    assert got == naive_interval_vector(values, low, high), (c, low, high)
+
+
+class TestEqualityRange:
+    def setup_method(self):
+        self.scheme = get_scheme("ER")
+
+    def test_equality_single_scan(self):
+        for v in range(10):
+            assert scans(self.scheme, 10, v, v) == 1
+
+    def test_one_sided_single_scan(self):
+        # Including the virtual R^0 = E^0 and R^{C-2} = NOT E^{C-1}.
+        for v in range(9):
+            assert scans(self.scheme, 10, 0, v) == 1
+        for v in range(1, 10):
+            assert scans(self.scheme, 10, v, 9) == 1
+
+    def test_two_sided_at_most_two_scans(self):
+        for low in range(1, 9):
+            for high in range(low + 1, 9):
+                assert scans(self.scheme, 10, low, high) <= 2
+
+    def test_virtual_bitmaps_not_materialized(self):
+        catalog = self.scheme.catalog(10)
+        assert ("R", 0) not in catalog
+        assert ("R", 8) not in catalog
+
+    @pytest.mark.parametrize("c", [2, 3, 4, 5, 10])
+    def test_correct_everywhere(self, c, rng):
+        values = rng.integers(0, c, size=128)
+        for low in range(c):
+            for high in range(low, c):
+                check_query(self.scheme, values, c, low, high)
+
+
+class TestOreo:
+    def setup_method(self):
+        self.scheme = get_scheme("O")
+
+    def test_odd_prefix_single_scan(self):
+        # "A <= v" for odd v is the stored range bitmap.
+        for v in (1, 3, 5, 7):
+            assert scans(self.scheme, 10, 0, v) == 1
+
+    def test_even_prefix_two_scans(self):
+        for v in (2, 4, 6, 8):
+            assert scans(self.scheme, 10, 0, v) == 2
+
+    def test_equality_at_most_three_scans(self):
+        for c in (2, 3, 4, 5, 6, 9, 10, 11, 50):
+            for v in range(c):
+                assert scans(self.scheme, c, v, v) <= 3, (c, v)
+
+    def test_space_equals_range_encoding(self):
+        for c in (5, 10, 50):
+            assert self.scheme.num_bitmaps(c) == c - 1
+
+    @pytest.mark.parametrize("c", [2, 3, 4, 5, 6, 7, 10, 11])
+    def test_correct_everywhere(self, c, rng):
+        values = rng.integers(0, c, size=128)
+        for low in range(c):
+            for high in range(low, c):
+                check_query(self.scheme, values, c, low, high)
+
+
+class TestEqualityInterval:
+    def setup_method(self):
+        self.scheme = get_scheme("EI")
+
+    def test_equality_single_scan(self):
+        for v in range(10):
+            assert scans(self.scheme, 10, v, v) == 1
+
+    def test_ranges_use_interval_bitmaps(self):
+        expr = simplify(self.scheme.interval_expr(10, 2, 6))
+        assert all(key[0] == "I" for key in expr.leaf_keys())
+
+    def test_equality_uses_equality_bitmaps(self):
+        expr = simplify(self.scheme.interval_expr(10, 4, 4))
+        assert all(key[0] == "E" for key in expr.leaf_keys())
+
+    def test_range_at_most_two_scans(self):
+        for low in range(10):
+            for high in range(low + 1, 10):
+                assert scans(self.scheme, 10, low, high) <= 2
+
+    @pytest.mark.parametrize("c", [2, 3, 5, 10])
+    def test_correct_everywhere(self, c, rng):
+        values = rng.integers(0, c, size=128)
+        for low in range(c):
+            for high in range(low, c):
+                check_query(self.scheme, values, c, low, high)
+
+
+class TestEqualityIntervalStar:
+    def setup_method(self):
+        self.scheme = get_scheme("EI*")
+
+    def test_pair_covered_equalities_share_i0(self):
+        # §5.4: equality on a pair-covered value uses P^i and I^0.
+        c = 10  # m = 4, pairs cover 1..3 and 6..8.
+        for v in (1, 2, 3):
+            keys = simplify(self.scheme.eq_expr(c, v)).leaf_keys()
+            assert keys == {("P", v), ("I", 0)}
+        for v in (6, 7, 8):
+            keys = simplify(self.scheme.eq_expr(c, v)).leaf_keys()
+            assert keys == {("P", v - 5), ("I", 0)}
+
+    def test_every_query_at_most_two_scans(self):
+        for c in (5, 10, 11, 50):
+            for low in range(c):
+                for high in range(low, c):
+                    assert scans(self.scheme, c, low, high) <= 2, (c, low, high)
+
+    def test_range_queries_match_interval_encoding(self):
+        interval = get_scheme("I")
+        for low, high in [(0, 4), (2, 7), (3, 9)]:
+            ours = scans(self.scheme, 10, low, high)
+            theirs = scans(interval, 10, low, high)
+            assert ours == theirs
+
+    @pytest.mark.parametrize("c", [2, 3, 4, 5, 6, 7, 10, 11])
+    def test_correct_everywhere(self, c, rng):
+        values = rng.integers(0, c, size=128)
+        for low in range(c):
+            for high in range(low, c):
+                check_query(self.scheme, values, c, low, high)
+
+
+class TestIntervalPlus:
+    def setup_method(self):
+        self.scheme = get_scheme("I+")
+
+    def test_matches_interval_for_even_c(self):
+        interval = get_scheme("I")
+        for c in (4, 10, 50):
+            for low in range(c):
+                for high in range(low, c):
+                    assert scans(self.scheme, c, low, high) == scans(
+                        interval, c, low, high
+                    )
+
+    def test_odd_c_ge_uses_mirror(self):
+        # C = 5, m = 2: "A >= 2" is exactly the stored I^2 = [2,4].
+        expr = simplify(self.scheme.interval_expr(5, 2, 4))
+        assert expr.leaf_keys() == {2}
+
+    def test_every_query_at_most_two_scans(self):
+        for c in (3, 5, 7, 9, 11, 51):
+            for low in range(c):
+                for high in range(low, c):
+                    assert scans(self.scheme, c, low, high) <= 2, (c, low, high)
+
+    def test_better_expected_1rq_than_interval_at_odd_c(self):
+        from repro.encoding.costmodel import expected_scans
+
+        interval = get_scheme("I")
+        for c in (5, 7, 9, 21):
+            assert expected_scans(self.scheme, c, "1RQ") < expected_scans(
+                interval, c, "1RQ"
+            )
+
+    @pytest.mark.parametrize("c", [2, 3, 5, 7, 9, 11])
+    def test_correct_everywhere(self, c, rng):
+        values = rng.integers(0, c, size=128)
+        for low in range(c):
+            for high in range(low, c):
+                check_query(self.scheme, values, c, low, high)

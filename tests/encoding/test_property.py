@@ -1,0 +1,115 @@
+"""Property-based tests: every scheme answers every query correctly.
+
+The central invariant of the whole library: for any cardinality, any
+data column and any interval query, the expression a scheme produces
+evaluates to exactly the naive scan's answer — and it never touches
+more bitmaps than the paper's bounds allow.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmap import BitVector
+from repro.encoding import ALL_SCHEME_NAMES, EXTENDED_SCHEME_NAMES, get_scheme
+from repro.expr import evaluate, expression_scan_count, simplify
+from repro.expr.planner import minimal_scan_cost
+
+EVERY_SCHEME = ALL_SCHEME_NAMES + EXTENDED_SCHEME_NAMES
+
+#: Per-scheme worst-case scan bounds for any interval query (E's bound
+#: is ceil(C/2); hybrids are bounded by their range-side plan; OREO
+#: needs up to 2 scans per one-sided constituent of a two-sided query).
+WORST_CASE = {
+    "E": lambda c: max(1, c // 2),
+    "R": lambda c: 2,
+    "I": lambda c: 2,
+    "I+": lambda c: 2,
+    "ER": lambda c: 2,
+    "O": lambda c: 4,
+    "EI": lambda c: 2,
+    "EI*": lambda c: 2,
+    # Binary encoding touches every slice: ceil(log2 C) scans.
+    "B": lambda c: max(1, (c - 1).bit_length()),
+}
+
+
+@st.composite
+def scheme_data_query(draw):
+    name = draw(st.sampled_from(EVERY_SCHEME))
+    cardinality = draw(st.integers(min_value=1, max_value=24))
+    low = draw(st.integers(min_value=0, max_value=cardinality - 1))
+    high = draw(st.integers(min_value=low, max_value=cardinality - 1))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    size = draw(st.integers(min_value=0, max_value=120))
+    return name, cardinality, low, high, seed, size
+
+
+@given(case=scheme_data_query())
+@settings(max_examples=400, deadline=None)
+def test_expression_matches_naive_scan(case):
+    name, cardinality, low, high, seed, size = case
+    scheme = get_scheme(name)
+    values = np.random.default_rng(seed).integers(0, cardinality, size=size)
+    bitmaps = scheme.build(values, cardinality)
+    expr = simplify(scheme.interval_expr(cardinality, low, high))
+    got = evaluate(expr, lambda key: bitmaps[key], size)
+    want = BitVector.from_bools((values >= low) & (values <= high))
+    assert got == want
+
+
+@given(case=scheme_data_query())
+@settings(max_examples=300, deadline=None)
+def test_scan_bound_honoured(case):
+    name, cardinality, low, high, _, _ = case
+    scheme = get_scheme(name)
+    expr = simplify(scheme.interval_expr(cardinality, low, high))
+    assert expression_scan_count(expr) <= WORST_CASE[name](cardinality)
+
+
+@given(
+    name=st.sampled_from(("R", "I", "I+")),
+    cardinality=st.integers(min_value=2, max_value=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_two_scan_schemes_are_scan_minimal_up_to_one(name, cardinality):
+    """For R/I/I+, the hand-derived expressions are within one scan of
+    the information-theoretic minimum for every interval query."""
+    scheme = get_scheme(name)
+    catalog = dict(scheme.catalog(cardinality))
+    domain = list(range(cardinality))
+    for low in range(cardinality):
+        for high in range(low, cardinality):
+            if low == 0 and high == cardinality - 1:
+                continue
+            expr = simplify(scheme.interval_expr(cardinality, low, high))
+            used = expression_scan_count(expr)
+            best = minimal_scan_cost(catalog, domain, frozenset(range(low, high + 1)))
+            assert used <= best + 1, (name, cardinality, low, high)
+
+
+@given(
+    name=st.sampled_from(EVERY_SCHEME),
+    cardinality=st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=120, deadline=None)
+def test_catalog_is_complete(name, cardinality):
+    assert get_scheme(name).is_complete(cardinality)
+
+
+@given(
+    name=st.sampled_from(EVERY_SCHEME),
+    cardinality=st.integers(min_value=2, max_value=20),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_build_bitmaps_match_catalog_semantics(name, cardinality, seed):
+    """Built bitmaps mark exactly the records whose value is in the
+    slot's value set."""
+    scheme = get_scheme(name)
+    values = np.random.default_rng(seed).integers(0, cardinality, size=80)
+    bitmaps = scheme.build(values, cardinality)
+    for slot, value_set in scheme.catalog(cardinality).items():
+        expected = BitVector.from_bools(
+            np.isin(values, np.fromiter(value_set, dtype=np.int64))
+        )
+        assert bitmaps[slot] == expected

@@ -1,0 +1,187 @@
+"""Integration tests: each experiment runs (at reduced scale) and
+reproduces the paper's qualitative shapes."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentConfig, run_experiment
+
+#: Small but meaningful scale so the whole file runs in seconds.
+CONFIG = ExperimentConfig(num_records=8_000, component_counts=(1, 2, 3))
+
+
+@pytest.fixture(scope="module")
+def figure6():
+    return run_experiment("figure6", CONFIG)
+
+
+@pytest.fixture(scope="module")
+def figure7():
+    return run_experiment("figure7", CONFIG)
+
+
+class TestRunner:
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("figure99")
+
+    def test_result_column_access(self, figure6):
+        assert len(figure6.column("scheme")) == len(figure6.rows)
+        with pytest.raises(ExperimentError):
+            figure6.column("nope")
+
+    def test_render_contains_rows(self, figure6):
+        text = figure6.render()
+        assert "Figure 6" in text
+        assert "I" in text
+
+
+class TestFigure6Shapes:
+    def row(self, result, scheme, n):
+        for r in result.rows:
+            if r[0] == scheme and r[1] == n:
+                return r
+        raise AssertionError((scheme, n))
+
+    def test_one_component_uncompressed_ordering(self, figure6):
+        # (a) at n=1: I ~ 0.5, R ~ 0.98, E = 1.0.
+        e = self.row(figure6, "E", 1)[3]
+        r = self.row(figure6, "R", 1)[3]
+        i = self.row(figure6, "I", 1)[3]
+        assert i < r < e
+        assert e == pytest.approx(1.0)
+        assert i == pytest.approx(0.5)
+
+    def test_compressibility_ordering(self, figure6):
+        # (b) at n=1: E compresses best, I worst.
+        e = self.row(figure6, "E", 1)[4]
+        r = self.row(figure6, "R", 1)[4]
+        i = self.row(figure6, "I", 1)[4]
+        assert e < r < i
+        assert i == pytest.approx(1.0, abs=0.05)
+
+    def test_space_decreases_with_components(self, figure6):
+        for scheme in ("E", "R", "I"):
+            ratios = [self.row(figure6, scheme, n)[3] for n in (1, 2, 3)]
+            assert ratios[0] >= ratios[1] >= ratios[2]
+
+    def test_interval_most_space_efficient_uncompressed(self, figure6):
+        for n in (1, 2, 3):
+            i = self.row(figure6, "I", n)[3]
+            assert i <= self.row(figure6, "E", n)[3]
+            assert i <= self.row(figure6, "R", n)[3]
+
+
+class TestFigure7Shapes:
+    def test_skew_improves_compression(self, figure7):
+        for row in figure7.rows:
+            # Ratios from z=0 to z=3 should broadly decrease; allow a
+            # small wobble between adjacent z values.
+            z0, z3 = row[2], row[-1]
+            assert z3 < z0
+
+    def test_gap_narrows_with_skew(self, figure7):
+        # Spread across schemes at n=1 shrinks from z=0 to z=3.
+        n1 = [row for row in figure7.rows if row[0] == 1]
+        spread_z0 = max(r[2] for r in n1) - min(r[2] for r in n1)
+        spread_z3 = max(r[-1] for r in n1) - min(r[-1] for r in n1)
+        assert spread_z3 < spread_z0
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def figure8(self):
+        config = ExperimentConfig(
+            num_records=4_000, component_counts=(1, 2), queries_per_set=3
+        )
+        return run_experiment("figure8", config)
+
+    def test_all_query_sets_present(self, figure8):
+        sets = {row[0] for row in figure8.rows}
+        assert len(sets) == 8
+
+    def test_every_set_has_a_frontier(self, figure8):
+        for label in {row[0] for row in figure8.rows}:
+            marks = [row[4] for row in figure8.rows if row[0] == label]
+            assert "*" in marks
+
+    def test_equality_wins_equality_only_sets(self, figure8):
+        """The paper: E is the winner when N_equ == N_int."""
+        rows = [r for r in figure8.rows if r[0] == "Nint=1,Nequ=1"]
+        fastest = min(rows, key=lambda r: r[3])
+        assert fastest[1].startswith("E")
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def figure9(self):
+        config = ExperimentConfig(
+            num_records=4_000,
+            component_counts=(1, 2),
+            queries_per_set=3,
+            skews=(0.0, 2.0),
+        )
+        return run_experiment("figure9", config)
+
+    def test_two_skew_levels(self, figure9):
+        assert {row[0] for row in figure9.rows} == {"0", "2"}
+
+    def test_compressed_space_shrinks_with_skew(self, figure9):
+        def space(z, design):
+            for row in figure9.rows:
+                if row[0] == z and row[1] == design:
+                    return row[2]
+            raise AssertionError(design)
+
+        assert space("2", "E<50>/bbc") < space("0", "E<50>/bbc")
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        import repro.experiments.table1 as t1
+
+        # Restrict the exhaustive search to the fast cardinalities; the
+        # full (4, 5, 6) run is exercised by the benchmark harness.
+        original = t1.SEARCH_CARDINALITIES
+        t1.SEARCH_CARDINALITIES = (4, 5)
+        try:
+            return run_experiment("table1", ExperimentConfig())
+        finally:
+            t1.SEARCH_CARDINALITIES = original
+
+    def test_matches_paper_at_c4(self, table1):
+        rows = {
+            (r[1], r[2]): r[3] for r in table1.rows if r[0] == 4
+        }
+        assert rows[("EQ", "E")] == "optimal"
+        assert rows[("EQ", "R")] == "optimal"
+        assert rows[("2RQ", "R")] == "not optimal"
+        assert rows[("2RQ", "I")] == "optimal"
+        assert rows[("1RQ", "E")] == "not optimal"
+
+    def test_dominance_rows_present(self, table1):
+        methods = [r[4] for r in table1.rows]
+        assert any(m.startswith("dominance") for m in methods)
+
+    def test_deviation_note_recorded(self, table1):
+        assert any("DEVIATION" in note for note in table1.notes)
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def figure3(self):
+        return run_experiment(
+            "figure3", ExperimentConfig(cardinality=20, component_counts=(1, 2))
+        )
+
+    def test_all_classes_present(self, figure3):
+        assert {row[0] for row in figure3.rows} == {"EQ", "1RQ", "2RQ", "RQ"}
+
+    def test_interval_on_frontier_for_2rq(self, figure3):
+        rows = [r for r in figure3.rows if r[0] == "2RQ" and r[1] == "I<20>"]
+        assert rows and rows[0][4] == "*"
+
+    def test_equality_on_frontier_for_eq(self, figure3):
+        rows = [r for r in figure3.rows if r[0] == "EQ" and r[1] == "E<20>"]
+        assert rows and rows[0][4] == "*"

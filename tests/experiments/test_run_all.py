@@ -1,0 +1,35 @@
+"""Tests for the run-everything entry point (and its CLI hook)."""
+
+import pytest
+
+import repro.experiments.table1 as table1_module
+from repro.experiments import (
+    EXPERIMENT_NAMES,
+    ExperimentConfig,
+    run_all,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = ExperimentConfig(
+        num_records=3000, component_counts=(1, 2), queries_per_set=2
+    )
+    original = table1_module.SEARCH_CARDINALITIES
+    table1_module.SEARCH_CARDINALITIES = (4,)
+    try:
+        return run_all(config)
+    finally:
+        table1_module.SEARCH_CARDINALITIES = original
+
+
+def test_every_experiment_runs(results):
+    assert set(results) == set(EXPERIMENT_NAMES)
+    for name, result in results.items():
+        assert result.rows, name
+
+
+def test_results_render(results):
+    for result in results.values():
+        text = result.render()
+        assert text.splitlines()[0].startswith(("Figure", "Table"))

@@ -1,0 +1,86 @@
+"""Tests for the expression evaluator: correctness, CSE, accounting."""
+
+import pytest
+
+from repro.bitmap import BitVector
+from repro.errors import BitmapError
+from repro.expr import EvalStats, evaluate, expression_scan_count, leaf, one, zero
+
+LENGTH = 16
+BITMAPS = {
+    "a": BitVector.from_indices(LENGTH, [0, 1, 2, 3]),
+    "b": BitVector.from_indices(LENGTH, [2, 3, 4, 5]),
+    "c": BitVector.from_indices(LENGTH, [15]),
+}
+
+
+def fetch(key):
+    return BITMAPS[key]
+
+
+class TestCorrectness:
+    def test_leaf(self):
+        assert evaluate(leaf("a"), fetch, LENGTH) == BITMAPS["a"]
+
+    def test_constants(self):
+        assert evaluate(one(), fetch, LENGTH) == BitVector.ones(LENGTH)
+        assert evaluate(zero(), fetch, LENGTH) == BitVector.zeros(LENGTH)
+
+    def test_compound(self):
+        expr = (leaf("a") & leaf("b")) | leaf("c")
+        result = evaluate(expr, fetch, LENGTH)
+        assert result.to_indices().tolist() == [2, 3, 15]
+
+    def test_xor_and_not(self):
+        expr = ~(leaf("a") ^ leaf("b"))
+        result = evaluate(expr, fetch, LENGTH)
+        assert result.to_indices().tolist() == [2, 3] + list(range(6, 16))
+
+    def test_length_mismatch_detected(self):
+        with pytest.raises(BitmapError):
+            evaluate(leaf("a"), fetch, LENGTH + 1)
+
+    def test_result_does_not_alias_fetched_bitmap(self):
+        expr = leaf("a") & leaf("b")
+        result = evaluate(expr, fetch, LENGTH)
+        result[10] = True
+        assert not BITMAPS["a"][10]
+
+
+class TestAccounting:
+    def test_scan_count_distinct_leaves(self):
+        expr = (leaf("a") & leaf("b")) | (leaf("a") & leaf("c"))
+        assert expression_scan_count(expr) == 3
+        stats = EvalStats()
+        evaluate(expr, fetch, LENGTH, stats)
+        assert stats.scans == 3
+        assert sorted(stats.fetched_keys) == ["a", "b", "c"]
+
+    def test_cache_shared_across_evaluations(self):
+        cache = {}
+        stats = EvalStats()
+        evaluate(leaf("a") & leaf("b"), fetch, LENGTH, stats, cache)
+        evaluate(leaf("a") | leaf("c"), fetch, LENGTH, stats, cache)
+        # "a" fetched once thanks to the shared cache.
+        assert stats.scans == 3
+
+    def test_operations_counted(self):
+        stats = EvalStats()
+        evaluate((leaf("a") & leaf("b")) | ~leaf("c"), fetch, LENGTH, stats)
+        # one AND, one NOT, one OR.
+        assert stats.operations == 3
+
+    def test_cse_identical_subtrees_evaluated_once(self):
+        shared = leaf("a") & leaf("b")
+        stats = EvalStats()
+        evaluate(shared | shared, fetch, LENGTH, stats)
+        # AND once plus the outer OR == 2 operations, not 3.
+        assert stats.operations == 2
+
+    def test_merge(self):
+        a = EvalStats(scans=1, operations=2, fetched_keys=["a"])
+        b = EvalStats(scans=3, operations=4, fetched_keys=["b"])
+        a.merge(b)
+        assert a.scans == 4
+        assert a.operations == 6
+        assert a.fetched_keys == ["a", "b"]

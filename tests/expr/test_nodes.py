@@ -1,0 +1,94 @@
+"""Unit tests for expression AST nodes."""
+
+import pytest
+
+from repro.expr import (
+    And,
+    Const,
+    Leaf,
+    Not,
+    Or,
+    Xor,
+    and_of,
+    leaf,
+    not_of,
+    one,
+    or_of,
+    xor_of,
+    zero,
+)
+
+DOMAIN = frozenset(range(6))
+CATALOG = {
+    "a": frozenset({0, 1, 2}),
+    "b": frozenset({2, 3}),
+    "c": frozenset({5}),
+}
+
+
+class TestStructure:
+    def test_leaf_keys_deduplicate(self):
+        expr = (leaf("a") & leaf("b")) | leaf("a")
+        assert expr.leaf_keys() == {"a", "b"}
+        assert len(expr.leaves()) == 3
+
+    def test_walk_visits_all_nodes(self):
+        expr = Not(And((leaf("a"), leaf("b"))))
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds == ["Not", "And", "Leaf", "Leaf"]
+
+    def test_equality_and_hash(self):
+        assert leaf("a") & leaf("b") == And((Leaf("a"), Leaf("b")))
+        assert hash(leaf("a")) == hash(Leaf("a"))
+        assert leaf("a") != leaf("b")
+
+    def test_str_rendering(self):
+        expr = Not(Or((leaf("a"), Xor((leaf("b"), leaf("c"))))))
+        text = str(expr)
+        assert "NOT" in text and "OR" in text and "XOR" in text
+
+    def test_operator_sugar_builds_nodes(self):
+        assert isinstance(leaf("a") & leaf("b"), And)
+        assert isinstance(leaf("a") | leaf("b"), Or)
+        assert isinstance(leaf("a") ^ leaf("b"), Xor)
+        assert isinstance(~leaf("a"), Not)
+
+
+class TestValueSetSemantics:
+    def test_leaf(self):
+        assert leaf("a").value_set(CATALOG, DOMAIN) == {0, 1, 2}
+
+    def test_const(self):
+        assert one().value_set(CATALOG, DOMAIN) == DOMAIN
+        assert zero().value_set(CATALOG, DOMAIN) == frozenset()
+
+    def test_and_or_xor_not(self):
+        a, b = leaf("a"), leaf("b")
+        assert (a & b).value_set(CATALOG, DOMAIN) == {2}
+        assert (a | b).value_set(CATALOG, DOMAIN) == {0, 1, 2, 3}
+        assert (a ^ b).value_set(CATALOG, DOMAIN) == {0, 1, 3}
+        assert (~a).value_set(CATALOG, DOMAIN) == {3, 4, 5}
+
+    def test_nested_expression(self):
+        expr = Not(Or((leaf("a"), leaf("c"))))
+        assert expr.value_set(CATALOG, DOMAIN) == {3, 4}
+
+
+class TestConstructors:
+    def test_not_of_collapses_double_negation(self):
+        assert not_of(not_of(leaf("a"))) == leaf("a")
+        assert not_of(one()) == zero()
+
+    def test_nary_of_empty(self):
+        assert and_of([]) == one()
+        assert or_of([]) == zero()
+        assert xor_of([]) == zero()
+
+    def test_nary_of_single(self):
+        assert and_of([leaf("a")]) == leaf("a")
+        assert or_of([leaf("a")]) == leaf("a")
+
+    def test_nary_of_many(self):
+        expr = or_of([leaf("a"), leaf("b"), leaf("c")])
+        assert isinstance(expr, Or)
+        assert len(expr.operands) == 3

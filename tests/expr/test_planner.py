@@ -1,0 +1,89 @@
+"""Tests for the brute-force minimal-scan planner."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.expr import evaluate, minimal_scan_cost, plan_expression
+from repro.bitmap import BitVector
+
+DOMAIN = list(range(6))
+
+# Range-encoded catalog for C = 6.
+RANGE_CATALOG = {f"R{v}": frozenset(range(v + 1)) for v in range(5)}
+
+
+class TestMinimalScanCost:
+    def test_trivial_targets_cost_zero(self):
+        assert minimal_scan_cost(RANGE_CATALOG, DOMAIN, frozenset()) == 0
+        assert minimal_scan_cost(RANGE_CATALOG, DOMAIN, frozenset(DOMAIN)) == 0
+
+    def test_stored_bitmap_costs_one(self):
+        assert minimal_scan_cost(RANGE_CATALOG, DOMAIN, frozenset({0, 1, 2})) == 1
+
+    def test_complement_costs_one(self):
+        # {3,4,5} = NOT R2: complements are free.
+        assert minimal_scan_cost(RANGE_CATALOG, DOMAIN, frozenset({3, 4, 5})) == 1
+
+    def test_interior_equality_costs_two(self):
+        # {3} = R3 XOR R2 under range encoding.
+        assert minimal_scan_cost(RANGE_CATALOG, DOMAIN, frozenset({3})) == 2
+
+    def test_unexpressible_raises(self):
+        catalog = {"x": frozenset({0, 1, 2})}
+        with pytest.raises(PlanningError):
+            minimal_scan_cost(catalog, DOMAIN, frozenset({0}))
+
+    def test_max_scans_respected(self):
+        with pytest.raises(PlanningError):
+            minimal_scan_cost(
+                RANGE_CATALOG, DOMAIN, frozenset({3}), max_scans=1
+            )
+
+
+class TestPlanExpression:
+    def _bitmaps(self, values_column):
+        return {
+            key: BitVector.from_bools(
+                [v in value_set for v in values_column]
+            )
+            for key, value_set in RANGE_CATALOG.items()
+        }
+
+    @pytest.mark.parametrize(
+        "target",
+        [frozenset({2}), frozenset({1, 2, 3}), frozenset({0, 5}), frozenset({4, 5})],
+    )
+    def test_witness_evaluates_to_target(self, target):
+        column = [0, 1, 2, 3, 4, 5, 2, 5, 0]
+        expr = plan_expression(RANGE_CATALOG, DOMAIN, target)
+        # Scan-minimality of the witness.
+        assert len(expr.leaf_keys()) == minimal_scan_cost(
+            RANGE_CATALOG, DOMAIN, target
+        )
+        bitmaps = self._bitmaps(column)
+        result = evaluate(expr, lambda k: bitmaps[k], len(column))
+        expected = BitVector.from_bools([v in target for v in column])
+        assert result == expected
+
+    def test_trivial_plans(self):
+        assert str(plan_expression(RANGE_CATALOG, DOMAIN, frozenset())) == "ZERO"
+        assert (
+            str(plan_expression(RANGE_CATALOG, DOMAIN, frozenset(DOMAIN))) == "ONE"
+        )
+
+    def test_planner_agrees_with_interval_encoding_bounds(self):
+        """The planner confirms the paper's <= 2-scan guarantee for I."""
+        from repro.encoding import get_scheme
+
+        scheme = get_scheme("I")
+        for cardinality in (4, 5, 8, 9):
+            catalog = dict(scheme.catalog(cardinality))
+            domain = list(range(cardinality))
+            for low in range(cardinality):
+                for high in range(low, cardinality):
+                    if low == 0 and high == cardinality - 1:
+                        continue
+                    target = frozenset(range(low, high + 1))
+                    assert (
+                        minimal_scan_cost(catalog, domain, target) <= 2
+                    ), (cardinality, low, high)

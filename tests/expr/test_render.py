@@ -1,0 +1,55 @@
+"""Tests for expression tree/DOT rendering."""
+
+from repro.expr import leaf, not_of, one, to_dot, to_tree
+
+
+class TestToTree:
+    def test_indented_structure(self):
+        expr = (leaf("a") & leaf("b")) | not_of(leaf("c"))
+        text = to_tree(expr)
+        lines = text.splitlines()
+        assert lines[0] == "OR"
+        assert "  AND" in lines
+        assert "    bitmap 'a'" in lines
+        assert "  NOT" in lines
+
+    def test_constants(self):
+        assert to_tree(one()) == "ONE"
+
+    def test_leaf_only(self):
+        assert to_tree(leaf((0, 3))) == "bitmap (0, 3)"
+
+
+class TestToDot:
+    def test_valid_dot_structure(self):
+        expr = leaf("a") ^ leaf("b")
+        dot = to_dot(expr, graph_name="g")
+        assert dot.startswith("digraph g {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="XOR"' in dot
+        assert dot.count("->") == 2
+
+    def test_shared_subexpressions_collapse(self):
+        shared = leaf("a") & leaf("b")
+        expr = shared | shared
+        dot = to_dot(expr)
+        # The AND node and its leaves appear once; OR points at the AND twice.
+        assert dot.count('label="AND"') == 1
+        assert dot.count('label="bitmap \'a\'"') == 1
+
+    def test_leaves_are_boxes(self):
+        dot = to_dot(leaf("a") & one())
+        assert "shape=box" in dot
+        assert "shape=ellipse" in dot
+
+    def test_rewriter_output_renders(self):
+        from repro.encoding import get_scheme
+        from repro.index.rewrite import QueryRewriter
+        from repro.queries import MembershipQuery
+
+        rewriter = QueryRewriter(100, (10, 10), get_scheme("E"))
+        expr = rewriter.rewrite(MembershipQuery.of({5, 40, 41, 42}, 100))
+        dot = to_dot(expr)
+        assert "digraph" in dot
+        text = to_tree(expr)
+        assert "bitmap" in text

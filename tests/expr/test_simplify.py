@@ -1,0 +1,103 @@
+"""Tests for algebraic simplification, including a hypothesis
+equivalence property (simplified expressions denote the same set)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import (
+    And,
+    Not,
+    Or,
+    Xor,
+    and_of,
+    leaf,
+    one,
+    or_of,
+    simplify,
+    xor_of,
+    zero,
+)
+
+DOMAIN = frozenset(range(8))
+CATALOG = {
+    "a": frozenset({0, 1, 2, 3}),
+    "b": frozenset({2, 3, 4, 5}),
+    "c": frozenset({0, 7}),
+}
+
+
+class TestRules:
+    def test_constant_folding_and(self):
+        assert simplify(leaf("a") & zero()) == zero()
+        assert simplify(leaf("a") & one()) == leaf("a")
+
+    def test_constant_folding_or(self):
+        assert simplify(leaf("a") | one()) == one()
+        assert simplify(leaf("a") | zero()) == leaf("a")
+
+    def test_idempotence(self):
+        assert simplify(leaf("a") & leaf("a")) == leaf("a")
+        assert simplify(leaf("a") | leaf("a")) == leaf("a")
+
+    def test_annihilation(self):
+        assert simplify(leaf("a") & ~leaf("a")) == zero()
+        assert simplify(leaf("a") | ~leaf("a")) == one()
+
+    def test_double_negation(self):
+        assert simplify(~~leaf("a")) == leaf("a")
+
+    def test_flattening(self):
+        expr = And((leaf("a"), And((leaf("b"), leaf("c")))))
+        result = simplify(expr)
+        assert isinstance(result, And)
+        assert len(result.operands) == 3
+
+    def test_xor_pair_cancellation(self):
+        assert simplify(leaf("a") ^ leaf("a")) == zero()
+        assert simplify(xor_of([leaf("a"), leaf("b"), leaf("a")])) == leaf("b")
+
+    def test_xor_with_one_becomes_not(self):
+        assert simplify(leaf("a") ^ one()) == Not(leaf("a"))
+
+    def test_xor_of_negations(self):
+        # NOT a XOR NOT b == a XOR b (two complements cancel).
+        result = simplify(Not(leaf("a")) ^ Not(leaf("b")))
+        assert result == simplify(leaf("a") ^ leaf("b"))
+
+    def test_never_more_leaves(self):
+        expr = Or((leaf("a"), leaf("a"), And((leaf("b"), one())), zero()))
+        assert len(simplify(expr).leaf_keys()) <= len(expr.leaf_keys())
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: simplification preserves set semantics.
+# ---------------------------------------------------------------------------
+
+leaves = st.sampled_from([leaf("a"), leaf("b"), leaf("c"), one(), zero()])
+
+
+def exprs(depth: int):
+    if depth == 0:
+        return leaves
+    sub = exprs(depth - 1)
+    return st.one_of(
+        leaves,
+        st.builds(Not, sub),
+        st.builds(lambda x, y: And((x, y)), sub, sub),
+        st.builds(lambda x, y: Or((x, y)), sub, sub),
+        st.builds(lambda x, y: Xor((x, y)), sub, sub),
+    )
+
+
+@given(expr=exprs(4))
+@settings(max_examples=300)
+def test_simplify_preserves_semantics(expr):
+    before = expr.value_set(CATALOG, DOMAIN)
+    after = simplify(expr).value_set(CATALOG, DOMAIN)
+    assert before == after
+
+
+@given(expr=exprs(4))
+@settings(max_examples=200)
+def test_simplify_is_idempotent(expr):
+    once = simplify(expr)
+    assert simplify(once) == once

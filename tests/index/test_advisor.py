@@ -1,0 +1,104 @@
+"""Tests for the index design advisor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.index import recommend
+from repro.index.advisor import candidate_specs
+from repro.queries import IntervalQuery, MembershipQuery
+from repro.workload import zipf_column
+
+
+@pytest.fixture(scope="module")
+def setup():
+    values = zipf_column(5000, 20, 1.0, seed=2)
+    workload = {
+        "ranges": [IntervalQuery(2, 15, 20), IntervalQuery(0, 9, 20)],
+        "points": [MembershipQuery.of({3, 7}, 20)],
+    }
+    return values, workload
+
+
+class TestCandidates:
+    def test_grid_shape(self):
+        specs = candidate_specs(20, schemes=("E", "I"), component_counts=(1, 2))
+        assert len(specs) == 2 * 2 * 2  # schemes x n x codecs
+
+    def test_infeasible_components_skipped(self):
+        specs = candidate_specs(4, schemes=("E",), component_counts=(1, 2, 3))
+        # 2^3 > 4, so n = 3 is dropped.
+        assert {len(s.resolved_bases()) for s in specs} == {1, 2}
+
+
+class TestRecommend:
+    def test_best_respects_budget(self, setup):
+        values, workload = setup
+        outcome = recommend(
+            values,
+            20,
+            workload,
+            space_budget_bytes=10_000,
+            schemes=("E", "R", "I"),
+            component_counts=(1, 2),
+            sample_records=None,
+        )
+        assert outcome.best is not None
+        assert outcome.best.space_bytes <= 10_000
+
+    def test_impossible_budget_returns_none(self, setup):
+        values, workload = setup
+        outcome = recommend(
+            values, 20, workload, space_budget_bytes=1, sample_records=None,
+            schemes=("E",), component_counts=(1,),
+        )
+        assert outcome.best is None
+        assert outcome.candidates  # still measured
+
+    def test_no_budget_returns_fastest(self, setup):
+        values, workload = setup
+        outcome = recommend(
+            values, 20, workload, schemes=("E", "I"), component_counts=(1,),
+            sample_records=None,
+        )
+        assert outcome.best is not None
+        assert outcome.best.avg_time_ms == min(
+            p.avg_time_ms for p in outcome.candidates
+        )
+
+    def test_frontier_is_nondominated(self, setup):
+        values, workload = setup
+        outcome = recommend(
+            values, 20, workload, schemes=("E", "R", "I"),
+            component_counts=(1, 2), sample_records=None,
+        )
+        for a in outcome.frontier:
+            for b in outcome.candidates:
+                strictly_better = (
+                    b.space_bytes <= a.space_bytes
+                    and b.avg_time_ms <= a.avg_time_ms
+                    and (
+                        b.space_bytes < a.space_bytes
+                        or b.avg_time_ms < a.avg_time_ms
+                    )
+                )
+                assert not strictly_better
+
+    def test_sampling_scales_space(self, setup):
+        values, workload = setup
+        big = np.concatenate([values] * 4)
+        sampled = recommend(
+            big, 20, workload, schemes=("E",), component_counts=(1,),
+            codecs=("raw",), sample_records=5000,
+        )
+        full = recommend(
+            big, 20, workload, schemes=("E",), component_counts=(1,),
+            codecs=("raw",), sample_records=None,
+        )
+        ratio = sampled.candidates[0].space_bytes / full.candidates[0].space_bytes
+        assert 0.9 < ratio < 1.1
+
+    def test_empty_workload_rejected(self, setup):
+        values, _ = setup
+        with pytest.raises(ExperimentError):
+            recommend(values, 20, {}, sample_records=None)

@@ -1,0 +1,126 @@
+"""Tests for batch index updates (§4.2's batched-update setting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmap import BitVector, concatenate
+from repro.errors import EncodingSchemeError
+from repro.index import BitmapIndex, IndexSpec
+from repro.queries import IntervalQuery, MembershipQuery
+
+
+class TestConcatenate:
+    def test_basic(self):
+        a = BitVector.from_bools([True, False])
+        b = BitVector.from_bools([True])
+        assert concatenate([a, b]).to_bools().tolist() == [True, False, True]
+
+    def test_empty_list(self):
+        assert len(concatenate([])) == 0
+
+    def test_single_copies(self):
+        a = BitVector.from_bools([True])
+        out = concatenate([a])
+        out[0] = False
+        assert a[0]
+
+    def test_word_boundary_crossing(self):
+        a = BitVector.ones(63)
+        b = BitVector.ones(3)
+        joined = concatenate([a, b])
+        assert len(joined) == 66
+        assert joined.count() == 66
+
+
+class TestAppend:
+    @pytest.mark.parametrize("scheme", ["E", "R", "I", "EI*"])
+    @pytest.mark.parametrize("codec", ["raw", "bbc"])
+    def test_append_equals_rebuild(self, rng, scheme, codec):
+        base = rng.integers(0, 30, size=800)
+        batch = rng.integers(0, 30, size=300)
+        spec = IndexSpec(cardinality=30, scheme=scheme, bases=(5, 6), codec=codec)
+
+        incremental = BitmapIndex.build(base, spec)
+        incremental.append(batch)
+        rebuilt = BitmapIndex.build(np.concatenate([base, batch]), spec)
+
+        assert incremental.num_records == rebuilt.num_records
+        for key in rebuilt.store.keys():
+            assert incremental.store.get(key) == rebuilt.store.get(key), key
+
+    def test_queries_after_append(self, rng):
+        base = rng.integers(0, 20, size=500)
+        batch = rng.integers(0, 20, size=200)
+        index = BitmapIndex.build(
+            base, IndexSpec(cardinality=20, scheme="I", codec="bbc")
+        )
+        index.append(batch)
+        merged = np.concatenate([base, batch])
+        for query in (
+            IntervalQuery(3, 11, 20),
+            MembershipQuery.of({0, 5, 19}, 20),
+        ):
+            assert index.query(query).row_count == int(
+                query.matches(merged).sum()
+            )
+
+    def test_report_counts(self, rng):
+        base = rng.integers(0, 10, size=100)
+        index = BitmapIndex.build(base, IndexSpec(cardinality=10, scheme="E"))
+        # A single record with value 4 touches exactly one E bitmap.
+        report = index.append(np.array([4]))
+        assert report.records_appended == 1
+        assert report.bitmaps_extended == 10
+        assert report.bitmaps_touched == 1
+
+    def test_single_insert_matches_costmodel(self, rng):
+        """One-record appends touch exactly scheme.update_cost bitmaps."""
+        from repro.encoding import get_scheme
+
+        for scheme_name in ("E", "R", "I"):
+            scheme = get_scheme(scheme_name)
+            for value in (0, 7, 19):
+                index = BitmapIndex.build(
+                    rng.integers(0, 20, size=50),
+                    IndexSpec(cardinality=20, scheme=scheme_name),
+                )
+                report = index.append(np.array([value]))
+                assert report.bitmaps_touched == scheme.update_cost(20, value)
+
+    def test_empty_batch(self, rng):
+        index = BitmapIndex.build(
+            rng.integers(0, 10, size=100), IndexSpec(cardinality=10, scheme="R")
+        )
+        report = index.append(np.array([], dtype=np.int64))
+        assert report.records_appended == 0
+        assert report.bitmaps_touched == 0
+        assert index.num_records == 100
+
+    def test_out_of_domain_batch_rejected(self, rng):
+        index = BitmapIndex.build(
+            rng.integers(0, 10, size=100), IndexSpec(cardinality=10, scheme="E")
+        )
+        with pytest.raises(EncodingSchemeError):
+            index.append(np.array([10]))
+        assert index.num_records == 100
+
+
+@given(
+    scheme=st.sampled_from(["E", "R", "I", "O"]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    batches=st.lists(st.integers(min_value=0, max_value=60), min_size=1, max_size=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_append_property(scheme, seed, batches):
+    """Any sequence of appends equals one big build."""
+    rng = np.random.default_rng(seed)
+    chunks = [rng.integers(0, 12, size=size) for size in [40, *batches]]
+    spec = IndexSpec(cardinality=12, scheme=scheme, codec="ewah")
+    index = BitmapIndex.build(chunks[0], spec)
+    for chunk in chunks[1:]:
+        index.append(chunk)
+    merged = np.concatenate(chunks)
+    rebuilt = BitmapIndex.build(merged, spec)
+    for key in rebuilt.store.keys():
+        assert index.store.get(key) == rebuilt.store.get(key)

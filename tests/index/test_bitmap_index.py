@@ -1,0 +1,113 @@
+"""Tests for BitmapIndex construction, accounting and querying."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitVector
+from repro.errors import EncodingSchemeError
+from repro.index import BitmapIndex, IndexSpec
+from repro.queries import IntervalQuery, MembershipQuery
+from repro.storage import BitmapStore
+
+
+@pytest.fixture
+def column(rng):
+    return rng.integers(0, 50, size=2000)
+
+
+class TestSpec:
+    def test_resolved_bases_explicit(self):
+        spec = IndexSpec(cardinality=50, scheme="I", bases=(7, 8))
+        assert spec.resolved_bases() == (7, 8)
+
+    def test_resolved_bases_uniform(self):
+        spec = IndexSpec(cardinality=50, scheme="I", num_components=2)
+        bases = spec.resolved_bases()
+        assert len(bases) == 2
+        assert bases[0] * bases[1] >= 50
+
+    def test_label(self):
+        spec = IndexSpec(cardinality=50, scheme="EI*", bases=(7, 8), codec="bbc")
+        assert spec.label == "EI*<7,8>/bbc"
+
+
+class TestBuild:
+    def test_basic_build(self, column):
+        index = BitmapIndex.build(
+            column, IndexSpec(cardinality=50, scheme="E", num_components=1)
+        )
+        assert index.num_records == 2000
+        assert index.num_bitmaps() == 50
+        assert index.num_components == 1
+
+    def test_multi_component_bitmap_count(self, column):
+        index = BitmapIndex.build(
+            column, IndexSpec(cardinality=50, scheme="R", bases=(7, 8))
+        )
+        # R stores b - 1 bitmaps per component: 6 + 7.
+        assert index.num_bitmaps() == 13
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(EncodingSchemeError):
+            BitmapIndex.build(
+                np.array([50]), IndexSpec(cardinality=50, scheme="E")
+            )
+
+    def test_store_codec_mismatch_rejected(self, column):
+        store = BitmapStore(codec="raw")
+        with pytest.raises(EncodingSchemeError):
+            BitmapIndex.build(
+                column,
+                IndexSpec(cardinality=50, scheme="E", codec="bbc"),
+                store=store,
+            )
+
+    def test_size_accounting(self, column):
+        raw = BitmapIndex.build(
+            column, IndexSpec(cardinality=50, scheme="E", codec="raw")
+        )
+        assert raw.size_bytes() == raw.uncompressed_bytes()
+        bbc = BitmapIndex.build(
+            column, IndexSpec(cardinality=50, scheme="E", codec="bbc")
+        )
+        assert bbc.size_bytes() < raw.size_bytes()
+        assert bbc.uncompressed_bytes() == raw.uncompressed_bytes()
+
+    def test_empty_column(self):
+        index = BitmapIndex.build(
+            np.array([], dtype=np.int64), IndexSpec(cardinality=10, scheme="I")
+        )
+        result = index.query(IntervalQuery(0, 5, 10))
+        assert result.row_count == 0
+
+
+class TestQuery:
+    def test_interval_result(self, column):
+        index = BitmapIndex.build(
+            column, IndexSpec(cardinality=50, scheme="I", bases=(7, 8))
+        )
+        result = index.query(IntervalQuery(10, 30, 50))
+        expected = BitVector.from_bools((column >= 10) & (column <= 30))
+        assert result.bitmap == expected
+        assert result.row_count == expected.count()
+        assert result.row_ids().tolist() == expected.to_indices().tolist()
+
+    def test_membership_result(self, column):
+        index = BitmapIndex.build(
+            column, IndexSpec(cardinality=50, scheme="EI", num_components=1)
+        )
+        query = MembershipQuery.of({1, 2, 3, 30, 47}, 50)
+        result = index.query(query)
+        assert result.row_count == int(query.matches(column).sum())
+
+    def test_simulated_time_positive(self, column):
+        index = BitmapIndex.build(
+            column, IndexSpec(cardinality=50, scheme="R", codec="bbc")
+        )
+        result = index.query(IntervalQuery(5, 20, 50))
+        assert result.simulated_ms > 0
+
+    def test_repr(self, column):
+        index = BitmapIndex.build(column, IndexSpec(cardinality=50, scheme="I"))
+        assert "I<50>" in repr(index)
+        assert "N=2000" in repr(index)

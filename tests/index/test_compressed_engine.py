@@ -1,0 +1,120 @@
+"""Tests for the compressed-domain query engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueryError
+from repro.index import BitmapIndex, CompressedQueryEngine, IndexSpec
+from repro.queries import IntervalQuery, MembershipQuery
+from repro.storage import CostClock
+from repro.workload import zipf_column
+
+
+@pytest.fixture(scope="module")
+def index_and_values():
+    values = zipf_column(8000, 50, 2.0, seed=9)
+    index = BitmapIndex.build(
+        values, IndexSpec(cardinality=50, scheme="I", bases=(7, 8), codec="ewah")
+    )
+    return index, values
+
+
+class TestCorrectness:
+    def test_requires_ewah(self, rng):
+        values = rng.integers(0, 10, size=100)
+        index = BitmapIndex.build(
+            values, IndexSpec(cardinality=10, scheme="I", codec="bbc")
+        )
+        with pytest.raises(QueryError):
+            CompressedQueryEngine(index)
+
+    def test_interval_queries_match_standard_engine(self, index_and_values):
+        index, values = index_and_values
+        compressed = CompressedQueryEngine(index)
+        standard = index.engine()
+        for low, high in [(0, 0), (5, 20), (0, 30), (44, 49), (17, 17)]:
+            query = IntervalQuery(low, high, 50)
+            assert compressed.execute(query).bitmap == (
+                standard.execute(query).bitmap
+            ), (low, high)
+
+    def test_membership_queries_match(self, index_and_values):
+        index, values = index_and_values
+        engine = CompressedQueryEngine(index)
+        query = MembershipQuery.of({1, 2, 3, 20, 33, 34}, 50)
+        result = engine.execute(query)
+        assert result.row_count == int(query.matches(values).sum())
+        assert result.strategy == "compressed-domain"
+
+    def test_scan_accounting(self, index_and_values):
+        index, _ = index_and_values
+        engine = CompressedQueryEngine(index)
+        result = engine.execute(IntervalQuery(5, 20, 50))
+        assert result.stats.scans == len(set(result.stats.fetched_keys))
+        assert result.stats.scans >= 1
+
+
+class TestAccounting:
+    def test_only_final_answer_decoded(self, index_and_values):
+        index, _ = index_and_values
+        clock = CostClock()
+        engine = CompressedQueryEngine(index, clock=clock)
+        engine.execute(IntervalQuery(5, 20, 50))
+        # Operand fetches are never decoded; the standard engine
+        # decompresses every fetched bitmap.
+        standard_clock = CostClock()
+        index.engine(clock=standard_clock).execute(IntervalQuery(5, 20, 50))
+        assert clock.bytes_decompressed < standard_clock.bytes_decompressed
+
+    def test_cpu_cheaper_on_compressible_data(self):
+        # Highly skewed data -> tiny payloads -> compressed-domain CPU
+        # must be far below the standard engine's.
+        values = zipf_column(20_000, 50, 3.0, seed=3)
+        index = BitmapIndex.build(
+            values, IndexSpec(cardinality=50, scheme="E", codec="ewah")
+        )
+        query = MembershipQuery.of({1, 2, 3, 4, 10, 11}, 50)
+
+        compressed_clock = CostClock()
+        CompressedQueryEngine(index, clock=compressed_clock).execute(query)
+        standard_clock = CostClock()
+        index.engine(clock=standard_clock).execute(query)
+        assert compressed_clock.cpu_ms < standard_clock.cpu_ms
+
+    def test_payload_pool_hits(self, index_and_values):
+        index, _ = index_and_values
+        engine = CompressedQueryEngine(index)
+        engine.execute(IntervalQuery(5, 20, 50))
+        misses = engine.buffer_stats.misses
+        engine.execute(IntervalQuery(5, 20, 50))
+        assert engine.buffer_stats.misses == misses
+        assert engine.buffer_stats.hits > 0
+
+    def test_tiny_pool_still_correct(self, index_and_values):
+        index, values = index_and_values
+        engine = CompressedQueryEngine(index, buffer_pages=1)
+        query = IntervalQuery(3, 40, 50)
+        assert engine.execute(query).row_count == int(
+            query.matches(values).sum()
+        )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    scheme=st.sampled_from(["E", "R", "I", "EI*", "O"]),
+    low_frac=st.floats(min_value=0, max_value=1),
+    width_frac=st.floats(min_value=0, max_value=1),
+)
+@settings(max_examples=60, deadline=None)
+def test_compressed_engine_property(seed, scheme, low_frac, width_frac):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 24, size=300)
+    index = BitmapIndex.build(
+        values, IndexSpec(cardinality=24, scheme=scheme, codec="ewah")
+    )
+    low = int(low_frac * 23)
+    high = min(23, low + int(width_frac * (23 - low)))
+    query = IntervalQuery(low, high, 24)
+    result = CompressedQueryEngine(index).execute(query)
+    assert result.row_count == int(query.matches(values).sum())

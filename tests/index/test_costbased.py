@@ -1,0 +1,116 @@
+"""Tests for the cost-based rewriter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmap import BitVector
+from repro.index import BitmapIndex, IndexSpec
+from repro.index.costbased import CostBasedRewriter, equality_interval_candidates
+from repro.queries import IntervalQuery, MembershipQuery
+
+
+def skewed_index(codec: str = "bbc") -> tuple[BitmapIndex, np.ndarray]:
+    """A column where a handful of values dominate, so the equality
+    bitmaps have wildly different compressed sizes."""
+    rng = np.random.default_rng(8)
+    # Values 0..3 carry 95% of the records; 4..19 are rare.
+    heavy = rng.integers(0, 4, size=9500)
+    light = rng.integers(4, 20, size=500)
+    values = np.concatenate([heavy, light])
+    rng.shuffle(values)
+    index = BitmapIndex.build(
+        values, IndexSpec(cardinality=20, scheme="E", codec=codec)
+    )
+    return index, values
+
+
+class TestCandidates:
+    def test_two_forms_generated(self):
+        candidates = equality_interval_candidates(10, 2, 4)
+        assert len(candidates) == 2
+
+    def test_full_domain_skipped(self):
+        assert equality_interval_candidates(10, 0, 9) == []
+
+    def test_degenerate_domains_skipped(self):
+        assert equality_interval_candidates(2, 0, 0) == []
+
+
+class TestCostBasedChoice:
+    def test_prefers_cheaper_side_by_bytes(self):
+        index, values = skewed_index()
+        index.use_cost_based_rewriter()
+        rewriter = index.rewriter
+        assert isinstance(rewriter, CostBasedRewriter)
+
+        # [4, 19] covers 16 of 20 values; the count heuristic would
+        # complement the 4-value outside — but those 4 bitmaps are the
+        # heavy (incompressible) ones, so pricing by bytes picks the
+        # 16 light bitmaps instead.
+        expr = rewriter.rewrite_interval(IntervalQuery(4, 19, 20))
+        keys = expr.leaf_keys()
+        count_based = index.scheme.interval_expr(20, 4, 19).leaf_keys()
+        assert len(count_based) == 4  # Eq. (1) complements the outside
+        assert len(keys) == 16  # cost-based reads the light inside
+
+        cost = rewriter.expression_cost(expr)[0]
+        alternative = sum(
+            rewriter._leaf_bytes((0, slot)) for slot in range(0, 4)
+        )
+        assert cost < alternative
+
+    def test_answers_unchanged(self):
+        index, values = skewed_index()
+        plain_results = {}
+        for low, high in [(0, 3), (4, 19), (2, 17), (5, 5)]:
+            plain_results[(low, high)] = index.query(
+                IntervalQuery(low, high, 20)
+            ).bitmap
+        index.use_cost_based_rewriter()
+        for (low, high), expected in plain_results.items():
+            got = index.query(IntervalQuery(low, high, 20)).bitmap
+            assert got == expected, (low, high)
+
+    def test_raw_codec_reduces_to_count_choice(self):
+        # With the raw codec every bitmap costs the same, so byte cost
+        # is proportional to count and the Eq. (1) choice is recovered.
+        index, _ = skewed_index(codec="raw")
+        index.use_cost_based_rewriter()
+        expr = index.rewriter.rewrite_interval(IntervalQuery(4, 19, 20))
+        assert len(expr.leaf_keys()) == 4
+
+    def test_non_equality_schemes_unchanged(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 20, size=500)
+        index = BitmapIndex.build(
+            values, IndexSpec(cardinality=20, scheme="I", codec="bbc")
+        )
+        before = index.rewriter.rewrite_interval(IntervalQuery(3, 12, 20))
+        index.use_cost_based_rewriter()
+        after = index.rewriter.rewrite_interval(IntervalQuery(3, 12, 20))
+        assert before.leaf_keys() == after.leaf_keys()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    low=st.integers(min_value=0, max_value=11),
+    span=st.integers(min_value=0, max_value=11),
+    multi=st.booleans(),
+)
+@settings(max_examples=80, deadline=None)
+def test_cost_based_always_correct(seed, low, span, multi):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 12, size=300)
+    spec = IndexSpec(
+        cardinality=12,
+        scheme="E",
+        bases=(4, 3) if multi else (12,),
+        codec="bbc",
+    )
+    index = BitmapIndex.build(values, spec)
+    index.use_cost_based_rewriter()
+    high = min(11, low + span)
+    result = index.query(IntervalQuery(low, high, 12))
+    expected = BitVector.from_bools((values >= low) & (values <= high))
+    assert result.bitmap == expected

@@ -1,0 +1,82 @@
+"""Tests for the multi-component cost model and time-optimal bases."""
+
+import pytest
+
+from repro.encoding import get_scheme
+from repro.encoding.costmodel import expected_scans
+from repro.errors import DecompositionError
+from repro.index.costmodel import (
+    candidate_base_sequences,
+    index_expected_scans,
+    index_space,
+    time_optimal_bases,
+)
+from repro.index.decompose import optimal_bases
+
+
+class TestIndexExpectedScans:
+    def test_one_component_matches_scheme_model(self):
+        for name in ("E", "R", "I", "EI*"):
+            scheme = get_scheme(name)
+            for q in ("EQ", "1RQ", "2RQ", "RQ"):
+                assert index_expected_scans(20, (20,), scheme, q) == (
+                    pytest.approx(expected_scans(scheme, 20, q))
+                ), (name, q)
+
+    def test_more_components_cost_more_scans(self):
+        scheme = get_scheme("I")
+        one = index_expected_scans(50, (50,), scheme, "RQ")
+        two = index_expected_scans(50, (7, 8), scheme, "RQ")
+        three = index_expected_scans(50, (4, 4, 4), scheme, "RQ")
+        assert one <= two <= three
+
+    def test_empty_class(self):
+        assert index_expected_scans(3, (3,), get_scheme("E"), "2RQ") == 0.0
+
+
+class TestCandidates:
+    def test_single_component(self):
+        assert candidate_base_sequences(50, 1) == [(50,)]
+
+    def test_two_components_cover_domain(self):
+        import math
+
+        for bases in candidate_base_sequences(20, 2):
+            assert math.prod(bases) >= 20
+            assert all(b >= 2 for b in bases)
+
+    def test_canonical_no_duplicates(self):
+        cands = candidate_base_sequences(30, 3)
+        assert len(cands) == len(set(cands))
+
+
+class TestTimeOptimalBases:
+    def test_never_slower_than_space_optimal(self):
+        scheme = get_scheme("R")
+        for n in (2, 3):
+            space_bases = optimal_bases(30, n, scheme)
+            time_bases = time_optimal_bases(30, n, scheme, "RQ")
+            assert index_expected_scans(30, time_bases, scheme, "RQ") <= (
+                index_expected_scans(30, space_bases, scheme, "RQ")
+            )
+
+    def test_space_budget_respected(self):
+        scheme = get_scheme("E")
+        bases = time_optimal_bases(30, 2, scheme, "EQ", space_budget=12)
+        assert index_space(bases, scheme) <= 12
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(DecompositionError):
+            time_optimal_bases(30, 2, get_scheme("E"), "EQ", space_budget=3)
+
+    def test_equality_eq_prefers_fewest_digits_worth(self):
+        # For EQ on equality encoding every component costs ~1 scan, so
+        # the time-optimal 2-component design still has 2 expected scans
+        # and minimizes space as the tiebreak.
+        scheme = get_scheme("E")
+        bases = time_optimal_bases(16, 2, scheme, "EQ")
+        assert index_expected_scans(16, bases, scheme, "EQ") == pytest.approx(2.0)
+
+    def test_guard_on_candidate_explosion(self):
+        with pytest.raises(DecompositionError):
+            time_optimal_bases(400, 4, get_scheme("E"), "RQ", max_candidates=10)

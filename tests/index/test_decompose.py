@@ -1,0 +1,138 @@
+"""Tests for attribute-value decomposition (Equation 3) and base search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding import get_scheme
+from repro.errors import DecompositionError
+from repro.index import (
+    compose_value,
+    decompose_column,
+    decompose_value,
+    optimal_bases,
+    uniform_bases,
+    validate_bases,
+)
+
+
+class TestPaperExamples:
+    def test_base_50_single_digit(self):
+        assert decompose_value(35, (50,)) == (35,)
+
+    def test_value_35_base_8(self):
+        # Section 2: 35 = 4_8 3_8 under base <7, 8> for C = 50.
+        assert decompose_value(35, (7, 8)) == (4, 3)
+
+    def test_figure2_rows(self):
+        # Figure 2: base <3, 4>, e.g. 8 = 2*4+0 and 7 = 1*4+3.
+        assert decompose_value(8, (3, 4)) == (2, 0)
+        assert decompose_value(7, (3, 4)) == (1, 3)
+        assert decompose_value(0, (3, 4)) == (0, 0)
+
+
+class TestValidation:
+    def test_tight_top_base_required(self):
+        with pytest.raises(DecompositionError):
+            validate_bases((8, 8), 50)  # top should be ceil(50/8) = 7
+        assert validate_bases((7, 8), 50) == (7, 8)
+
+    def test_bases_below_two_rejected(self):
+        with pytest.raises(DecompositionError):
+            validate_bases((50, 1), 50)
+
+    def test_over_covering_rejected(self):
+        with pytest.raises(DecompositionError):
+            validate_bases((1, 10, 10), 50)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DecompositionError):
+            validate_bases((), 50)
+
+    def test_unary_domain(self):
+        assert validate_bases((1,), 1) == (1,)
+        with pytest.raises(DecompositionError):
+            validate_bases((2,), 1)
+
+    def test_value_must_fit(self):
+        with pytest.raises(DecompositionError):
+            decompose_value(56, (7, 8))
+
+    def test_compose_validates_digits(self):
+        with pytest.raises(DecompositionError):
+            compose_value((0, 8), (7, 8))
+        with pytest.raises(DecompositionError):
+            compose_value((1,), (7, 8))
+
+
+class TestColumn:
+    def test_vectorized_matches_scalar(self, rng):
+        bases = (4, 5, 3)
+        values = rng.integers(0, 60, size=200)
+        columns = decompose_column(values, bases)
+        for i, value in enumerate(values.tolist()):
+            assert tuple(int(col[i]) for col in columns) == decompose_value(
+                value, bases
+            )
+
+    def test_column_overflow_detected(self):
+        with pytest.raises(DecompositionError):
+            decompose_column(np.array([56]), (7, 8))
+
+
+class TestUniformBases:
+    @pytest.mark.parametrize("c,n", [(50, 1), (50, 2), (50, 3), (50, 5), (200, 4)])
+    def test_valid_and_covering(self, c, n):
+        bases = uniform_bases(c, n)
+        assert len(bases) == n
+        assert np.prod(bases) >= c
+        validate_bases(bases, c)
+
+    def test_one_component_is_c(self):
+        assert uniform_bases(50, 1) == (50,)
+
+    def test_infeasible_component_count(self):
+        with pytest.raises(DecompositionError):
+            uniform_bases(7, 3)  # 2^3 > 7
+
+    def test_binary_decomposition(self):
+        bases = uniform_bases(8, 3)
+        assert bases == (2, 2, 2)
+
+
+class TestOptimalBases:
+    def test_minimizes_bitmaps_for_equality(self):
+        # For E the bitmap count is sum(b_i); <8,7> gives 15 for C=50 n=2.
+        bases = optimal_bases(50, 2, get_scheme("E"))
+        assert sum(bases) == 15
+
+    def test_interval_prefers_balanced(self):
+        bases = optimal_bases(50, 2, get_scheme("I"))
+        total = sum((b + 1) // 2 for b in bases)
+        # Exhaustive check over all valid 2-component sequences.
+        best = min(
+            (50 + a - 1) // a // 2 + ((50 + a - 1) // a + 1) // 2 + (a + 1) // 2
+            for a in range(2, 50)
+            if ((50 + a - 1) // a) >= 2
+        )
+        assert total <= best + 1
+
+    def test_one_component_passthrough(self):
+        assert optimal_bases(50, 1, get_scheme("R")) == (50,)
+
+
+@given(
+    cardinality=st.integers(min_value=2, max_value=500),
+    n=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=250, deadline=None)
+def test_decompose_compose_roundtrip(cardinality, n, seed):
+    if 2**n > cardinality:
+        return
+    bases = uniform_bases(cardinality, n)
+    rng = np.random.default_rng(seed)
+    for value in rng.integers(0, cardinality, size=20).tolist():
+        digits = decompose_value(value, bases)
+        assert all(0 <= d < b for d, b in zip(digits, bases))
+        assert compose_value(digits, bases) == value

@@ -1,0 +1,119 @@
+"""Bit-for-bit reproduction of the paper's worked examples:
+Figure 1 (equality and range indexes), Figure 2 (base-<3,4> indexes)
+and Figure 5 (interval index), all over the same 12-record column."""
+
+import numpy as np
+import pytest
+
+from repro.encoding import get_scheme
+from repro.index import BitmapIndex, IndexSpec
+
+
+def bits(vector) -> str:
+    return "".join("1" if b else "0" for b in vector.to_bools())
+
+
+class TestFigure1:
+    """C = 10, column (3,2,1,2,8,2,9,0,7,5,6,4)."""
+
+    def test_equality_encoded_index(self, paper_column):
+        bitmaps = get_scheme("E").build(paper_column, 10)
+        # Columns of Figure 1(b), read top-to-bottom per bitmap.
+        expected = {
+            0: "000000010000",
+            1: "001000000000",
+            2: "010101000000",
+            3: "100000000000",
+            4: "000000000001",
+            5: "000000000100",
+            6: "000000000010",
+            7: "000000001000",
+            8: "000010000000",
+            9: "000000100000",
+        }
+        for slot, pattern in expected.items():
+            assert bits(bitmaps[slot]) == pattern, f"E^{slot}"
+
+    def test_range_encoded_index(self, paper_column):
+        bitmaps = get_scheme("R").build(paper_column, 10)
+        # Columns of Figure 1(c): R^v marks records with value <= v.
+        expected = {
+            0: "000000010000",
+            1: "001000010000",
+            2: "011101010000",
+            3: "111101010000",
+            4: "111101010001",
+            5: "111101010101",
+            6: "111101010111",
+            7: "111101011111",
+            8: "111111011111",
+        }
+        for slot, pattern in expected.items():
+            assert bits(bitmaps[slot]) == pattern, f"R^{slot}"
+
+
+class TestFigure2:
+    """Base-<3,4> decomposition of the same column."""
+
+    @pytest.fixture
+    def index_digits(self, paper_column):
+        from repro.index.decompose import decompose_column
+
+        high, low = decompose_column(paper_column, (3, 4))
+        return high, low
+
+    def test_digit_decomposition(self, index_digits):
+        high, low = index_digits
+        # Figure 2's arrows: 3 = 0*4+3, 8 = 2*4+0, 9 = 2*4+1, ...
+        assert high.tolist() == [0, 0, 0, 0, 2, 0, 2, 0, 1, 1, 1, 1]
+        assert low.tolist() == [3, 2, 1, 2, 0, 2, 1, 0, 3, 1, 2, 0]
+
+    def test_equality_encoded_components(self, paper_column):
+        index = BitmapIndex.build(
+            paper_column, IndexSpec(cardinality=10, scheme="E", bases=(3, 4))
+        )
+        store = index.store
+        # Figure 2(b), component 2 (most significant): E_2^1 marks rows
+        # 9-12 (1-based) = values 7,5,6,4.
+        assert bits(store.get((0, 1))) == "000000001111"
+        assert bits(store.get((0, 2))) == "000010100000"
+        # Component 1: E_1^2 marks rows with low digit 2.
+        assert bits(store.get((1, 2))) == "010101000010"
+
+    def test_range_encoded_components(self, paper_column):
+        index = BitmapIndex.build(
+            paper_column, IndexSpec(cardinality=10, scheme="R", bases=(3, 4))
+        )
+        store = index.store
+        # Figure 2(c): R_2^0 marks high digit 0, R_2^1 marks digit <= 1.
+        assert bits(store.get((0, 0))) == "111101010000"
+        assert bits(store.get((0, 1))) == "111101011111"
+        # R_1^0 marks low digit 0; R_1^2 marks low digit <= 2.
+        assert bits(store.get((1, 0))) == "000010010001"
+        assert bits(store.get((1, 2))) == "011111110111"
+
+
+class TestFigure5:
+    """Interval-encoded index, C = 10: I^j = [j, j+4]."""
+
+    def test_interval_encoded_index(self, paper_column):
+        bitmaps = get_scheme("I").build(paper_column, 10)
+        expected = {
+            0: "111101010001",  # values 0..4
+            1: "111101000101",  # values 1..5
+            2: "110101000111",  # values 2..6
+            3: "100000001111",  # values 3..7
+            4: "000010001111",  # values 4..8
+        }
+        for slot, pattern in expected.items():
+            assert bits(bitmaps[slot]) == pattern, f"I^{slot}"
+
+    def test_definition_matches_figure_5a(self):
+        catalog = get_scheme("I").catalog(10)
+        assert {j: (min(s), max(s)) for j, s in catalog.items()} == {
+            0: (0, 4),
+            1: (1, 5),
+            2: (2, 6),
+            3: (3, 7),
+            4: (4, 8),
+        }

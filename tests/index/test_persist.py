@@ -1,0 +1,66 @@
+"""Tests for index save/load."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.index import BitmapIndex, IndexSpec
+from repro.index.persist import load_index, save_index
+from repro.queries import IntervalQuery
+
+
+@pytest.mark.parametrize("scheme", ["E", "R", "I", "ER", "EI*"])
+@pytest.mark.parametrize("codec", ["raw", "bbc"])
+def test_roundtrip(tmp_path, rng, scheme, codec):
+    values = rng.integers(0, 25, size=600)
+    spec = IndexSpec(cardinality=25, scheme=scheme, bases=(5, 5), codec=codec)
+    index = BitmapIndex.build(values, spec)
+    save_index(index, tmp_path / "idx")
+
+    loaded = load_index(tmp_path / "idx")
+    assert loaded.num_records == index.num_records
+    assert loaded.bases == index.bases
+    assert loaded.spec.scheme == scheme
+    for key in index.store.keys():
+        assert loaded.store.get(key) == index.store.get(key), key
+    query = IntervalQuery(3, 17, 25)
+    assert loaded.query(query).row_count == index.query(query).row_count
+
+
+def test_tuple_slot_keys_roundtrip(tmp_path, rng):
+    # EI uses ("E", v) / ("I", j) slot tuples; exercise nested encoding.
+    values = rng.integers(0, 10, size=200)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=10, scheme="EI"))
+    save_index(index, tmp_path / "idx")
+    loaded = load_index(tmp_path / "idx")
+    assert set(loaded.store.keys()) == set(index.store.keys())
+
+
+def test_missing_manifest(tmp_path):
+    with pytest.raises(StorageError):
+        load_index(tmp_path)
+
+
+def test_corrupt_manifest(tmp_path):
+    (tmp_path / "manifest.json").write_text("{not json")
+    with pytest.raises(StorageError):
+        load_index(tmp_path)
+
+
+def test_unsupported_format_version(tmp_path):
+    (tmp_path / "manifest.json").write_text(json.dumps({"format": 99}))
+    with pytest.raises(StorageError):
+        load_index(tmp_path)
+
+
+def test_save_load_save_stable(tmp_path, rng):
+    values = rng.integers(0, 12, size=300)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=12, scheme="I"))
+    save_index(index, tmp_path / "a")
+    first = load_index(tmp_path / "a")
+    save_index(first, tmp_path / "a")
+    second = load_index(tmp_path / "a")
+    for key in index.store.keys():
+        assert second.store.get(key) == index.store.get(key)

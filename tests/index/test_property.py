@@ -1,0 +1,87 @@
+"""Property tests: the full multi-component pipeline equals a naive scan
+for every scheme, layout, codec and strategy."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmap import BitVector
+from repro.index import BitmapIndex, IndexSpec
+from repro.index.decompose import uniform_bases
+from repro.queries import IntervalQuery, MembershipQuery
+
+
+@st.composite
+def index_cases(draw):
+    scheme = draw(st.sampled_from(["E", "R", "I", "ER", "O", "EI", "EI*", "I+"]))
+    cardinality = draw(st.integers(min_value=2, max_value=40))
+    max_n = 1
+    while 2 ** (max_n + 1) <= cardinality and max_n < 3:
+        max_n += 1
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    codec = draw(st.sampled_from(["raw", "bbc", "wah", "ewah"]))
+    strategy = draw(st.sampled_from(["component-wise", "query-wise", "scheduled"]))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return scheme, cardinality, n, codec, strategy, seed
+
+
+@given(case=index_cases())
+@settings(max_examples=120, deadline=None)
+def test_interval_query_pipeline(case):
+    scheme, cardinality, n, codec, strategy, seed = case
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, cardinality, size=150)
+    spec = IndexSpec(
+        cardinality=cardinality,
+        scheme=scheme,
+        bases=uniform_bases(cardinality, n),
+        codec=codec,
+    )
+    index = BitmapIndex.build(values, spec)
+    engine = index.engine(strategy=strategy)
+    low = int(rng.integers(0, cardinality))
+    high = int(rng.integers(low, cardinality))
+    result = engine.execute(IntervalQuery(low, high, cardinality))
+    expected = BitVector.from_bools((values >= low) & (values <= high))
+    assert result.bitmap == expected
+
+
+@given(case=index_cases())
+@settings(max_examples=120, deadline=None)
+def test_membership_query_pipeline(case):
+    scheme, cardinality, n, codec, strategy, seed = case
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, cardinality, size=150)
+    spec = IndexSpec(
+        cardinality=cardinality,
+        scheme=scheme,
+        bases=uniform_bases(cardinality, n),
+        codec=codec,
+    )
+    index = BitmapIndex.build(values, spec)
+    engine = index.engine(strategy=strategy)
+    k = int(rng.integers(1, cardinality + 1))
+    members = rng.choice(cardinality, size=k, replace=False)
+    query = MembershipQuery.of(members.tolist(), cardinality)
+    result = engine.execute(query)
+    expected = BitVector.from_bools(np.isin(values, members))
+    assert result.bitmap == expected
+
+
+@given(case=index_cases(), buffer_pages=st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_tiny_buffers_never_change_answers(case, buffer_pages):
+    """Evictions and rescans must be invisible in the result."""
+    scheme, cardinality, n, codec, strategy, seed = case
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, cardinality, size=150)
+    spec = IndexSpec(
+        cardinality=cardinality,
+        scheme=scheme,
+        bases=uniform_bases(cardinality, n),
+        codec=codec,
+    )
+    index = BitmapIndex.build(values, spec)
+    tight = index.engine(strategy=strategy, buffer_pages=buffer_pages)
+    roomy = index.engine(strategy=strategy)
+    query = IntervalQuery(0, cardinality // 2, cardinality)
+    assert tight.execute(query).bitmap == roomy.execute(query).bitmap

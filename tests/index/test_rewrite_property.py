@@ -1,0 +1,78 @@
+"""Hypothesis properties for the §6 rewriter over random layouts."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding import get_scheme
+from repro.expr import expression_scan_count
+from repro.index.decompose import uniform_bases, validate_bases
+from repro.index.rewrite import QueryRewriter
+from repro.queries import IntervalQuery, MembershipQuery
+
+from tests.index.test_rewrite import value_set_of
+
+SCHEMES = ("E", "R", "I", "ER", "O", "EI", "EI*", "I+")
+
+
+@st.composite
+def rewrite_cases(draw):
+    scheme = draw(st.sampled_from(SCHEMES))
+    cardinality = draw(st.integers(min_value=2, max_value=120))
+    max_n = max(1, int(math.log2(cardinality)))
+    n = draw(st.integers(min_value=1, max_value=min(3, max_n)))
+    bases = uniform_bases(cardinality, n)
+    low = draw(st.integers(min_value=0, max_value=cardinality - 1))
+    high = draw(st.integers(min_value=low, max_value=cardinality - 1))
+    negated = draw(st.booleans())
+    return scheme, cardinality, bases, low, high, negated
+
+
+@given(case=rewrite_cases())
+@settings(max_examples=400, deadline=None)
+def test_rewrite_semantics(case):
+    """Every rewritten interval denotes exactly its value range."""
+    scheme, cardinality, bases, low, high, negated = case
+    rewriter = QueryRewriter(cardinality, bases, get_scheme(scheme))
+    query = IntervalQuery(low, high, cardinality, negated=negated)
+    expr = rewriter.rewrite_interval(query)
+    expected = frozenset(range(low, high + 1))
+    if negated:
+        expected = frozenset(range(cardinality)) - expected
+    assert value_set_of(rewriter, expr) == expected
+
+
+@given(case=rewrite_cases())
+@settings(max_examples=200, deadline=None)
+def test_rewrite_scan_bound(case):
+    """An n-component interval rewrite touches O(n) bitmaps for the
+    two-scan schemes: each component contributes at most 2 bitmaps per
+    side of the range plus the prefix equalities."""
+    scheme, cardinality, bases, low, high, _ = case
+    if scheme not in ("R", "I", "I+", "ER", "EI", "EI*"):
+        return
+    rewriter = QueryRewriter(cardinality, bases, get_scheme(scheme))
+    expr = rewriter.rewrite_interval(IntervalQuery(low, high, cardinality))
+    n = len(bases)
+    assert expression_scan_count(expr) <= 4 * n + 2
+
+
+@given(
+    cardinality=st.integers(min_value=4, max_value=80),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    scheme=st.sampled_from(SCHEMES),
+)
+@settings(max_examples=150, deadline=None)
+def test_membership_rewrite_semantics(cardinality, seed, scheme):
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(1, cardinality))
+    members = frozenset(
+        int(v) for v in rng.choice(cardinality, size=k, replace=False)
+    )
+    n = 2 if cardinality >= 4 else 1
+    rewriter = QueryRewriter(
+        cardinality, uniform_bases(cardinality, n), get_scheme(scheme)
+    )
+    expr = rewriter.rewrite(MembershipQuery(members, cardinality))
+    assert value_set_of(rewriter, expr) == members

@@ -1,0 +1,92 @@
+"""Tests for the "scheduled" evaluation strategy (the §6.3 future-work
+heuristic implemented as an extension)."""
+
+import numpy as np
+import pytest
+
+from repro.expr import leaf
+from repro.index import BitmapIndex, IndexSpec
+from repro.index.evaluation import schedule_constituents
+from repro.queries import MembershipQuery
+from repro.storage import CostClock
+
+
+class TestScheduleConstituents:
+    def test_short_lists_unchanged(self):
+        exprs = [leaf("a"), leaf("b")]
+        assert schedule_constituents(exprs) == exprs
+        assert schedule_constituents([]) == []
+
+    def test_overlapping_neighbours_adjacent(self):
+        # a&b shares with b&c; d&e is unrelated — the schedule must not
+        # interleave the unrelated constituent between the sharers.
+        ab = leaf("a") & leaf("b")
+        bc = leaf("b") & leaf("c")
+        de = leaf("d") & leaf("e")
+        order = schedule_constituents([ab, de, bc])
+        positions = {id(e): i for i, e in enumerate(order)}
+        assert abs(positions[id(ab)] - positions[id(bc)]) == 1
+
+    def test_permutation_preserved(self):
+        exprs = [leaf(c) for c in "abcdef"]
+        order = schedule_constituents(exprs)
+        assert sorted(map(str, order)) == sorted(map(str, exprs))
+
+    def test_deterministic(self):
+        exprs = [leaf("a") & leaf("b"), leaf("b") & leaf("c"), leaf("x")]
+        assert schedule_constituents(exprs) == schedule_constituents(exprs)
+
+    def test_chain_follows_overlap(self):
+        # Chain a-b, b-c, c-d: the greedy walk recovers the chain.
+        chain = [
+            leaf("a") & leaf("b"),
+            leaf("c") & leaf("d"),
+            leaf("b") & leaf("c"),
+        ]
+        order = schedule_constituents(chain)
+        keysets = [e.leaf_keys() for e in order]
+        for left, right in zip(keysets, keysets[1:]):
+            assert left & right, "consecutive constituents must overlap"
+
+
+class TestScheduledStrategy:
+    @pytest.fixture
+    def index(self, rng):
+        values = rng.integers(0, 50, size=4000)
+        return BitmapIndex.build(
+            values,
+            IndexSpec(cardinality=50, scheme="R", bases=(7, 8), codec="raw"),
+        ), values
+
+    def query(self):
+        # Constituents 10-12 and 14-15 share digit bitmaps; 40 does not.
+        return MembershipQuery.of({10, 11, 12, 40, 14, 15}, 50)
+
+    def test_same_answer_as_other_strategies(self, index):
+        idx, values = index
+        expected = int(self.query().matches(values).sum())
+        for strategy in ("component-wise", "query-wise", "scheduled"):
+            result = idx.engine(strategy=strategy).execute(self.query())
+            assert result.row_count == expected, strategy
+
+    def test_never_more_reads_than_query_wise(self, index):
+        idx, _ = index
+        reads = {}
+        for strategy in ("query-wise", "scheduled", "component-wise"):
+            clock = CostClock()
+            engine = idx.engine(
+                buffer_pages=2, clock=clock, strategy=strategy
+            )
+            engine.execute(self.query())
+            reads[strategy] = clock.read_requests
+        assert reads["scheduled"] <= reads["query-wise"]
+        assert reads["component-wise"] <= reads["scheduled"]
+
+    def test_interval_queries_unaffected(self, index):
+        idx, values = index
+        from repro.queries import IntervalQuery
+
+        result = idx.engine(strategy="scheduled").execute(
+            IntervalQuery(5, 30, 50)
+        )
+        assert result.row_count == int(((values >= 5) & (values <= 30)).sum())

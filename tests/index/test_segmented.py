@@ -1,0 +1,141 @@
+"""Tests for the segmented bitmap index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmap import BitVector
+from repro.errors import EncodingSchemeError, QueryError, ReproError
+from repro.index import BitmapIndex, IndexSpec, SegmentedBitmapIndex
+from repro.queries import IntervalQuery, MembershipQuery
+
+SPEC = IndexSpec(cardinality=20, scheme="I", codec="bbc")
+
+
+class TestBuild:
+    def test_segment_count(self, rng):
+        values = rng.integers(0, 20, size=2500)
+        index = SegmentedBitmapIndex.build(values, SPEC, segment_size=1000)
+        assert index.num_segments == 3
+        assert [s.num_records for s in index.segments()] == [1000, 1000, 500]
+        assert index.num_records == 2500
+
+    def test_invalid_segment_size(self):
+        with pytest.raises(ReproError):
+            SegmentedBitmapIndex(SPEC, segment_size=0)
+
+    def test_empty_build(self):
+        index = SegmentedBitmapIndex.build(
+            np.array([], dtype=np.int64), SPEC, segment_size=100
+        )
+        assert index.num_segments == 0
+        assert index.query(IntervalQuery(0, 5, 20)).row_count == 0
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(EncodingSchemeError):
+            SegmentedBitmapIndex.build(np.array([20]), SPEC, segment_size=10)
+
+
+class TestQuery:
+    @pytest.fixture
+    def built(self, rng):
+        values = rng.integers(0, 20, size=3300)
+        return (
+            SegmentedBitmapIndex.build(values, SPEC, segment_size=1000),
+            values,
+        )
+
+    def test_matches_monolithic_index(self, built):
+        segmented, values = built
+        monolithic = BitmapIndex.build(values, SPEC)
+        for query in (
+            IntervalQuery(3, 11, 20),
+            IntervalQuery(0, 0, 20),
+            MembershipQuery.of({1, 7, 19}, 20),
+        ):
+            assert (
+                segmented.query(query).bitmap == monolithic.query(query).bitmap
+            ), str(query)
+
+    def test_row_ids_are_global(self, built):
+        segmented, values = built
+        result = segmented.query(IntervalQuery(5, 5, 20))
+        assert result.row_ids().tolist() == np.flatnonzero(values == 5).tolist()
+
+    def test_stats_aggregate_over_segments(self, built):
+        segmented, _ = built
+        result = segmented.query(IntervalQuery(3, 11, 20))
+        per_segment = BitmapIndex.build(
+            np.zeros(1, dtype=np.int64), SPEC
+        ).query(IntervalQuery(3, 11, 20)).stats.scans
+        assert result.stats.scans == per_segment * segmented.num_segments
+        assert result.strategy == "segmented"
+
+    def test_domain_mismatch_rejected(self, built):
+        segmented, _ = built
+        with pytest.raises(QueryError):
+            segmented.query(IntervalQuery(0, 5, 10))
+
+
+class TestAppend:
+    def test_append_fills_tail_then_opens_segments(self, rng):
+        index = SegmentedBitmapIndex.build(
+            rng.integers(0, 20, size=700), SPEC, segment_size=1000
+        )
+        index.append(rng.integers(0, 20, size=800))
+        assert index.num_segments == 2
+        assert [s.num_records for s in index.segments()] == [1000, 500]
+
+    def test_sealed_segments_untouched(self, rng):
+        values = rng.integers(0, 20, size=1000)
+        index = SegmentedBitmapIndex.build(values, SPEC, segment_size=1000)
+        sealed = index.segments()[0]
+        snapshot = {key: sealed.store.get(key) for key in sealed.store.keys()}
+        index.append(rng.integers(0, 20, size=2500))
+        for key, bitmap in snapshot.items():
+            assert sealed.store.get(key) == bitmap
+
+    def test_append_equals_rebuild(self, rng):
+        base = rng.integers(0, 20, size=1500)
+        batch = rng.integers(0, 20, size=2200)
+        incremental = SegmentedBitmapIndex.build(base, SPEC, segment_size=1000)
+        incremental.append(batch)
+        rebuilt = SegmentedBitmapIndex.build(
+            np.concatenate([base, batch]), SPEC, segment_size=1000
+        )
+        query = IntervalQuery(4, 16, 20)
+        assert incremental.query(query).bitmap == rebuilt.query(query).bitmap
+        assert incremental.num_segments == rebuilt.num_segments
+
+    def test_empty_append(self, rng):
+        index = SegmentedBitmapIndex.build(
+            rng.integers(0, 20, size=100), SPEC, segment_size=50
+        )
+        report = index.append(np.array([], dtype=np.int64))
+        assert report.records_appended == 0
+        assert index.num_records == 100
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    segment_size=st.integers(min_value=1, max_value=400),
+    sizes=st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=4),
+    scheme=st.sampled_from(["E", "R", "I"]),
+)
+@settings(max_examples=50, deadline=None)
+def test_segmented_property(seed, segment_size, sizes, scheme):
+    """Any append sequence at any segment size answers like a scan."""
+    rng = np.random.default_rng(seed)
+    spec = IndexSpec(cardinality=12, scheme=scheme)
+    index = SegmentedBitmapIndex(spec, segment_size)
+    chunks = [rng.integers(0, 12, size=size) for size in sizes]
+    for chunk in chunks:
+        index.append(chunk)
+    merged = (
+        np.concatenate(chunks) if chunks else np.array([], dtype=np.int64)
+    )
+    low = int(rng.integers(0, 12))
+    high = int(rng.integers(low, 12))
+    result = index.query(IntervalQuery(low, high, 12))
+    expected = BitVector.from_bools((merged >= low) & (merged <= high))
+    assert result.bitmap == expected

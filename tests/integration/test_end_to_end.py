@@ -1,0 +1,133 @@
+"""Cross-module integration tests: the full paper pipeline at once."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BitmapIndex,
+    IndexSpec,
+    IntervalQuery,
+    generate_query_set,
+    paper_query_sets,
+    zipf_column,
+)
+from repro.analysis import measure_design
+from repro.index.decompose import optimal_bases
+from repro.encoding import get_scheme
+from repro.storage import CostClock, DirectoryStore
+
+
+class TestPaperPipeline:
+    """Build the paper's C=50 z=1 setup end to end and sanity-check the
+    headline claims on real (small) data."""
+
+    @pytest.fixture(scope="class")
+    def values(self):
+        return zipf_column(20_000, 50, 1.0, seed=0)
+
+    @pytest.fixture(scope="class")
+    def query_sets(self):
+        return {
+            spec.label: generate_query_set(spec, 50, num_queries=5, seed=0)
+            for spec in paper_query_sets()
+        }
+
+    def test_all_schemes_agree_on_all_query_sets(self, values, query_sets):
+        indexes = {
+            name: BitmapIndex.build(
+                values, IndexSpec(cardinality=50, scheme=name, codec="bbc")
+            )
+            for name in ("E", "R", "I", "EI*")
+        }
+        for queries in query_sets.values():
+            for query in queries:
+                expected = int(query.matches(values).sum())
+                for name, index in indexes.items():
+                    assert index.query(query).row_count == expected, (
+                        name,
+                        str(query),
+                    )
+
+    def test_interval_half_space_of_range(self, values):
+        range_idx = BitmapIndex.build(
+            values, IndexSpec(cardinality=50, scheme="R", codec="raw")
+        )
+        interval_idx = BitmapIndex.build(
+            values, IndexSpec(cardinality=50, scheme="I", codec="raw")
+        )
+        ratio = interval_idx.size_bytes() / range_idx.size_bytes()
+        assert 0.45 < ratio < 0.56
+
+    def test_interval_beats_equality_on_range_queries(self, values, query_sets):
+        """Figure 8's N_equ = 0 columns: I beats E in simulated time."""
+        sets = {
+            k: v for k, v in query_sets.items() if k.endswith("Nequ=0")
+        }
+        time_e = measure_design(
+            values, IndexSpec(cardinality=50, scheme="E"), sets
+        ).avg_time_ms
+        time_i = measure_design(
+            values, IndexSpec(cardinality=50, scheme="I"), sets
+        ).avg_time_ms
+        assert time_i < time_e
+
+    def test_equality_beats_interval_on_equality_sets(self, values, query_sets):
+        sets = {
+            k: v
+            for k, v in query_sets.items()
+            if k in ("Nint=1,Nequ=1", "Nint=2,Nequ=2", "Nint=5,Nequ=5")
+        }
+        scans_e = measure_design(
+            values, IndexSpec(cardinality=50, scheme="E"), sets
+        ).avg_scans
+        scans_i = measure_design(
+            values, IndexSpec(cardinality=50, scheme="I"), sets
+        ).avg_scans
+        assert scans_e < scans_i
+
+    def test_multi_component_saves_space_costs_scans(self, values):
+        one = measure_design(
+            values,
+            IndexSpec(cardinality=50, scheme="I", bases=(50,)),
+            {"q": [IntervalQuery(10, 30, 50)]},
+        )
+        three = measure_design(
+            values,
+            IndexSpec(
+                cardinality=50,
+                scheme="I",
+                bases=optimal_bases(50, 3, get_scheme("I")),
+            ),
+            {"q": [IntervalQuery(10, 30, 50)]},
+        )
+        assert three.space_bytes < one.space_bytes
+        assert three.avg_scans >= one.avg_scans
+
+
+class TestDiskBackedIndex:
+    def test_directory_store_roundtrip(self, tmp_path, rng):
+        values = rng.integers(0, 20, size=3000)
+        store = DirectoryStore(tmp_path, codec="bbc")
+        index = BitmapIndex.build(
+            values, IndexSpec(cardinality=20, scheme="I", codec="bbc"), store=store
+        )
+        result = index.query(IntervalQuery(5, 12, 20))
+        assert result.row_count == int(((values >= 5) & (values <= 12)).sum())
+        # Every stored bitmap exists as a real file and decodes equal.
+        for key in store.keys():
+            assert store.read_from_disk(key) == store.get(key)
+
+
+class TestCostAccountingConsistency:
+    def test_scans_match_pool_misses_on_cold_runs(self, rng):
+        values = rng.integers(0, 30, size=2000)
+        index = BitmapIndex.build(values, IndexSpec(cardinality=30, scheme="R"))
+        clock = CostClock()
+        engine = index.engine(clock=clock)
+        total_scans = 0
+        for low, high in [(0, 10), (5, 25), (13, 13), (1, 28)]:
+            engine.pool.clear()
+            result = engine.execute(IntervalQuery(low, high, 30))
+            total_scans += result.stats.scans
+        assert engine.buffer_stats.misses == total_scans
+        assert clock.read_requests == total_scans

@@ -1,0 +1,85 @@
+"""Tests for the paper's query-set generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueryError
+from repro.queries import QuerySetSpec, generate_query_set, paper_query_sets
+from repro.queries.generator import generate_membership_query
+from repro.queries.rewrite import constituent_counts
+
+
+class TestPaperQuerySets:
+    def test_exactly_eight_sets(self):
+        specs = paper_query_sets()
+        assert len(specs) == 8
+
+    def test_parameter_grid(self):
+        pairs = {(s.num_intervals, s.num_equalities) for s in paper_query_sets()}
+        assert pairs == {
+            (1, 0),
+            (1, 1),
+            (2, 0),
+            (2, 1),
+            (2, 2),
+            (5, 0),
+            (5, 3),
+            (5, 5),
+        }
+
+    def test_labels(self):
+        assert paper_query_sets()[0].label == "Nint=1,Nequ=0"
+
+
+class TestSpecValidation:
+    def test_invalid_counts(self):
+        with pytest.raises(QueryError):
+            QuerySetSpec(0, 0)
+        with pytest.raises(QueryError):
+            QuerySetSpec(2, 3)
+        with pytest.raises(QueryError):
+            QuerySetSpec(2, -1)
+
+    def test_domain_too_small(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(QueryError):
+            # 5 ranges need at least 5*2 + 4 = 14 values.
+            generate_membership_query(QuerySetSpec(5, 0), 10, rng)
+
+
+class TestGeneratedQueries:
+    def test_deterministic_with_seed(self):
+        a = generate_query_set(QuerySetSpec(2, 1), 50, num_queries=5, seed=3)
+        b = generate_query_set(QuerySetSpec(2, 1), 50, num_queries=5, seed=3)
+        assert [q.values for q in a] == [q.values for q in b]
+
+    def test_count(self):
+        queries = generate_query_set(QuerySetSpec(1, 0), 50, num_queries=10)
+        assert len(queries) == 10
+
+    @pytest.mark.parametrize("spec", paper_query_sets(), ids=lambda s: s.label)
+    def test_specs_satisfied_exactly(self, spec):
+        for seed in range(5):
+            queries = generate_query_set(spec, 50, num_queries=4, seed=seed)
+            for query in queries:
+                n_int, n_equ = constituent_counts(query)
+                assert n_int == spec.num_intervals, (spec.label, seed)
+                assert n_equ == spec.num_equalities, (spec.label, seed)
+
+
+@given(
+    n_int=st.integers(min_value=1, max_value=6),
+    n_equ_frac=st.floats(min_value=0, max_value=1),
+    cardinality=st.integers(min_value=30, max_value=300),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=200, deadline=None)
+def test_generator_property(n_int, n_equ_frac, cardinality, seed):
+    """Any feasible (N_int, N_equ, C) combination is satisfied exactly."""
+    n_equ = round(n_equ_frac * n_int)
+    spec = QuerySetSpec(n_int, n_equ)
+    rng = np.random.default_rng(seed)
+    query = generate_membership_query(spec, cardinality, rng)
+    assert constituent_counts(query) == (n_int, n_equ)
+    assert max(query.values) < cardinality

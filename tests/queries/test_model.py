@@ -1,0 +1,88 @@
+"""Unit tests for query objects and their classification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.queries import IntervalQuery, MembershipQuery
+
+
+class TestIntervalQuery:
+    def test_classification_equality(self):
+        q = IntervalQuery(3, 3, 10)
+        assert q.is_equality and q.query_class == "EQ"
+        assert not q.is_one_sided and not q.is_two_sided
+
+    def test_classification_one_sided(self):
+        assert IntervalQuery(0, 4, 10).query_class == "1RQ"
+        assert IntervalQuery(4, 9, 10).query_class == "1RQ"
+
+    def test_classification_two_sided(self):
+        assert IntervalQuery(2, 7, 10).query_class == "2RQ"
+
+    def test_boundary_equality_is_eq_not_1rq(self):
+        # [0,0] touches the boundary but x == y wins (paper precedence).
+        assert IntervalQuery(0, 0, 10).query_class == "EQ"
+        assert IntervalQuery(9, 9, 10).query_class == "EQ"
+
+    def test_full_domain(self):
+        q = IntervalQuery(0, 9, 10)
+        assert q.is_full_domain and q.query_class == "ALL"
+
+    def test_value_set(self):
+        assert IntervalQuery(2, 4, 10).value_set() == {2, 3, 4}
+
+    def test_negated_value_set(self):
+        q = IntervalQuery(2, 4, 10, negated=True)
+        assert q.value_set() == {0, 1, 5, 6, 7, 8, 9}
+
+    def test_matches(self):
+        values = np.array([0, 2, 3, 4, 5, 9])
+        q = IntervalQuery(2, 4, 10)
+        assert q.matches(values).tolist() == [False, True, True, True, False, False]
+        neg = IntervalQuery(2, 4, 10, negated=True)
+        assert neg.matches(values).tolist() == [True, False, False, False, True, True]
+
+    def test_str_forms(self):
+        assert str(IntervalQuery(3, 3, 10)) == "A = 3"
+        assert str(IntervalQuery(0, 4, 10)) == "A <= 4"
+        assert str(IntervalQuery(4, 9, 10)) == "A >= 4"
+        assert str(IntervalQuery(2, 7, 10)) == "2 <= A <= 7"
+        assert str(IntervalQuery(2, 7, 10, negated=True)) == "NOT (2 <= A <= 7)"
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(QueryError):
+            IntervalQuery(5, 4, 10)
+        with pytest.raises(QueryError):
+            IntervalQuery(-1, 4, 10)
+        with pytest.raises(QueryError):
+            IntervalQuery(0, 10, 10)
+
+    def test_immutability(self):
+        q = IntervalQuery(1, 2, 10)
+        with pytest.raises(AttributeError):
+            q.low = 0  # type: ignore[misc]
+
+
+class TestMembershipQuery:
+    def test_of_builder(self):
+        q = MembershipQuery.of([3, 1, 3], 10)
+        assert q.values == {1, 3}
+
+    def test_matches(self):
+        values = np.array([0, 1, 2, 3, 4])
+        q = MembershipQuery.of({1, 3}, 10)
+        assert q.matches(values).tolist() == [False, True, False, True, False]
+
+    def test_str_sorted(self):
+        assert str(MembershipQuery.of({5, 2, 9}, 10)) == "A IN {2, 5, 9}"
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(QueryError):
+            MembershipQuery(frozenset(), 10)
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(QueryError):
+            MembershipQuery.of({10}, 10)
+        with pytest.raises(QueryError):
+            MembershipQuery.of({-1}, 10)

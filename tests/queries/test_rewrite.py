@@ -1,0 +1,89 @@
+"""Tests for the minimal interval decomposition of membership queries."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.queries import MembershipQuery, minimal_intervals
+from repro.queries.rewrite import constituent_counts
+
+
+class TestPaperExample:
+    def test_section5_example(self):
+        """"A IN {6, 19, 20, 21, 22, 35}" rewrites as
+        "(A=6) OR (19<=A<=22) OR (A=35)"."""
+        query = MembershipQuery.of({6, 19, 20, 21, 22, 35}, 50)
+        intervals = minimal_intervals(query)
+        assert [(q.low, q.high) for q in intervals] == [
+            (6, 6),
+            (19, 22),
+            (35, 35),
+        ]
+        assert [q.is_equality for q in intervals] == [True, False, True]
+
+    def test_constituent_counts(self):
+        query = MembershipQuery.of({6, 19, 20, 21, 22, 35}, 50)
+        assert constituent_counts(query) == (3, 2)
+
+
+class TestEdgeCases:
+    def test_single_value(self):
+        intervals = minimal_intervals(MembershipQuery.of({7}, 10))
+        assert [(q.low, q.high) for q in intervals] == [(7, 7)]
+
+    def test_whole_domain(self):
+        intervals = minimal_intervals(MembershipQuery.of(range(10), 10))
+        assert [(q.low, q.high) for q in intervals] == [(0, 9)]
+
+    def test_alternating_values(self):
+        intervals = minimal_intervals(MembershipQuery.of({0, 2, 4}, 6))
+        assert len(intervals) == 3
+        assert all(q.is_equality for q in intervals)
+
+
+# ---------------------------------------------------------------------------
+# Properties: the decomposition is a partition, and it is minimal.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def membership_queries(draw):
+    cardinality = draw(st.integers(min_value=1, max_value=60))
+    values = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=cardinality - 1),
+            min_size=1,
+            max_size=cardinality,
+        )
+    )
+    return MembershipQuery.of(values, cardinality)
+
+
+@given(query=membership_queries())
+@settings(max_examples=300)
+def test_intervals_partition_the_value_set(query):
+    intervals = minimal_intervals(query)
+    covered: set[int] = set()
+    for interval in intervals:
+        vals = interval.value_set()
+        assert not covered & vals  # disjoint
+        covered |= vals
+    assert covered == set(query.values)
+
+
+@given(query=membership_queries())
+@settings(max_examples=300)
+def test_decomposition_is_minimal(query):
+    """The number of constituents equals the number of maximal runs,
+    which is the provable lower bound for a disjoint interval cover."""
+    values = sorted(query.values)
+    runs = 1 + sum(
+        1 for a, b in zip(values, values[1:]) if b != a + 1
+    )
+    assert len(minimal_intervals(query)) == runs
+
+
+@given(query=membership_queries())
+@settings(max_examples=200)
+def test_intervals_sorted_and_non_adjacent(query):
+    intervals = minimal_intervals(query)
+    for left, right in zip(intervals, intervals[1:]):
+        assert left.high + 1 < right.low  # a gap separates maximal runs

@@ -1,0 +1,137 @@
+"""Tests for the LRU buffer pool and its cost accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmap import BitVector
+from repro.errors import BufferError_
+from repro.storage import BitmapStore, BufferPool, CostClock
+
+
+def make_store(num_bitmaps: int = 8, length: int = 10_000) -> BitmapStore:
+    # page_size 512 -> each decoded bitmap is ceil(1256/512) = 3 pages.
+    store = BitmapStore(codec="raw", page_size=512)
+    for i in range(num_bitmaps):
+        store.put(i, BitVector.from_indices(length, [i]))
+    return store
+
+
+class TestLruSemantics:
+    def test_hit_after_miss(self):
+        pool = BufferPool(make_store(), capacity_pages=100)
+        pool.fetch(0)
+        pool.fetch(0)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+
+    def test_eviction_order_is_lru(self):
+        # Capacity for exactly two decoded bitmaps (3 pages each).
+        pool = BufferPool(make_store(), capacity_pages=6)
+        pool.fetch(0)
+        pool.fetch(1)
+        pool.fetch(0)      # touch 0 so 1 is the LRU victim
+        pool.fetch(2)      # evicts 1
+        assert pool.contains(0)
+        assert not pool.contains(1)
+        assert pool.contains(2)
+        assert pool.stats.evictions == 1
+
+    def test_capacity_never_exceeded(self):
+        pool = BufferPool(make_store(), capacity_pages=7)
+        for i in range(8):
+            pool.fetch(i)
+            assert pool.used_pages <= 7
+
+    def test_oversized_fetch_still_served(self):
+        pool = BufferPool(make_store(), capacity_pages=1)
+        vector = pool.fetch(0)
+        assert vector.count() == 1
+
+    def test_stats_invariant_fetches(self):
+        pool = BufferPool(make_store(), capacity_pages=6)
+        for key in [0, 1, 2, 0, 1, 2, 2]:
+            pool.fetch(key)
+        assert pool.stats.fetches == pool.stats.hits + pool.stats.misses == 7
+
+    def test_clear_drops_residents(self):
+        pool = BufferPool(make_store(), capacity_pages=100)
+        pool.fetch(0)
+        pool.clear()
+        assert pool.used_pages == 0
+        pool.fetch(0)
+        assert pool.stats.misses == 2
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(BufferError_):
+            BufferPool(make_store(), capacity_pages=0)
+
+    def test_hit_ratio(self):
+        pool = BufferPool(make_store(), capacity_pages=100)
+        assert pool.stats.hit_ratio == 0.0
+        pool.fetch(0)
+        pool.fetch(0)
+        pool.fetch(0)
+        assert pool.stats.hit_ratio == pytest.approx(2 / 3)
+
+
+class TestClockCharges:
+    def test_miss_charges_io(self):
+        clock = CostClock()
+        pool = BufferPool(make_store(), capacity_pages=100, clock=clock)
+        pool.fetch(0)
+        assert clock.read_requests == 1
+        assert clock.pages_read == 3
+        assert clock.io_ms == pytest.approx(
+            clock.model.seek_ms + 3 * clock.model.transfer_ms_per_page
+        )
+
+    def test_hit_charges_nothing(self):
+        clock = CostClock()
+        pool = BufferPool(make_store(), capacity_pages=100, clock=clock)
+        pool.fetch(0)
+        before = clock.total_ms
+        pool.fetch(0)
+        assert clock.total_ms == before
+
+    def test_compressed_store_charges_decompression(self):
+        store = BitmapStore(codec="bbc", page_size=512)
+        store.put("x", BitVector.from_indices(10_000, [7]))
+        clock = CostClock()
+        pool = BufferPool(store, capacity_pages=100, clock=clock)
+        pool.fetch("x")
+        assert clock.bytes_decompressed > 0
+        assert clock.cpu_ms > 0
+
+    def test_raw_store_charges_no_decompression(self):
+        clock = CostClock()
+        pool = BufferPool(make_store(), capacity_pages=100, clock=clock)
+        pool.fetch(0)
+        assert clock.bytes_decompressed == 0
+
+    def test_word_ops_and_reset(self):
+        clock = CostClock()
+        clock.charge_word_ops(4, 100)
+        assert clock.words_operated == 400
+        assert clock.cpu_ms > 0
+        clock.reset()
+        assert clock.total_ms == 0.0
+        assert clock.words_operated == 0
+
+
+@given(
+    sequence=st.lists(st.integers(min_value=0, max_value=7), max_size=60),
+    capacity=st.integers(min_value=3, max_value=30),
+)
+@settings(max_examples=150, deadline=None)
+def test_pool_properties(sequence, capacity):
+    """Invariants under arbitrary access sequences: correct contents,
+    bounded residency, consistent stats."""
+    store = make_store()
+    pool = BufferPool(store, capacity_pages=capacity)
+    for key in sequence:
+        vector = pool.fetch(key)
+        assert vector == store.get(key)
+        assert pool.used_pages <= max(capacity, 3)
+    assert pool.stats.fetches == len(sequence)
+    assert pool.stats.hits + pool.stats.misses == len(sequence)
+    assert pool.stats.evictions <= pool.stats.misses

@@ -1,0 +1,80 @@
+"""Tests for the disk model, presets and cost clock arithmetic."""
+
+import pytest
+
+from repro.storage import (
+    DEFAULT_DISK_MODEL,
+    DISK_MODEL_PRESETS,
+    CostClock,
+    DiskModel,
+    get_disk_model,
+)
+
+
+class TestPresets:
+    def test_four_generations(self):
+        assert set(DISK_MODEL_PRESETS) == {
+            "hdd-1999",
+            "hdd-2005",
+            "ssd-2015",
+            "nvme-2020",
+        }
+
+    def test_default_is_the_paper_era(self):
+        assert DEFAULT_DISK_MODEL == get_disk_model("hdd-1999")
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            get_disk_model("tape-1980")
+
+    def test_io_costs_collapse_over_time(self):
+        order = ["hdd-1999", "hdd-2005", "ssd-2015", "nvme-2020"]
+        seeks = [get_disk_model(name).seek_ms for name in order]
+        transfers = [
+            get_disk_model(name).transfer_ms_per_page for name in order
+        ]
+        assert seeks == sorted(seeks, reverse=True)
+        assert transfers == sorted(transfers, reverse=True)
+
+    def test_transfer_to_decompress_ratio_collapses(self):
+        """The quantity Figure 9's crossover hinges on: ms of transfer
+        saved per byte of compression vs ns to decode a byte."""
+        order = ["hdd-1999", "hdd-2005", "ssd-2015", "nvme-2020"]
+        ratios = [
+            get_disk_model(name).transfer_ms_per_page
+            / get_disk_model(name).decompress_ns_per_byte
+            for name in order
+        ]
+        assert ratios == sorted(ratios, reverse=True)
+
+
+class TestCostClock:
+    def test_read_charges(self):
+        clock = CostClock(model=DiskModel(seek_ms=5.0, transfer_ms_per_page=1.0))
+        clock.charge_read(3)
+        assert clock.read_requests == 1
+        assert clock.pages_read == 3
+        assert clock.io_ms == pytest.approx(5.0 + 3.0)
+        assert clock.cpu_ms == 0.0
+
+    def test_decompress_charges(self):
+        clock = CostClock(model=DiskModel(decompress_ns_per_byte=100.0))
+        clock.charge_decompress(1_000_000)
+        assert clock.bytes_decompressed == 1_000_000
+        assert clock.cpu_ms == pytest.approx(100.0 * 1_000_000 * 1e-6)
+
+    def test_word_op_charges(self):
+        clock = CostClock(model=DiskModel(cpu_ns_per_word=10.0))
+        clock.charge_word_ops(operations=5, words_per_operation=1000)
+        assert clock.words_operated == 5000
+        assert clock.cpu_ms == pytest.approx(10.0 * 5000 * 1e-6)
+
+    def test_total_and_reset(self):
+        clock = CostClock()
+        clock.charge_read(1)
+        clock.charge_word_ops(1, 64)
+        assert clock.total_ms == pytest.approx(clock.io_ms + clock.cpu_ms)
+        clock.reset()
+        assert clock.total_ms == 0.0
+        assert clock.read_requests == 0
+        assert clock.model == DEFAULT_DISK_MODEL

@@ -1,0 +1,95 @@
+"""Tests for the page model and the bitmap stores."""
+
+import pytest
+
+from repro.bitmap import BitVector
+from repro.errors import StorageError
+from repro.storage import BitmapStore, DirectoryStore, pages_for
+
+
+class TestPages:
+    def test_rounding(self):
+        assert pages_for(0) == 1
+        assert pages_for(1) == 1
+        assert pages_for(8192) == 1
+        assert pages_for(8193) == 2
+
+    def test_custom_page_size(self):
+        assert pages_for(100, page_size=64) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(StorageError):
+            pages_for(-1)
+        with pytest.raises(StorageError):
+            pages_for(10, page_size=0)
+
+
+class TestBitmapStore:
+    def test_put_get_roundtrip(self):
+        store = BitmapStore(codec="bbc")
+        vector = BitVector.from_indices(1000, [1, 500, 999])
+        store.put("x", vector)
+        assert store.get("x") == vector
+
+    def test_info(self):
+        store = BitmapStore(codec="raw", page_size=64)
+        vector = BitVector.ones(1000)
+        info = store.put("x", vector)
+        assert info.length == 1000
+        assert info.encoded_bytes == vector.num_words * 8
+        assert info.pages == pages_for(info.encoded_bytes, 64)
+
+    def test_unknown_key(self):
+        store = BitmapStore()
+        with pytest.raises(StorageError):
+            store.get("missing")
+        with pytest.raises(StorageError):
+            store.info("missing")
+
+    def test_replace(self):
+        store = BitmapStore()
+        store.put("x", BitVector.zeros(64))
+        store.put("x", BitVector.ones(64))
+        assert store.get("x").count() == 64
+        assert len(store) == 1
+
+    def test_totals(self):
+        store = BitmapStore(codec="raw", page_size=64)
+        store.put("a", BitVector.zeros(1000))
+        store.put("b", BitVector.zeros(1000))
+        assert store.total_bytes() == 2 * 16 * 8
+        assert store.total_pages() == 2 * 2
+        assert set(store.keys()) == {"a", "b"}
+        assert "a" in store and "c" not in store
+
+    def test_compressed_store_smaller_on_sparse_data(self):
+        raw = BitmapStore(codec="raw")
+        bbc = BitmapStore(codec="bbc")
+        vector = BitVector.from_indices(100_000, [5])
+        raw.put("x", vector)
+        bbc.put("x", vector)
+        assert bbc.total_bytes() < raw.total_bytes() / 100
+
+
+class TestDirectoryStore:
+    def test_files_written_and_readable(self, tmp_path):
+        store = DirectoryStore(tmp_path, codec="bbc")
+        vector = BitVector.from_indices(500, [3, 400])
+        store.put("k", vector)
+        path = store.path_for("k")
+        assert path.exists()
+        assert path.read_bytes() == store._payload("k")
+        assert store.read_from_disk("k") == vector
+
+    def test_replace_reuses_file(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        store.put("k", BitVector.zeros(64))
+        first = store.path_for("k")
+        store.put("k", BitVector.ones(64))
+        assert store.path_for("k") == first
+        assert store.read_from_disk("k").count() == 64
+
+    def test_unknown_key(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        with pytest.raises(StorageError):
+            store.path_for("nope")

@@ -1,0 +1,85 @@
+"""Tests for the table-level (multi-column knapsack) advisor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.queries import IntervalQuery, MembershipQuery
+from repro.table.advisor import recommend_table
+from repro.workload import zipf_column
+
+
+@pytest.fixture(scope="module")
+def setup():
+    columns = {
+        "a": zipf_column(4000, 16, 1.0, seed=1),
+        "b": zipf_column(4000, 24, 0.0, seed=2),
+    }
+    cardinalities = {"a": 16, "b": 24}
+    workloads = {
+        # Column a sees equality lookups, column b range scans.
+        "a": {"eq": [MembershipQuery.of({3}, 16), MembershipQuery.of({7}, 16)]},
+        "b": {"rq": [IntervalQuery(2, 18, 24), IntervalQuery(0, 11, 24)]},
+    }
+    return columns, cardinalities, workloads
+
+
+class TestRecommendTable:
+    def test_fits_budget(self, setup):
+        columns, cardinalities, workloads = setup
+        budget = 40 * 1024
+        outcome = recommend_table(
+            columns, cardinalities, workloads, space_budget_bytes=budget
+        )
+        assert outcome.per_column is not None
+        assert set(outcome.per_column) == {"a", "b"}
+        assert outcome.total_bytes <= budget
+
+    def test_minimizes_total_time(self, setup):
+        """The DP pick is at least as fast as any greedy per-column
+        combination that fits the same budget."""
+        columns, cardinalities, workloads = setup
+        budget = 40 * 1024
+        outcome = recommend_table(
+            columns, cardinalities, workloads, space_budget_bytes=budget
+        )
+        assert outcome.per_column is not None
+        # Exhaustive cross-product check against the measured candidates.
+        best = float("inf")
+        for pa in outcome.candidates["a"]:
+            for pb in outcome.candidates["b"]:
+                if pa.space_bytes + pb.space_bytes <= budget:
+                    best = min(best, pa.avg_time_ms + pb.avg_time_ms)
+        # Allow the page-discretization of the DP a little slack.
+        assert outcome.total_time_ms <= best * 1.05 + 1e-9
+
+    def test_impossible_budget(self, setup):
+        columns, cardinalities, workloads = setup
+        outcome = recommend_table(
+            columns, cardinalities, workloads, space_budget_bytes=1
+        )
+        assert outcome.per_column is None
+        assert outcome.candidates  # measurements still reported
+
+    def test_tight_budget_prefers_compact_designs(self, setup):
+        columns, cardinalities, workloads = setup
+        loose = recommend_table(
+            columns, cardinalities, workloads, space_budget_bytes=400 * 1024
+        )
+        tight = recommend_table(
+            columns, cardinalities, workloads, space_budget_bytes=24 * 1024
+        )
+        assert loose.per_column is not None and tight.per_column is not None
+        assert tight.total_bytes <= loose.total_bytes
+        assert tight.total_time_ms >= loose.total_time_ms - 1e-9
+
+    def test_missing_workload_rejected(self, setup):
+        columns, cardinalities, _ = setup
+        with pytest.raises(ExperimentError):
+            recommend_table(
+                columns, cardinalities, {"a": {}}, space_budget_bytes=1024
+            )
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ExperimentError):
+            recommend_table({}, {}, {}, space_budget_bytes=1024)

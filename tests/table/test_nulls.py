@@ -1,0 +1,141 @@
+"""Tests for NULL handling in tables (validity bitmaps, SQL semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueryError, ReproError
+from repro.queries import IntervalQuery, MembershipQuery
+from repro.table import ColumnConfig, IsNotNull, IsNull, Table
+
+
+@pytest.fixture
+def table_with_nulls(rng):
+    values = rng.integers(0, 10, size=1000)
+    valid = rng.random(1000) > 0.2  # ~20% NULLs
+    table = Table.from_columns(
+        {"x": values, "y": rng.integers(0, 5, size=1000)},
+        {"x": ColumnConfig(10, scheme="I"), "y": ColumnConfig(5, scheme="E")},
+        valid_masks={"x": valid},
+    )
+    return table, values, valid
+
+
+class TestValidity:
+    def test_validity_of(self, table_with_nulls):
+        table, _, valid = table_with_nulls
+        assert table.validity_of("x").to_bools().tolist() == valid.tolist()
+        # NULL-free column: all ones.
+        assert table.validity_of("y").count() == 1000
+
+    def test_all_valid_mask_stores_nothing(self, rng):
+        table = Table(100)
+        table.add_column(
+            "a",
+            rng.integers(0, 5, 100),
+            ColumnConfig(5),
+            valid_mask=np.ones(100, dtype=bool),
+        )
+        assert table._validity["a"] is None
+
+    def test_wrong_mask_length_rejected(self, rng):
+        table = Table(100)
+        with pytest.raises(ReproError):
+            table.add_column(
+                "a",
+                rng.integers(0, 5, 100),
+                ColumnConfig(5),
+                valid_mask=np.ones(99, dtype=bool),
+            )
+
+
+class TestPredicateSemantics:
+    def test_nulls_never_match(self, table_with_nulls):
+        table, values, valid = table_with_nulls
+        result = table.select({"x": IntervalQuery(0, 9, 10)})
+        # Even the full-domain predicate excludes NULLs.
+        assert result.row_count == int(valid.sum())
+
+    def test_nulls_never_match_negation(self, table_with_nulls):
+        table, values, valid = table_with_nulls
+        result = table.select(
+            {"x": IntervalQuery(0, 4, 10)}, negate={"x"}
+        )
+        expected = valid & ~((values >= 0) & (values <= 4))
+        assert result.row_count == int(expected.sum())
+
+    def test_predicate_plus_negation_misses_nulls(self, table_with_nulls):
+        """P OR NOT P covers exactly the non-NULL records."""
+        table, _, valid = table_with_nulls
+        positive = table.select({"x": IntervalQuery(0, 4, 10)})
+        negative = table.select({"x": IntervalQuery(0, 4, 10)}, negate={"x"})
+        union = positive.bitmap | negative.bitmap
+        assert union.count() == int(valid.sum())
+
+    def test_is_null(self, table_with_nulls):
+        table, _, valid = table_with_nulls
+        result = table.select({"x": IsNull()})
+        assert result.row_count == int((~valid).sum())
+
+    def test_is_not_null(self, table_with_nulls):
+        table, _, valid = table_with_nulls
+        result = table.select({"x": IsNotNull()})
+        assert result.row_count == int(valid.sum())
+
+    def test_is_null_combined_with_other_predicate(self, table_with_nulls):
+        table, values, valid = table_with_nulls
+        # y predicate AND x IS NULL.
+        result = table.select(
+            {"x": IsNull(), "y": IntervalQuery(0, 2, 5)}
+        )
+        assert result.row_count <= int((~valid).sum())
+
+    def test_negating_null_marker_rejected(self, table_with_nulls):
+        table, _, _ = table_with_nulls
+        with pytest.raises(QueryError):
+            table.select({"x": IsNull()}, negate={"x"})
+
+    def test_membership_respects_nulls(self, table_with_nulls):
+        table, values, valid = table_with_nulls
+        query = MembershipQuery.of({0, 3, 7}, 10)
+        result = table.select({"x": query})
+        expected = valid & np.isin(values, [0, 3, 7])
+        assert result.row_count == int(expected.sum())
+
+    def test_null_indexed_under_zero_not_leaked(self, rng):
+        """Records that are NULL must not surface in 'A = 0' answers
+        even though their slot in the index holds value 0."""
+        values = np.array([0, 1, 2, 3, 4])
+        valid = np.array([True, True, False, True, False])
+        table = Table.from_columns(
+            {"a": values},
+            {"a": ColumnConfig(5, scheme="E")},
+            valid_masks={"a": valid},
+        )
+        result = table.select({"a": IntervalQuery(0, 0, 5)})
+        assert result.row_ids().tolist() == [0]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    null_fraction=st.floats(min_value=0.0, max_value=0.9),
+    low=st.integers(min_value=0, max_value=9),
+    negated=st.booleans(),
+)
+@settings(max_examples=80, deadline=None)
+def test_null_semantics_property(seed, null_fraction, low, negated):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 10, size=300)
+    valid = rng.random(300) >= null_fraction
+    table = Table.from_columns(
+        {"a": values},
+        {"a": ColumnConfig(10, scheme="R")},
+        valid_masks={"a": valid},
+    )
+    high = int(rng.integers(low, 10))
+    query = IntervalQuery(low, high, 10)
+    result = table.select({"a": query}, negate={"a"} if negated else set())
+    mask = (values >= low) & (values <= high)
+    if negated:
+        mask = ~mask
+    assert result.row_count == int((mask & valid).sum())

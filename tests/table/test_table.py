@@ -1,0 +1,196 @@
+"""Tests for the multi-attribute table layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueryError, ReproError
+from repro.queries import IntervalQuery, MembershipQuery
+from repro.table import ColumnConfig, Table
+
+
+@pytest.fixture
+def table_and_columns(rng):
+    columns = {
+        "region": rng.integers(0, 8, size=1500),
+        "amount": rng.integers(0, 40, size=1500),
+        "grade": rng.integers(0, 5, size=1500),
+    }
+    configs = {
+        "region": ColumnConfig(cardinality=8, scheme="E"),
+        "amount": ColumnConfig(cardinality=40, scheme="I", codec="bbc"),
+        "grade": ColumnConfig(cardinality=5, scheme="R"),
+    }
+    return Table.from_columns(columns, configs), columns
+
+
+class TestConstruction:
+    def test_from_columns(self, table_and_columns):
+        table, _ = table_and_columns
+        assert table.num_records == 1500
+        assert table.column_names == ["region", "amount", "grade"]
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ReproError):
+            Table.from_columns(
+                {"a": rng.integers(0, 5, 10), "b": rng.integers(0, 5, 11)},
+                {"a": ColumnConfig(5), "b": ColumnConfig(5)},
+            )
+
+    def test_missing_config_rejected(self, rng):
+        with pytest.raises(ReproError):
+            Table.from_columns(
+                {"a": rng.integers(0, 5, 10)}, {}
+            )
+
+    def test_duplicate_column_rejected(self, rng):
+        table = Table(10)
+        table.add_column("a", rng.integers(0, 5, 10), ColumnConfig(5))
+        with pytest.raises(ReproError):
+            table.add_column("a", rng.integers(0, 5, 10), ColumnConfig(5))
+
+    def test_wrong_length_column_rejected(self, rng):
+        table = Table(10)
+        with pytest.raises(ReproError):
+            table.add_column("a", rng.integers(0, 5, 11), ColumnConfig(5))
+
+    def test_total_index_bytes(self, table_and_columns):
+        table, _ = table_and_columns
+        assert table.total_index_bytes() == sum(
+            table.index_for(name).size_bytes() for name in table.column_names
+        )
+
+    def test_unknown_column_lookup(self, table_and_columns):
+        table, _ = table_and_columns
+        with pytest.raises(QueryError):
+            table.index_for("nope")
+
+
+class TestSelect:
+    def naive(self, columns, predicates, mode="and", negate=frozenset()):
+        masks = []
+        for name, query in predicates.items():
+            mask = query.matches(columns[name])
+            if name in negate:
+                mask = ~mask
+            masks.append(mask)
+        out = masks[0]
+        for mask in masks[1:]:
+            out = (out & mask) if mode == "and" else (out | mask)
+        return int(out.sum())
+
+    def test_conjunction(self, table_and_columns):
+        table, columns = table_and_columns
+        predicates = {
+            "region": MembershipQuery.of({1, 3}, 8),
+            "amount": IntervalQuery(10, 25, 40),
+        }
+        result = table.select(predicates)
+        assert result.row_count == self.naive(columns, predicates)
+        assert set(result.per_column) == {"region", "amount"}
+        assert result.total_scans >= 2
+
+    def test_disjunction(self, table_and_columns):
+        table, columns = table_and_columns
+        predicates = {
+            "region": IntervalQuery(0, 0, 8),
+            "grade": IntervalQuery(4, 4, 5),
+        }
+        result = table.select(predicates, mode="or")
+        assert result.row_count == self.naive(columns, predicates, mode="or")
+
+    def test_negation(self, table_and_columns):
+        table, columns = table_and_columns
+        predicates = {
+            "amount": IntervalQuery(0, 19, 40),
+            "grade": IntervalQuery(2, 4, 5),
+        }
+        result = table.select(predicates, negate={"amount"})
+        assert result.row_count == self.naive(
+            columns, predicates, negate={"amount"}
+        )
+
+    def test_three_way(self, table_and_columns):
+        table, columns = table_and_columns
+        predicates = {
+            "region": MembershipQuery.of({0, 2, 5}, 8),
+            "amount": IntervalQuery(5, 30, 40),
+            "grade": IntervalQuery(0, 2, 5),
+        }
+        assert table.count(predicates) == self.naive(columns, predicates)
+
+    def test_row_ids_match_bitmap(self, table_and_columns):
+        table, columns = table_and_columns
+        result = table.select({"grade": IntervalQuery(3, 4, 5)})
+        mask = (columns["grade"] >= 3) & (columns["grade"] <= 4)
+        assert result.row_ids().tolist() == np.flatnonzero(mask).tolist()
+
+    def test_empty_predicates_rejected(self, table_and_columns):
+        table, _ = table_and_columns
+        with pytest.raises(QueryError):
+            table.select({})
+
+    def test_unknown_mode_rejected(self, table_and_columns):
+        table, _ = table_and_columns
+        with pytest.raises(QueryError):
+            table.select({"grade": IntervalQuery(0, 1, 5)}, mode="xor")
+
+    def test_unknown_column_rejected(self, table_and_columns):
+        table, _ = table_and_columns
+        with pytest.raises(QueryError):
+            table.select({"nope": IntervalQuery(0, 1, 5)})
+
+    def test_negate_without_predicate_rejected(self, table_and_columns):
+        table, _ = table_and_columns
+        with pytest.raises(QueryError):
+            table.select(
+                {"grade": IntervalQuery(0, 1, 5)}, negate={"amount"}
+            )
+
+    def test_warm_engines_hit_buffer(self, table_and_columns):
+        table, _ = table_and_columns
+        query = {"amount": IntervalQuery(10, 25, 40)}
+        table.select(query)
+        stats = table._engines["amount"].buffer_stats
+        misses_before = stats.misses
+        table.select(query)
+        assert stats.misses == misses_before  # all hits the second time
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    mode=st.sampled_from(["and", "or"]),
+    negate_first=st.booleans(),
+)
+@settings(max_examples=50, deadline=None)
+def test_select_property(seed, mode, negate_first):
+    rng = np.random.default_rng(seed)
+    columns = {
+        "a": rng.integers(0, 12, size=200),
+        "b": rng.integers(0, 7, size=200),
+    }
+    table = Table.from_columns(
+        columns,
+        {
+            "a": ColumnConfig(12, scheme="I"),
+            "b": ColumnConfig(7, scheme="E"),
+        },
+    )
+    low = int(rng.integers(0, 12))
+    high = int(rng.integers(low, 12))
+    predicates = {
+        "a": IntervalQuery(low, high, 12),
+        "b": MembershipQuery.of(
+            set(rng.choice(7, size=int(rng.integers(1, 7)), replace=False).tolist()),
+            7,
+        ),
+    }
+    negate = {"a"} if negate_first else set()
+    result = table.select(predicates, mode=mode, negate=negate)
+
+    mask_a = predicates["a"].matches(columns["a"])
+    if negate_first:
+        mask_a = ~mask_a
+    mask_b = predicates["b"].matches(columns["b"])
+    expected = mask_a & mask_b if mode == "and" else mask_a | mask_b
+    assert result.row_count == int(expected.sum())

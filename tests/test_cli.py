@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def column_file(tmp_path, rng):
+    values = rng.integers(0, 20, size=2000)
+    path = tmp_path / "col.npy"
+    np.save(path, values)
+    return path, values
+
+
+class TestGenerate:
+    def test_generates_npy(self, tmp_path, capsys):
+        out = tmp_path / "data.npy"
+        code = main(
+            [
+                "generate",
+                str(out),
+                "--num-records",
+                "500",
+                "--cardinality",
+                "10",
+                "--skew",
+                "2",
+            ]
+        )
+        assert code == 0
+        values = np.load(out)
+        assert values.size == 500
+        assert values.max() < 10
+        assert "wrote 500 values" in capsys.readouterr().out
+
+    def test_deterministic_by_seed(self, tmp_path):
+        a, b = tmp_path / "a.npy", tmp_path / "b.npy"
+        main(["generate", str(a), "--num-records", "100", "--seed", "5"])
+        main(["generate", str(b), "--num-records", "100", "--seed", "5"])
+        assert np.array_equal(np.load(a), np.load(b))
+
+
+class TestBuildInfoQuery:
+    def test_full_cycle(self, tmp_path, column_file, capsys):
+        path, values = column_file
+        index_dir = tmp_path / "idx"
+
+        assert main(
+            [
+                "build",
+                str(path),
+                str(index_dir),
+                "--scheme",
+                "I",
+                "--codec",
+                "bbc",
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["info", str(index_dir)]) == 0
+        info = capsys.readouterr().out
+        assert "I<20>/bbc" in info
+        assert "records:      2000" in info
+
+        assert main(
+            ["query", str(index_dir), "--low", "3", "--high", "11"]
+        ) == 0
+        out = capsys.readouterr().out
+        expected = int(((values >= 3) & (values <= 11)).sum())
+        assert f"matching rows: {expected}" in out
+
+    def test_membership_query_and_rows(self, tmp_path, column_file, capsys):
+        path, values = column_file
+        index_dir = tmp_path / "idx"
+        main(["build", str(path), str(index_dir), "--scheme", "E"])
+        capsys.readouterr()
+        assert main(
+            ["query", str(index_dir), "--values", "1,5,9", "--show-rows", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        expected = int(np.isin(values, [1, 5, 9]).sum())
+        assert f"matching rows: {expected}" in out
+        assert "row ids:" in out
+
+    def test_text_column_input(self, tmp_path, capsys):
+        path = tmp_path / "col.txt"
+        path.write_text("0\n1\n2\n2\n1\n")
+        index_dir = tmp_path / "idx"
+        assert main(["build", str(path), str(index_dir), "--scheme", "R"]) == 0
+        capsys.readouterr()
+        main(["query", str(index_dir), "--low", "1", "--high", "2"])
+        assert "matching rows: 4" in capsys.readouterr().out
+
+    def test_missing_column_file(self, tmp_path, capsys):
+        code = main(["build", str(tmp_path / "nope.npy"), str(tmp_path / "i")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAppend:
+    def test_append_updates_index(self, tmp_path, column_file, capsys):
+        path, values = column_file
+        index_dir = tmp_path / "idx"
+        main(["build", str(path), str(index_dir), "--scheme", "I"])
+
+        batch = tmp_path / "batch.npy"
+        np.save(batch, np.array([3, 3, 3]))
+        assert main(["append", str(index_dir), str(batch)]) == 0
+        capsys.readouterr()
+
+        main(["query", str(index_dir), "--low", "3", "--high", "3"])
+        out = capsys.readouterr().out
+        expected = int((values == 3).sum()) + 3
+        assert f"matching rows: {expected}" in out
+
+
+class TestTheorems:
+    def test_theorems_command(self, capsys):
+        assert main(["theorems"]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+        assert "PAPER-PROVED" in out
+        assert "R optimal for EQ iff C <= 5" in out
+
+    def test_verbose_shows_details(self, capsys):
+        assert main(["theorems", "--verbose"]) == 0
+        assert "C=4" in capsys.readouterr().out
+
+
+class TestExperimentAndAdvise:
+    def test_experiment_prints_table(self, capsys):
+        assert main(["experiment", "figure6", "--num-records", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "scheme" in out
+
+    def test_advise_prints_recommendation(self, tmp_path, capsys):
+        path = tmp_path / "col.npy"
+        np.save(path, np.random.default_rng(0).integers(0, 50, size=3000))
+        assert main(["advise", str(path), "--budget-kb", "100000"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended:" in out

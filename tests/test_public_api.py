@@ -1,0 +1,39 @@
+"""Smoke tests for the package's public API surface."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_style_usage():
+    """The README quickstart, end to end."""
+    values = repro.zipf_column(num_records=10_000, cardinality=50, skew=1.0, seed=0)
+    index = repro.BitmapIndex.build(
+        values,
+        repro.IndexSpec(cardinality=50, scheme="I", num_components=2, codec="bbc"),
+    )
+    result = index.query(repro.IntervalQuery(10, 30, 50))
+    assert result.row_count == int(((values >= 10) & (values <= 30)).sum())
+
+    membership = repro.MembershipQuery.of({3, 17, 18, 19, 42}, 50)
+    result = index.query(membership)
+    assert result.row_count == int(membership.matches(values).sum())
+
+
+def test_scheme_names_exposed():
+    assert repro.ALL_SCHEME_NAMES == ("E", "R", "I", "ER", "O", "EI", "EI*")
+    for name in repro.ALL_SCHEME_NAMES:
+        assert repro.get_scheme(name).name == name
+
+
+def test_cost_model_entry_points():
+    scheme = repro.get_scheme("I")
+    assert repro.space_cost(scheme, 50) == 25
+    assert repro.expected_scans(scheme, 50, "2RQ") <= 2.0

@@ -1,0 +1,80 @@
+"""Tests for the Zipf workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.workload import DatasetSpec, generate_dataset, zipf_column, zipf_probabilities
+
+
+class TestProbabilities:
+    def test_uniform_at_zero_skew(self):
+        probs = zipf_probabilities(10, 0.0)
+        assert np.allclose(probs, 0.1)
+
+    def test_zipf_shape(self):
+        probs = zipf_probabilities(10, 1.0)
+        # p_r proportional to 1/r.
+        assert probs[0] / probs[1] == pytest.approx(2.0)
+        assert probs[0] / probs[9] == pytest.approx(10.0)
+
+    def test_sums_to_one(self):
+        for skew in (0.0, 0.5, 1.0, 2.0, 3.0):
+            assert zipf_probabilities(50, skew).sum() == pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ReproError):
+            zipf_probabilities(10, -0.5)
+
+
+class TestColumn:
+    def test_domain_respected(self):
+        values = zipf_column(10_000, 50, 2.0, seed=1)
+        assert values.min() >= 0
+        assert values.max() < 50
+
+    def test_deterministic(self):
+        a = zipf_column(1000, 50, 1.0, seed=9)
+        b = zipf_column(1000, 50, 1.0, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_skew_concentrates_mass(self):
+        flat = zipf_column(50_000, 50, 0.0, seed=2)
+        skewed = zipf_column(50_000, 50, 3.0, seed=2)
+
+        def top_share(values):
+            counts = np.bincount(values, minlength=50)
+            return np.sort(counts)[-1] / values.size
+
+        assert top_share(skewed) > 5 * top_share(flat)
+
+    def test_decorrelation_breaks_value_order(self):
+        """With decorrelation, the most frequent value is (almost surely)
+        not value 0; without it, it always is."""
+        correlated = zipf_column(50_000, 50, 2.0, seed=3, decorrelate=False)
+        assert np.bincount(correlated, minlength=50).argmax() == 0
+        shuffled = zipf_column(50_000, 50, 2.0, seed=3, decorrelate=True)
+        # Same frequency profile, different value assignment.
+        assert sorted(np.bincount(shuffled, minlength=50)) == sorted(
+            np.bincount(correlated, minlength=50)
+        )
+
+    def test_empty_column(self):
+        assert zipf_column(0, 50, 1.0).size == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ReproError):
+            zipf_column(-1, 50, 1.0)
+
+
+class TestDatasetSpec:
+    def test_generate_matches_spec(self):
+        spec = DatasetSpec(cardinality=20, skew=1.0, num_records=500, seed=4)
+        values = generate_dataset(spec)
+        assert values.size == 500
+        assert values.max() < 20
+
+    def test_label(self):
+        assert DatasetSpec(50, 1.0).label == "C=50,z=1"
