@@ -1,5 +1,7 @@
 """Benchmark + regeneration of Figure 3 (the performance field)."""
 
+import dataclasses
+
 import pytest
 
 from benchmarks.conftest import record_table
@@ -8,9 +10,13 @@ from repro.experiments import ExperimentConfig, run_experiment
 CONFIG = ExperimentConfig(cardinality=50, component_counts=(1, 2, 3))
 
 
-def test_figure3_regenerate(benchmark):
+def test_figure3_regenerate(benchmark, bench_workers):
     result = benchmark.pedantic(
-        lambda: run_experiment("figure3", CONFIG), rounds=1, iterations=1
+        lambda: run_experiment(
+            "figure3", dataclasses.replace(CONFIG, workers=bench_workers)
+        ),
+        rounds=1,
+        iterations=1,
     )
     record_table("figure3", result.render())
     # Interval encoding sits on the 2RQ and RQ frontiers; equality

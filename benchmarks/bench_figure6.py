@@ -5,6 +5,8 @@ behind every Figure 6 point); the full ratio table is regenerated once
 and printed in the terminal summary.
 """
 
+import dataclasses
+
 import pytest
 
 from benchmarks.conftest import record_table
@@ -20,9 +22,13 @@ def values():
     return zipf_column(CONFIG.num_records, CONFIG.cardinality, CONFIG.skew, seed=0)
 
 
-def test_figure6_regenerate(benchmark):
+def test_figure6_regenerate(benchmark, bench_workers):
     result = benchmark.pedantic(
-        lambda: run_experiment("figure6", CONFIG), rounds=1, iterations=1
+        lambda: run_experiment(
+            "figure6", dataclasses.replace(CONFIG, workers=bench_workers)
+        ),
+        rounds=1,
+        iterations=1,
     )
     record_table("figure6", result.render())
     # Headline shapes (the paper's Figure 6 reading).

@@ -1,5 +1,7 @@
 """Benchmark + regeneration of Figure 7 (skew vs compressed space)."""
 
+import dataclasses
+
 import pytest
 
 from benchmarks.conftest import record_table
@@ -8,9 +10,13 @@ from repro.experiments import ExperimentConfig, run_experiment
 CONFIG = ExperimentConfig(num_records=50_000)
 
 
-def test_figure7_regenerate(benchmark):
+def test_figure7_regenerate(benchmark, bench_workers):
     result = benchmark.pedantic(
-        lambda: run_experiment("figure7", CONFIG), rounds=1, iterations=1
+        lambda: run_experiment(
+            "figure7", dataclasses.replace(CONFIG, workers=bench_workers)
+        ),
+        rounds=1,
+        iterations=1,
     )
     record_table("figure7", result.render())
     # Skew improves compression for every (n, scheme) series.

@@ -5,6 +5,8 @@ query through rewrite + buffered evaluation); the full per-set scatter
 is regenerated once.
 """
 
+import dataclasses
+
 import pytest
 
 from benchmarks.conftest import record_table
@@ -18,9 +20,13 @@ CONFIG = ExperimentConfig(
 )
 
 
-def test_figure8_regenerate(benchmark):
+def test_figure8_regenerate(benchmark, bench_workers):
     result = benchmark.pedantic(
-        lambda: run_experiment("figure8", CONFIG), rounds=1, iterations=1
+        lambda: run_experiment(
+            "figure8", dataclasses.replace(CONFIG, workers=bench_workers)
+        ),
+        rounds=1,
+        iterations=1,
     )
     record_table("figure8", result.render())
     # Paper's reading: on the equality-only sets the fastest design is

@@ -1,5 +1,7 @@
 """Benchmark + regeneration of Figure 9 (skew vs space-time)."""
 
+import dataclasses
+
 import pytest
 
 from benchmarks.conftest import record_table
@@ -10,9 +12,13 @@ CONFIG = ExperimentConfig(
 )
 
 
-def test_figure9_regenerate(benchmark):
+def test_figure9_regenerate(benchmark, bench_workers):
     result = benchmark.pedantic(
-        lambda: run_experiment("figure9", CONFIG), rounds=1, iterations=1
+        lambda: run_experiment(
+            "figure9", dataclasses.replace(CONFIG, workers=bench_workers)
+        ),
+        rounds=1,
+        iterations=1,
     )
     record_table("figure9", result.render())
 

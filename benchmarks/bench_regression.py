@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Benchmark-regression driver: codec kernels, compressed ops, one e2e run.
+
+Times encode/decode for every codec, compressed-domain AND/OR, and one
+end-to-end figure regeneration, then writes ``BENCH_PR1.json`` at the
+repo root.  Entries measured by the fixed seed revision are merged in
+under ``seed:``-prefixed names (from ``benchmarks/results/
+seed_baseline.json``) so a single file shows current numbers next to
+the pre-vectorization baseline.
+
+Schema: ``{bench_name: {"median_s": float, "iterations": int,
+"params": {...}}}``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_regression.py
+    PYTHONPATH=src python benchmarks/bench_regression.py --quick
+    PYTHONPATH=src python benchmarks/bench_regression.py --workers 4
+
+``--quick`` shrinks the bit-vector size and the e2e record count so CI
+can smoke the driver in seconds; quick numbers are not comparable to
+the recorded baselines and are therefore not written unless an
+``--output`` is named explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.bitmap import BitVector
+from repro.compress import get_codec
+from repro.compress.bbc_ops import bbc_logical
+from repro.compress.compressed_ops import ewah_logical
+from repro.compress.wah_ops import wah_logical
+from repro.experiments import ExperimentConfig, run_experiment
+
+SEED_BASELINE = Path(__file__).parent / "results" / "seed_baseline.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR1.json"
+
+
+def timeit(fn, iterations: int) -> float:
+    """Median wall-clock seconds over ``iterations`` calls."""
+    samples = []
+    for _ in range(iterations):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def make_vector(n: int, density: float, seed: int) -> BitVector:
+    rng = np.random.default_rng(seed)
+    return BitVector.from_bools(rng.random(n) < density)
+
+
+def run_benchmarks(
+    n_bits: int, density: float, num_records: int, workers: int, iters: int
+) -> dict[str, dict]:
+    results: dict[str, dict] = {}
+    codec_params = {"n_bits": n_bits, "density": density}
+    vec = make_vector(n_bits, density, 0)
+    vec2 = make_vector(n_bits, density, 1)
+
+    payloads = {}
+    for name in ("wah", "ewah", "bbc"):
+        codec = get_codec(name)
+        payloads[name] = (codec.encode(vec), codec.encode(vec2))
+        results[f"{name}_encode"] = {
+            "median_s": timeit(lambda c=codec: c.encode(vec), iters),
+            "iterations": iters,
+            "params": codec_params,
+        }
+        payload = payloads[name][0]
+        results[f"{name}_decode"] = {
+            "median_s": timeit(
+                lambda c=codec, p=payload: c.decode(p, n_bits), iters
+            ),
+            "iterations": iters,
+            "params": codec_params,
+        }
+
+    wah_a, wah_b = payloads["wah"]
+    ewah_a, ewah_b = payloads["ewah"]
+    bbc_a, bbc_b = payloads["bbc"]
+    op_benches = {
+        "wah_and": lambda: wah_logical("and", wah_a, wah_b),
+        "ewah_and": lambda: ewah_logical("and", ewah_a, ewah_b),
+        "ewah_or": lambda: ewah_logical("or", ewah_a, ewah_b),
+        "bbc_and": lambda: bbc_logical("and", bbc_a, bbc_b, n_bits),
+    }
+    for bench_name, fn in op_benches.items():
+        results[bench_name] = {
+            "median_s": timeit(fn, iters),
+            "iterations": iters,
+            "params": codec_params,
+        }
+
+    config = ExperimentConfig(num_records=num_records, workers=workers)
+    results["figure6_e2e"] = {
+        "median_s": timeit(lambda: run_experiment("figure6", config), 1),
+        "iterations": 1,
+        "params": {"num_records": num_records, "workers": workers},
+    }
+    return results
+
+
+def merge_seed_baseline(results: dict[str, dict]) -> None:
+    """Add ``seed:``-prefixed entries from the recorded seed baseline."""
+    if not SEED_BASELINE.exists():
+        return
+    baseline = json.loads(SEED_BASELINE.read_text())
+    for bench_name, entry in baseline.items():
+        results[f"seed:{bench_name}"] = entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny sizes for a CI smoke run (results not written unless "
+        "--output is given)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the end-to-end experiment run (1 = serial)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n_bits, num_records, iters = 100_000, 2_000, 1
+    else:
+        n_bits, num_records, iters = 1_000_000, 20_000, 3
+
+    results = run_benchmarks(
+        n_bits=n_bits,
+        density=0.10,
+        num_records=num_records,
+        workers=args.workers,
+        iters=iters,
+    )
+    merge_seed_baseline(results)
+
+    output = args.output
+    if output is None and not args.quick:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {output}", file=sys.stderr)
+
+    width = max(len(name) for name in results)
+    for name in sorted(results):
+        print(f"{name:{width}s}  {results[name]['median_s']:.6f}s")
+
+    wah_new = results["wah_encode"]["median_s"] + results["wah_decode"]["median_s"]
+    seed_enc = results.get("seed:wah_encode")
+    seed_dec = results.get("seed:wah_decode")
+    if seed_enc and seed_dec and not args.quick:
+        wah_seed = seed_enc["median_s"] + seed_dec["median_s"]
+        print(f"wah encode+decode speedup vs seed: {wah_seed / wah_new:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

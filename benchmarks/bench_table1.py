@@ -5,6 +5,8 @@ C = 6 is the largest cardinality the full search covers (it is also
 exactly where "R optimal for EQ iff C <= 5" flips).
 """
 
+import dataclasses
+
 import pytest
 
 from benchmarks.conftest import record_table
@@ -14,14 +16,16 @@ from repro.experiments import ExperimentConfig, run_experiment
 import repro.experiments.table1 as table1_module
 
 
-def test_table1_regenerate(benchmark):
+def test_table1_regenerate(benchmark, bench_workers):
     # C in (4, 5) for the timed run; the C = 6 entries are added by the
     # dedicated tests below so the bench stays minutes-fast.
     original = table1_module.SEARCH_CARDINALITIES
     table1_module.SEARCH_CARDINALITIES = (4, 5)
     try:
         result = benchmark.pedantic(
-            lambda: run_experiment("table1", ExperimentConfig()),
+            lambda: run_experiment(
+                "table1", ExperimentConfig(workers=bench_workers)
+            ),
             rounds=1,
             iterations=1,
         )

@@ -5,14 +5,37 @@ registers the rendered text via :func:`record_table`; a terminal-summary
 hook prints everything after the benchmark table so the rows survive
 pytest's output capture (and land in bench_output.txt).  Rendered
 tables are also written to ``benchmarks/results/``.
+
+``pytest benchmarks/ --workers N`` fans the experiment regenerations
+out over N processes (see :mod:`repro.parallel`); the default of 1
+keeps benchmark numbers comparable to earlier serial runs.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
+import pytest
+
 _TABLES: list[tuple[str, str]] = []
 _RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=1,
+        help="processes for independent experiment data points "
+        "(1 = serial, 0 = one per CPU)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_workers(request) -> int:
+    """Worker count requested via ``--workers`` (default serial)."""
+    return int(request.config.getoption("--workers"))
 
 
 def record_table(name: str, text: str) -> None:

@@ -10,7 +10,7 @@ from repro.bitmap.bitvector import BitVector
 from repro.errors import BitmapError
 
 
-def _reduce(vectors: Iterable[BitVector], op: str, empty_is_ones: bool) -> BitVector:
+def _reduce(vectors: Iterable[BitVector], op: str) -> BitVector:
     vecs = list(vectors)
     if not vecs:
         raise BitmapError(f"{op} of zero bit vectors is undefined without a length")
@@ -26,18 +26,18 @@ def _reduce(vectors: Iterable[BitVector], op: str, empty_is_ones: bool) -> BitVe
 
 
 def and_all(vectors: Iterable[BitVector]) -> BitVector:
-    """AND of one or more vectors."""
-    return _reduce(vectors, "and", empty_is_ones=True)
+    """AND of one or more vectors; raises :class:`BitmapError` on zero."""
+    return _reduce(vectors, "and")
 
 
 def or_all(vectors: Iterable[BitVector]) -> BitVector:
-    """OR of one or more vectors."""
-    return _reduce(vectors, "or", empty_is_ones=False)
+    """OR of one or more vectors; raises :class:`BitmapError` on zero."""
+    return _reduce(vectors, "or")
 
 
 def xor_all(vectors: Iterable[BitVector]) -> BitVector:
-    """XOR of one or more vectors."""
-    return _reduce(vectors, "xor", empty_is_ones=False)
+    """XOR of one or more vectors; raises :class:`BitmapError` on zero."""
+    return _reduce(vectors, "xor")
 
 
 def concatenate(vectors: Iterable[BitVector]) -> BitVector:

@@ -30,6 +30,15 @@ from repro.queries import IntervalQuery, MembershipQuery
 from repro.workload import zipf_column
 
 
+def _workers_arg(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0 (0 = one per CPU), got {value}"
+        )
+    return value
+
+
 def _load_column(path: str) -> np.ndarray:
     """Load an integer column from .npy or a one-value-per-line text file."""
     file = Path(path)
@@ -124,7 +133,9 @@ def _cmd_append(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentConfig, run_all, run_experiment
 
-    config = ExperimentConfig(num_records=args.num_records)
+    config = ExperimentConfig(
+        num_records=args.num_records, workers=args.workers
+    )
     if args.name == "all":
         for name, result in run_all(config).items():
             print(result.render())
@@ -246,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     p.add_argument("--num-records", type=int, default=50_000)
+    p.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        help="processes for independent data points (1 = serial, 0 = one "
+        "per CPU)",
+    )
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser(

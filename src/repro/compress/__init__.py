@@ -16,6 +16,7 @@ Codecs are looked up by name via :func:`get_codec`.
 
 from repro.compress.base import Codec, available_codecs, get_codec, register_codec
 from repro.compress.bbc import BbcCodec
+from repro.compress.bbc_ops import bbc_count, bbc_logical, bbc_not
 from repro.compress.compressed_ops import (
     CompressedBitmap,
     ewah_count,
@@ -46,4 +47,7 @@ __all__ = [
     "wah_logical",
     "wah_not",
     "wah_count",
+    "bbc_logical",
+    "bbc_not",
+    "bbc_count",
 ]

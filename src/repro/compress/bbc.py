@@ -22,6 +22,12 @@ Header layout (one byte)::
 Long runs of equal bits therefore cost O(log run) bytes while
 incompressible regions cost one extra header byte per 14 literal bytes —
 exactly the behaviour the paper's Figures 6(b), 6(c), 7 and 9 depend on.
+
+Encode and decode run on the vectorized kernels in
+:mod:`repro.compress.kernels`: byte runs are segmented with one
+``np.flatnonzero`` pass and atoms (headers, LEB128 extensions, literal
+tails) are emitted by bulk scatter; only the atom *walk* on decode is
+sequential, and that loop is per-atom, not per-byte.
 """
 
 from __future__ import annotations
@@ -29,11 +35,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bitmap import BitVector
+from repro.compress import kernels
 from repro.compress.base import Codec, register_codec
+from repro.compress.kernels import DIRTY, FILL_ONE, FILL_ZERO, Runs
 from repro.errors import CodecError
 
 _FILL_INLINE_MAX = 6  # 3-bit field, 7 = extended
 _LIT_INLINE_MAX = 14  # 4-bit field, 15 = extended
+_FULL_BYTE = 0xFF
+#: Minimum length for a 0x00/0xFF byte run to be encoded as a fill
+#: rather than folded into a literal tail.  A run of one fill byte
+#: saves nothing over a literal, so the threshold is two.
+_MIN_FILL_RUN = 2
 
 
 def _write_varint(out: bytearray, value: int) -> None:
@@ -65,13 +78,178 @@ def _read_varint(payload: bytes, pos: int) -> tuple[int, int]:
         shift += 7
 
 
-def _byte_runs(data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Run-length segmentation of a uint8 array: ``(start_indices, values)``."""
-    if data.size == 0:
-        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint8)
-    change = np.flatnonzero(data[1:] != data[:-1]) + 1
-    starts = np.concatenate(([0], change))
-    return starts, data[starts]
+def _leb128_nbytes(values: np.ndarray) -> np.ndarray:
+    """Encoded size in bytes of each unsigned LEB128 value."""
+    nbytes = np.ones(values.shape[0], dtype=np.int64)
+    rest = values >> 7
+    while bool((rest > 0).any()):
+        nbytes += rest > 0
+        rest >>= 7
+    return nbytes
+
+
+def _leb128_scatter(
+    out: np.ndarray, pos: np.ndarray, values: np.ndarray, nbytes: np.ndarray
+) -> None:
+    """Write each value's LEB128 bytes at ``out[pos[i] : pos[i]+nbytes[i]]``.
+
+    Loops over byte *position* (at most 10 iterations for 64-bit
+    values), scattering one byte of every value per pass.
+    """
+    if values.shape[0] == 0:
+        return
+    for k in range(int(nbytes.max())):
+        mask = nbytes > k
+        byte = (values[mask] >> (7 * k)) & 0x7F
+        cont = np.where(nbytes[mask] > k + 1, 0x80, 0)
+        out[pos[mask] + k] = (byte | cont).astype(np.uint8)
+
+
+def runs_from_bbc(payload: bytes) -> Runs:
+    """Parse a BBC atom stream into byte runs.
+
+    The walk is per *atom* (positions chain through the variable-length
+    counters), but literal tails are sliced in bulk.
+    """
+    n = len(payload)
+    data = np.frombuffer(payload, dtype=np.uint8)
+    # The walk keeps the loop body minimal — four plain appends per
+    # atom; run arrays and literal bytes are assembled in bulk below.
+    at_bits: list[int] = []
+    at_fills: list[int] = []
+    at_lits: list[int] = []
+    at_starts: list[int] = []
+    pos = 0
+    while pos < n:
+        header = payload[pos]
+        pos += 1
+        fill_len = (header >> 4) & 0x7
+        lit_len = header & 0xF
+        if fill_len == _FILL_INLINE_MAX + 1:
+            ext, pos = _read_varint(payload, pos)
+            fill_len += ext
+        if lit_len == _LIT_INLINE_MAX + 1:
+            ext, pos = _read_varint(payload, pos)
+            lit_len += ext
+        at_bits.append(header >> 7)
+        at_fills.append(fill_len)
+        at_lits.append(lit_len)
+        at_starts.append(pos)
+        pos += lit_len
+    if pos > n:
+        # Only the final atom can overrun: every earlier one had its
+        # header byte read successfully past its literal tail.
+        raise CodecError("truncated literal tail in BBC stream")
+
+    bits = np.asarray(at_bits, dtype=np.int64)
+    fills = np.asarray(at_fills, dtype=np.int64)
+    lits = np.asarray(at_lits, dtype=np.int64)
+    starts = np.asarray(at_starts, dtype=np.int64)
+    has_fill = fills > 0
+    has_lit = lits > 0
+    slots = has_fill.astype(np.int64) + has_lit
+    offsets = np.cumsum(slots) - slots
+    total = int(slots.sum())
+    types = np.empty(total, dtype=np.int8)
+    lengths = np.empty(total, dtype=np.int64)
+    fill_pos = offsets[has_fill]
+    types[fill_pos] = np.where(bits[has_fill] != 0, FILL_ONE, FILL_ZERO)
+    lengths[fill_pos] = fills[has_fill]
+    lit_pos = offsets[has_lit] + has_fill[has_lit]
+    types[lit_pos] = DIRTY
+    lengths[lit_pos] = lits[has_lit]
+    # One bulk gather of every literal tail beats per-atom slicing.
+    values = data[kernels.expand_ranges(starts[has_lit], lits[has_lit])]
+    return Runs(types, lengths, values)
+
+
+def bbc_from_runs(runs: Runs) -> bytes:
+    """Emit the canonical BBC atom stream for ``runs`` via bulk scatter.
+
+    Fill runs shorter than :data:`_MIN_FILL_RUN` are demoted into the
+    literal tail (a one-byte fill saves nothing over a literal), then
+    each surviving fill run becomes one atom carrying the dirty run
+    that follows it — the same stream the reference encoder produces.
+    """
+    if runs.num_runs == 0:
+        return b""
+    types, lengths, values = runs.types, runs.lengths, runs.values
+    if bool((types[1:] == types[:-1]).any()) or bool((lengths <= 0).any()):
+        runs = kernels.normalize(types, lengths, values, _FULL_BYTE)
+        types, lengths, values = runs.types, runs.lengths, runs.values
+        if types.shape[0] == 0:
+            return b""
+
+    # Demote short fills to literal bytes, keeping stream order.
+    is_fill = types != DIRTY
+    demote = is_fill & (lengths < _MIN_FILL_RUN)
+    if bool(demote.any()):
+        contrib = np.where(types == DIRTY, lengths, np.where(demote, lengths, 0))
+        new_values = np.empty(int(contrib.sum()), dtype=np.uint8)
+        val_off = np.cumsum(contrib) - contrib
+        dirty = types == DIRTY
+        if dirty.any():
+            new_values[
+                kernels.expand_ranges(val_off[dirty], lengths[dirty])
+            ] = values
+        new_values[
+            kernels.expand_ranges(val_off[demote], lengths[demote])
+        ] = np.repeat(
+            np.where(types[demote] == FILL_ONE, _FULL_BYTE, 0).astype(np.uint8),
+            lengths[demote],
+        )
+        types = np.where(demote, np.int8(DIRTY), types)
+        values = new_values
+        # Merge dirty runs that became adjacent.
+        change = np.flatnonzero(types[1:] != types[:-1]) + 1
+        starts = np.concatenate(([0], change))
+        types = types[starts]
+        lengths = np.add.reduceat(lengths, starts)
+
+    # One atom per fill run, carrying the dirty run that follows it,
+    # plus a leading fill-free atom when the stream starts dirty.
+    num_runs = types.shape[0]
+    is_fill = types != DIRTY
+    fill_idx = np.flatnonzero(is_fill)
+    nxt = np.minimum(fill_idx + 1, num_runs - 1)
+    has_lit = (fill_idx + 1 < num_runs) & (types[nxt] == DIRTY)
+    at_bit = (types[fill_idx] == FILL_ONE).astype(np.int64)
+    at_fill = lengths[fill_idx]
+    at_lit = np.where(has_lit, lengths[nxt], 0)
+    if num_runs and types[0] == DIRTY:
+        at_bit = np.concatenate(([0], at_bit))
+        at_fill = np.concatenate(([0], at_fill))
+        at_lit = np.concatenate(([lengths[0]], at_lit))
+
+    fill_field = np.minimum(at_fill, _FILL_INLINE_MAX + 1)
+    lit_field = np.minimum(at_lit, _LIT_INLINE_MAX + 1)
+    fill_extended = fill_field == _FILL_INLINE_MAX + 1
+    lit_extended = lit_field == _LIT_INLINE_MAX + 1
+    fill_ext_val = np.where(fill_extended, at_fill - (_FILL_INLINE_MAX + 1), 0)
+    lit_ext_val = np.where(lit_extended, at_lit - (_LIT_INLINE_MAX + 1), 0)
+    fill_ext_len = np.where(fill_extended, _leb128_nbytes(fill_ext_val), 0)
+    lit_ext_len = np.where(lit_extended, _leb128_nbytes(lit_ext_val), 0)
+
+    atom_len = 1 + fill_ext_len + lit_ext_len + at_lit
+    offsets = np.cumsum(atom_len) - atom_len
+    out = np.zeros(int(atom_len.sum()), dtype=np.uint8)
+    out[offsets] = ((at_bit << 7) | (fill_field << 4) | lit_field).astype(np.uint8)
+    _leb128_scatter(
+        out,
+        (offsets + 1)[fill_extended],
+        fill_ext_val[fill_extended],
+        fill_ext_len[fill_extended],
+    )
+    _leb128_scatter(
+        out,
+        (offsets + 1 + fill_ext_len)[lit_extended],
+        lit_ext_val[lit_extended],
+        lit_ext_len[lit_extended],
+    )
+    if values.size:
+        lit_pos = offsets + 1 + fill_ext_len + lit_ext_len
+        out[kernels.expand_ranges(lit_pos, at_lit)] = values
+    return out.tobytes()
 
 
 class BbcCodec(Codec):
@@ -79,10 +257,7 @@ class BbcCodec(Codec):
 
     name = "bbc"
 
-    #: Minimum length for a 0x00/0xFF byte run to be encoded as a fill
-    #: rather than folded into a literal tail.  A run of one fill byte
-    #: saves nothing over a literal, so the threshold is two.
-    _MIN_FILL_RUN = 2
+    _MIN_FILL_RUN = _MIN_FILL_RUN
 
     def encode(self, vector: BitVector) -> bytes:
         data = np.frombuffer(vector.to_bytes(), dtype=np.uint8)
@@ -91,86 +266,20 @@ class BbcCodec(Codec):
         # regenerates them.
         logical_bytes = (len(vector) + 7) // 8
         data = data[:logical_bytes]
-
-        starts, values = _byte_runs(data)
-        lengths = np.diff(np.concatenate((starts, [data.size])))
-
-        out = bytearray()
-        pending_fill_bit = 0
-        pending_fill_len = 0
-        pending_literals = bytearray()
-
-        def flush() -> None:
-            nonlocal pending_fill_bit, pending_fill_len
-            if pending_fill_len == 0 and not pending_literals:
-                return
-            self._emit_atom(out, pending_fill_bit, pending_fill_len, pending_literals)
-            pending_fill_bit = 0
-            pending_fill_len = 0
-            pending_literals.clear()
-
-        for start, value, length in zip(
-            starts.tolist(), values.tolist(), lengths.tolist()
-        ):
-            is_fill = value in (0x00, 0xFF) and length >= self._MIN_FILL_RUN
-            if is_fill:
-                # A fill starts a new atom: flush whatever is pending.
-                flush()
-                pending_fill_bit = 1 if value == 0xFF else 0
-                pending_fill_len = length
-            else:
-                pending_literals.extend(data[start : start + length].tobytes())
-        flush()
-        return bytes(out)
-
-    @staticmethod
-    def _emit_atom(
-        out: bytearray, fill_bit: int, fill_len: int, literals: bytearray
-    ) -> None:
-        fill_field = min(fill_len, _FILL_INLINE_MAX + 1)
-        lit_field = min(len(literals), _LIT_INLINE_MAX + 1)
-        header = (fill_bit << 7) | (fill_field << 4) | lit_field
-        out.append(header)
-        if fill_field == _FILL_INLINE_MAX + 1:
-            _write_varint(out, fill_len - (_FILL_INLINE_MAX + 1))
-        if lit_field == _LIT_INLINE_MAX + 1:
-            _write_varint(out, len(literals) - (_LIT_INLINE_MAX + 1))
-        out.extend(literals)
+        return bbc_from_runs(kernels.runs_from_elements(data, _FULL_BYTE))
 
     def decode(self, payload: bytes, length: int) -> BitVector:
         logical_bytes = (length + 7) // 8
-        chunks: list[bytes] = []
-        produced = 0
-        pos = 0
-        while pos < len(payload):
-            header = payload[pos]
-            pos += 1
-            fill_bit = header >> 7
-            fill_len = (header >> 4) & 0x7
-            lit_len = header & 0xF
-            if fill_len == _FILL_INLINE_MAX + 1:
-                ext, pos = _read_varint(payload, pos)
-                fill_len += ext
-            if lit_len == _LIT_INLINE_MAX + 1:
-                ext, pos = _read_varint(payload, pos)
-                lit_len += ext
-            if fill_len:
-                chunks.append((b"\xff" if fill_bit else b"\x00") * fill_len)
-                produced += fill_len
-            if lit_len:
-                end = pos + lit_len
-                if end > len(payload):
-                    raise CodecError("truncated literal tail in BBC stream")
-                chunks.append(payload[pos:end])
-                pos = end
-                produced += lit_len
+        runs = runs_from_bbc(payload)
+        produced = runs.total
         if produced > logical_bytes:
             raise CodecError(
                 f"BBC stream decodes to {produced} bytes but length {length} "
                 f"allows only {logical_bytes}"
             )
+        body = kernels.elements_from_runs(runs, _FULL_BYTE, np.uint8).tobytes()
         # Trailing zero bytes may have been trimmed at encode time.
-        body = b"".join(chunks) + b"\x00" * (logical_bytes - produced)
+        body += b"\x00" * (logical_bytes - produced)
         # Pad out to whole 64-bit words for BitVector.from_bytes.
         word_bytes = ((length + 63) // 64) * 8
         return BitVector.from_bytes(length, body + b"\x00" * (word_bytes - logical_bytes))

@@ -1,0 +1,73 @@
+"""Logical operations directly on BBC-compressed bitmaps.
+
+The paper's codec never had a compressed-domain story — queries paid a
+full decompression per bitmap.  With the run kernels in
+:mod:`repro.compress.kernels` the BBC atom stream gets the same
+treatment as WAH/EWAH: AND/OR/XOR/NOT over payloads without
+materializing uncompressed bit vectors.
+
+One BBC-specific wrinkle: the encoder trims trailing zero *bytes*
+(the decoder regenerates them from the declared length), so two
+payloads for equal-length bitmaps may cover different byte counts.
+All entry points therefore take the logical bit length and re-pad the
+run view with a zero fill before combining.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compress import kernels
+from repro.compress.bbc import _FULL_BYTE, bbc_from_runs, runs_from_bbc
+from repro.compress.kernels import FILL_ZERO, Runs
+from repro.errors import CodecError
+
+
+def _padded_runs(payload: bytes, logical_bytes: int) -> Runs:
+    """Run view of ``payload`` re-padded to ``logical_bytes``."""
+    runs = runs_from_bbc(payload)
+    produced = runs.total
+    if produced > logical_bytes:
+        raise CodecError(
+            f"BBC stream decodes to {produced} bytes but the declared "
+            f"length allows only {logical_bytes}"
+        )
+    if produced < logical_bytes:
+        runs = Runs(
+            np.concatenate((runs.types, [np.int8(FILL_ZERO)])).astype(np.int8),
+            np.concatenate(
+                (runs.lengths, [np.int64(logical_bytes - produced)])
+            ).astype(np.int64),
+            runs.values,
+        )
+    return runs
+
+
+def bbc_logical(op: str, payload_a: bytes, payload_b: bytes, length: int) -> bytes:
+    """``op`` in {"and", "or", "xor"} over two BBC payloads of ``length`` bits."""
+    if op not in kernels._NP_OPS:
+        raise CodecError(f"unknown compressed operation {op!r}")
+    logical_bytes = (length + 7) // 8
+    runs_a = _padded_runs(payload_a, logical_bytes)
+    runs_b = _padded_runs(payload_b, logical_bytes)
+    result = kernels.combine(op, runs_a, runs_b, _FULL_BYTE, np.uint8)
+    return bbc_from_runs(result)
+
+
+def bbc_not(payload: bytes, length: int) -> bytes:
+    """Complement of a BBC payload for a vector of ``length`` bits.
+
+    The final byte's padding bits must stay zero, so the last byte is
+    masked explicitly when the length is not byte-aligned.
+    """
+    logical_bytes = (length + 7) // 8
+    tail_bits = length % 8
+    tail_mask = (1 << tail_bits) - 1 if tail_bits else None
+    runs = _padded_runs(payload, logical_bytes)
+    result = kernels.complement(runs, _FULL_BYTE, np.uint8, tail_mask)
+    return bbc_from_runs(result)
+
+
+def bbc_count(payload: bytes) -> int:
+    """Population count of a BBC payload without decompression."""
+    return kernels.runs_popcount(runs_from_bbc(payload), 8)

@@ -5,16 +5,19 @@ query touches; the codecs that later superseded BBC (WAH/EWAH) owe
 their popularity to *compressed-domain* logical operations, which skip
 that cost for the clean (all-0/all-1) runs that dominate compressible
 bitmaps.  This module implements AND/OR/XOR/NOT over EWAH payloads
-without materializing uncompressed bit vectors:
+without materializing uncompressed bit vectors.
 
-* both input streams are walked as (clean-run | dirty-word) segments;
-* clean x clean combines fill bits in O(1) per overlapping run;
-* clean x dirty either short-circuits to a fill (``AND 0``, ``OR 1``)
-  or copies/complements the dirty words (``AND 1``, ``OR 0``, XOR);
-* dirty x dirty falls back to word-wise numpy ops on just the
-  overlapping dirty stretch;
-* the writer re-detects clean words produced by the operation (e.g.
-  complemented all-ones) so outputs stay canonically compressed.
+Both input streams are parsed into run arrays
+(:func:`repro.compress.ewah.runs_from_ewah`) and combined by the
+vectorized kernels in :mod:`repro.compress.kernels`:
+
+* run alignment is a ``searchsorted`` merge over the union of both
+  streams' run boundaries — no Python cursor loop;
+* clean x clean overlaps combine fill bits in O(1) per overlap;
+* every overlap touching dirty words — including dirty x dirty — is
+  computed by a single numpy op over the whole stretch;
+* clean words produced by the operation (e.g. complemented all-ones)
+  are re-detected in bulk so outputs stay canonically compressed.
 
 The evaluation engine uses these through
 :class:`~repro.compress.compressed_ops.CompressedBitmap`, and the
@@ -24,140 +27,13 @@ decompress-then-operate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.bitmap import BitVector
+from repro.compress import kernels
 from repro.compress.base import get_codec
-from repro.compress.ewah import EwahCodec, _FULL, _MAX_CLEAN, _MAX_DIRTY, _marker
+from repro.compress.ewah import _FULL, ewah_from_runs, runs_from_ewah
 from repro.errors import CodecError
-
-
-# ---------------------------------------------------------------------------
-# Segment reader
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class _Segment:
-    """A stretch of 64-bit words: clean fill or explicit dirty words."""
-
-    is_clean: bool
-    fill_bit: int
-    words: np.ndarray | None
-    count: int
-
-
-def _segments(payload: bytes) -> list[_Segment]:
-    """Decode an EWAH payload into its segment list (no bit expansion)."""
-    if len(payload) % 8:
-        raise CodecError(f"EWAH payload size {len(payload)} not word aligned")
-    stream = np.frombuffer(payload, dtype=np.uint64)
-    segments: list[_Segment] = []
-    i = 0
-    while i < len(stream):
-        marker = int(stream[i])
-        i += 1
-        clean_bit = marker & 1
-        clean_count = (marker >> 1) & _MAX_CLEAN
-        dirty_count = marker >> 33
-        if clean_count:
-            segments.append(_Segment(True, clean_bit, None, clean_count))
-        if dirty_count:
-            if i + dirty_count > len(stream):
-                raise CodecError("truncated dirty words in EWAH stream")
-            segments.append(
-                _Segment(False, 0, stream[i : i + dirty_count], dirty_count)
-            )
-            i += dirty_count
-    return segments
-
-
-# ---------------------------------------------------------------------------
-# Segment writer
-# ---------------------------------------------------------------------------
-
-
-class _Writer:
-    """Accumulates output words, re-detecting clean runs, and emits a
-    canonical EWAH stream."""
-
-    def __init__(self) -> None:
-        self._out: list[int] = []
-        self._pending_clean_bit = 0
-        self._pending_clean = 0
-        self._pending_dirty: list[int] = []
-
-    def add_clean(self, fill_bit: int, count: int) -> None:
-        if count <= 0:
-            return
-        if self._pending_dirty or (
-            self._pending_clean and fill_bit != self._pending_clean_bit
-        ):
-            self._flush()
-        self._pending_clean_bit = fill_bit
-        self._pending_clean += count
-
-    def add_dirty_words(self, words: np.ndarray) -> None:
-        for word in words.tolist():
-            word = int(word)
-            if word == 0:
-                self.add_clean(0, 1)
-            elif word == _FULL:
-                self.add_clean(1, 1)
-            else:
-                self._pending_dirty.append(word)
-                if len(self._pending_dirty) >= _MAX_DIRTY:
-                    self._flush()
-
-    def _flush(self) -> None:
-        if not self._pending_clean and not self._pending_dirty:
-            return
-        clean = self._pending_clean
-        bit = self._pending_clean_bit
-        while clean > _MAX_CLEAN:
-            self._out.append(_marker(bit, _MAX_CLEAN, 0))
-            clean -= _MAX_CLEAN
-        self._out.append(_marker(bit, clean, len(self._pending_dirty)))
-        self._out.extend(self._pending_dirty)
-        self._pending_clean = 0
-        self._pending_dirty = []
-
-    def finish(self) -> bytes:
-        self._flush()
-        return np.asarray(self._out, dtype=np.uint64).tobytes()
-
-
-# ---------------------------------------------------------------------------
-# Binary operations
-# ---------------------------------------------------------------------------
-
-_OPS = {
-    "and": lambda a, b: a & b,
-    "or": lambda a, b: a | b,
-    "xor": lambda a, b: a ^ b,
-}
-
-
-def _combine_clean(op: str, bit_a: int, bit_b: int) -> int:
-    return _OPS[op](bit_a, bit_b)
-
-
-def _clean_absorbs(op: str, fill_bit: int) -> bool:
-    """True when a clean run forces the output regardless of the other
-    operand (AND with 0-fill, OR with 1-fill)."""
-    return (op == "and" and fill_bit == 0) or (op == "or" and fill_bit == 1)
-
-
-def _clean_passes(op: str, fill_bit: int) -> bool:
-    """True when a clean run passes the other operand through unchanged
-    (AND 1, OR 0, XOR 0)."""
-    if op == "and":
-        return fill_bit == 1
-    if op == "or":
-        return fill_bit == 0
-    return fill_bit == 0  # xor
 
 
 def ewah_logical(op: str, payload_a: bytes, payload_b: bytes) -> bytes:
@@ -166,97 +42,32 @@ def ewah_logical(op: str, payload_a: bytes, payload_b: bytes) -> bytes:
     Both payloads must decode to the same number of 64-bit words (the
     codec guarantees that for vectors of equal bit length).
     """
-    if op not in _OPS:
+    if op not in kernels._NP_OPS:
         raise CodecError(f"unknown compressed operation {op!r}")
-    segs_a = _segments(payload_a)
-    segs_b = _segments(payload_b)
-    writer = _Writer()
-
-    ia = ib = 0          # segment indices
-    oa = ob = 0          # offsets within the current segments
-    while ia < len(segs_a) and ib < len(segs_b):
-        seg_a, seg_b = segs_a[ia], segs_b[ib]
-        take = min(seg_a.count - oa, seg_b.count - ob)
-        if seg_a.is_clean and seg_b.is_clean:
-            writer.add_clean(
-                _combine_clean(op, seg_a.fill_bit, seg_b.fill_bit), take
-            )
-        elif seg_a.is_clean or seg_b.is_clean:
-            clean, dirty, off = (
-                (seg_a, seg_b, ob) if seg_a.is_clean else (seg_b, seg_a, oa)
-            )
-            chunk = dirty.words[off : off + take]
-            if _clean_absorbs(op, clean.fill_bit):
-                writer.add_clean(clean.fill_bit, take)
-            elif _clean_passes(op, clean.fill_bit):
-                writer.add_dirty_words(chunk)
-            else:
-                # XOR with a 1-fill: complement the dirty words.
-                writer.add_dirty_words(~chunk)
-        else:
-            chunk_a = seg_a.words[oa : oa + take]
-            chunk_b = seg_b.words[ob : ob + take]
-            writer.add_dirty_words(_OPS[op](chunk_a, chunk_b))
-        oa += take
-        ob += take
-        if oa == seg_a.count:
-            ia += 1
-            oa = 0
-        if ob == seg_b.count:
-            ib += 1
-            ob = 0
-    if ia < len(segs_a) or ib < len(segs_b):
+    runs_a = runs_from_ewah(payload_a)
+    runs_b = runs_from_ewah(payload_b)
+    if runs_a.total != runs_b.total:
         raise CodecError("EWAH operands have different word counts")
-    return writer.finish()
+    result = kernels.combine(op, runs_a, runs_b, _FULL, np.uint64)
+    return ewah_from_runs(result)
 
 
 def ewah_not(payload: bytes, length: int) -> bytes:
     """Complement of an EWAH payload for a vector of ``length`` bits.
 
     The final word's padding bits must stay zero, so the last word is
-    handled explicitly when the length is not word-aligned.
+    masked explicitly when the length is not word-aligned.
     """
-    writer = _Writer()
     tail_bits = length % 64
-    total_words = (length + 63) // 64
-    emitted = 0
-    for seg in _segments(payload):
-        count = seg.count
-        # Split off the very last word if it needs padding masking.
-        last_in_seg = emitted + count == total_words and tail_bits
-        body = count - 1 if last_in_seg else count
-        if seg.is_clean:
-            writer.add_clean(1 - seg.fill_bit, body)
-            if last_in_seg:
-                word = _FULL if seg.fill_bit == 0 else 0
-                mask = (1 << tail_bits) - 1
-                writer.add_dirty_words(
-                    np.asarray([word & mask], dtype=np.uint64)
-                )
-        else:
-            inverted = ~seg.words
-            if last_in_seg:
-                writer.add_dirty_words(inverted[:-1])
-                mask = np.uint64((1 << tail_bits) - 1)
-                writer.add_dirty_words(
-                    np.asarray([inverted[-1] & mask], dtype=np.uint64)
-                )
-            else:
-                writer.add_dirty_words(inverted)
-        emitted += count
-    return writer.finish()
+    tail_mask = (1 << tail_bits) - 1 if tail_bits else None
+    runs = runs_from_ewah(payload)
+    result = kernels.complement(runs, _FULL, np.uint64, tail_mask)
+    return ewah_from_runs(result)
 
 
 def ewah_count(payload: bytes) -> int:
     """Population count of an EWAH payload without decompression."""
-    total = 0
-    for seg in _segments(payload):
-        if seg.is_clean:
-            if seg.fill_bit:
-                total += seg.count * 64
-        else:
-            total += int(np.bitwise_count(seg.words).sum())
-    return total
+    return kernels.runs_popcount(runs_from_ewah(payload), 64)
 
 
 # ---------------------------------------------------------------------------
@@ -271,8 +82,6 @@ class CompressedBitmap:
     keeps the payload compressed throughout; :meth:`decode` gives the
     plain vector when record ids are finally needed.
     """
-
-    _codec: EwahCodec = None  # type: ignore[assignment]
 
     def __init__(self, payload: bytes, length: int):
         self.payload = payload

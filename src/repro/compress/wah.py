@@ -12,6 +12,12 @@ decoding.  The format is the classic one:
   of consecutive all-equal groups.
 
 Runs longer than ``2**30`` groups are emitted as multiple fill words.
+
+Encode and decode are built on the vectorized run kernels in
+:mod:`repro.compress.kernels`: group values are produced with one
+``np.packbits`` pass, segmented into runs with ``np.flatnonzero``, and
+the output stream is assembled by bulk scatter — no per-group Python
+iteration.
 """
 
 from __future__ import annotations
@@ -19,7 +25,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bitmap import BitVector
+from repro.compress import kernels
 from repro.compress.base import Codec, register_codec
+from repro.compress.kernels import DIRTY, FILL_ONE, Runs
 from repro.errors import CodecError
 
 _GROUP_BITS = 31
@@ -29,77 +37,124 @@ _FILL_VALUE_FLAG = 1 << 30
 _MAX_FILL = (1 << 30) - 1
 
 
+def group_values(vector: BitVector) -> np.ndarray:
+    """The bitmap's 31-bit group values as a ``uint32`` array.
+
+    Each group is padded to 32 bits (high bit zero) so one
+    ``np.packbits`` call produces all groups at once; LSB = first bit of
+    the group, matching the format's bit order.
+    """
+    n = len(vector)
+    num_groups = (n + _GROUP_BITS - 1) // _GROUP_BITS
+    if num_groups == 0:
+        return np.empty(0, dtype=np.uint32)
+    bits = np.zeros(num_groups * _GROUP_BITS, dtype=bool)
+    bits[:n] = vector.to_bools()
+    padded = np.zeros((num_groups, 32), dtype=bool)
+    padded[:, :_GROUP_BITS] = bits.reshape(num_groups, _GROUP_BITS)
+    packed = np.packbits(padded, axis=1, bitorder="little")
+    return np.frombuffer(packed.tobytes(), dtype="<u4").astype(np.uint32)
+
+
+def groups_to_bits(values: np.ndarray, length: int) -> BitVector:
+    """Inverse of :func:`group_values`: group array back to a bitmap."""
+    if values.shape[0] == 0:
+        return BitVector.from_bools(np.empty(0, dtype=bool))
+    raw = np.frombuffer(values.astype("<u4").tobytes(), dtype=np.uint8)
+    bits = np.unpackbits(raw, bitorder="little").reshape(-1, 32)[:, :_GROUP_BITS]
+    return BitVector.from_bools(bits.reshape(-1)[:length])
+
+
+def runs_from_wah(payload: bytes) -> Runs:
+    """Parse a WAH stream into group runs with whole-array arithmetic."""
+    if len(payload) % 4:
+        raise CodecError(f"WAH payload size {len(payload)} not word aligned")
+    words = np.frombuffer(payload, dtype=np.uint32)
+    is_fill = (words & np.uint32(_FILL_FLAG)) != 0
+    types = np.full(words.shape[0], DIRTY, dtype=np.int8)
+    fill_one = is_fill & ((words & np.uint32(_FILL_VALUE_FLAG)) != 0)
+    types[is_fill] = kernels.FILL_ZERO
+    types[fill_one] = FILL_ONE
+    lengths = np.where(
+        is_fill, (words & np.uint32(_MAX_FILL)).astype(np.int64), np.int64(1)
+    )
+    return Runs(types, lengths, words[~is_fill])
+
+
+def wah_from_runs(runs: Runs) -> bytes:
+    """Emit the canonical WAH stream for ``runs`` via bulk scatter.
+
+    Canonical means the same stream the reference encoder produces: a
+    lone fillable group becomes a literal word, longer clean runs become
+    fill words.  Falls back to a scalar path only when a clean run
+    exceeds the 30-bit fill counter.
+    """
+    if runs.num_runs == 0:
+        return b""
+    is_fill = runs.types != DIRTY
+    if bool((runs.lengths[is_fill] > _MAX_FILL).any()):
+        return _wah_from_runs_chunked(runs)
+    counts = np.where(is_fill, np.int64(1), runs.lengths)
+    offsets = np.cumsum(counts) - counts
+    out = np.empty(int(counts.sum()), dtype=np.uint32)
+    if is_fill.any():
+        f_len = runs.lengths[is_fill]
+        f_one = runs.types[is_fill] == FILL_ONE
+        literal = np.where(f_one, np.uint32(_LITERAL_MASK), np.uint32(0))
+        fill_word = (
+            np.uint32(_FILL_FLAG)
+            | np.where(f_one, np.uint32(_FILL_VALUE_FLAG), np.uint32(0))
+            | f_len.astype(np.uint32)
+        )
+        out[offsets[is_fill]] = np.where(f_len == 1, literal, fill_word)
+    dirty = ~is_fill
+    if dirty.any():
+        out[kernels.expand_ranges(offsets[dirty], runs.lengths[dirty])] = runs.values
+    return out.tobytes()
+
+
+def _wah_from_runs_chunked(runs: Runs) -> bytes:
+    """Scalar emitter for runs longer than the fill counter allows."""
+    words: list[int] = []
+    val_pos = 0
+    for t, n in zip(runs.types.tolist(), runs.lengths.tolist()):
+        if t == DIRTY:
+            words.extend(runs.values[val_pos : val_pos + n].tolist())
+            val_pos += n
+        elif n == 1:
+            words.append(_LITERAL_MASK if t == FILL_ONE else 0)
+        else:
+            fill_bit = _FILL_VALUE_FLAG if t == FILL_ONE else 0
+            while n > 0:
+                chunk = min(n, _MAX_FILL)
+                words.append(_FILL_FLAG | fill_bit | chunk)
+                n -= chunk
+    return np.asarray(words, dtype=np.uint32).tobytes()
+
+
 class WahCodec(Codec):
     """32-bit Word-Aligned Hybrid run-length codec."""
 
     name = "wah"
 
     def encode(self, vector: BitVector) -> bytes:
-        n = len(vector)
-        num_groups = (n + _GROUP_BITS - 1) // _GROUP_BITS
-        if num_groups == 0:
+        values = group_values(vector)
+        if values.shape[0] == 0:
             return b""
-        bits = np.zeros(num_groups * _GROUP_BITS, dtype=bool)
-        bits[:n] = vector.to_bools()
-        groups = bits.reshape(num_groups, _GROUP_BITS)
-        # Group value as a 31-bit integer, LSB = first bit of the group.
-        weights = (np.uint64(1) << np.arange(_GROUP_BITS, dtype=np.uint64)).astype(
-            np.uint64
-        )
-        values = (groups.astype(np.uint64) * weights).sum(axis=1).astype(np.uint32)
-
-        words: list[int] = []
-        i = 0
-        num = values.shape[0]
-        vals = values.tolist()
-        while i < num:
-            value = vals[i]
-            if value == 0 or value == _LITERAL_MASK:
-                j = i + 1
-                while j < num and vals[j] == value:
-                    j += 1
-                run = j - i
-                if run == 1:
-                    words.append(value)
-                else:
-                    fill_bit = _FILL_VALUE_FLAG if value else 0
-                    while run > 0:
-                        chunk = min(run, _MAX_FILL)
-                        words.append(_FILL_FLAG | fill_bit | chunk)
-                        run -= chunk
-                i = j
-            else:
-                words.append(value)
-                i += 1
-        return np.asarray(words, dtype=np.uint32).tobytes()
+        return wah_from_runs(kernels.runs_from_elements(values, _LITERAL_MASK))
 
     def decode(self, payload: bytes, length: int) -> BitVector:
-        if len(payload) % 4:
-            raise CodecError(f"WAH payload size {len(payload)} not word aligned")
-        words = np.frombuffer(payload, dtype=np.uint32)
+        runs = runs_from_wah(payload)
         num_groups = (length + _GROUP_BITS - 1) // _GROUP_BITS
-        values = np.empty(num_groups, dtype=np.uint32)
-        pos = 0
-        for word in words.tolist():
-            if word & _FILL_FLAG:
-                run = word & _MAX_FILL
-                value = _LITERAL_MASK if word & _FILL_VALUE_FLAG else 0
-                if pos + run > num_groups:
-                    raise CodecError("WAH stream overruns the declared length")
-                values[pos : pos + run] = value
-                pos += run
-            else:
-                if pos >= num_groups:
-                    raise CodecError("WAH stream overruns the declared length")
-                values[pos] = word
-                pos += 1
-        if pos != num_groups:
+        total = runs.total
+        if total > num_groups:
+            raise CodecError("WAH stream overruns the declared length")
+        if total != num_groups:
             raise CodecError(
-                f"WAH stream produced {pos} groups, expected {num_groups}"
+                f"WAH stream produced {total} groups, expected {num_groups}"
             )
-        shifts = np.arange(_GROUP_BITS, dtype=np.uint32)
-        bits = ((values[:, None] >> shifts[None, :]) & 1).astype(bool).reshape(-1)
-        return BitVector.from_bools(bits[:length])
+        values = kernels.elements_from_runs(runs, _LITERAL_MASK, np.uint32)
+        return groups_to_bits(values, length)
 
 
 register_codec(WahCodec())

@@ -2,10 +2,14 @@
 
 The WAH counterpart of :mod:`repro.compress.compressed_ops`: AND/OR/XOR
 over 32-bit Word-Aligned Hybrid payloads without expanding to bit
-arrays.  Both streams are walked as runs of 31-bit groups; fill x fill
-runs combine in O(1), fill x literal short-circuits or copies, and
-literal x literal falls back to a single 31-bit word operation.  The
-writer re-detects fills produced by the operation.
+arrays.  Both streams are parsed into run arrays
+(:func:`repro.compress.wah.runs_from_wah`) and combined by the
+vectorized kernels in :mod:`repro.compress.kernels`: run alignment is a
+``searchsorted`` merge over the union of run boundaries, fill x fill
+stretches combine in O(1) per overlap, and every stretch touching
+literal groups is computed by a single numpy op over the whole overlap.
+Fills produced by the operation are re-detected so outputs stay
+canonical.
 
 WAH cannot represent a complement without knowing the logical length
 (the last group is padded), so :func:`wah_not` takes the bit length,
@@ -14,154 +18,44 @@ exactly like :func:`repro.compress.compressed_ops.ewah_not`.
 
 from __future__ import annotations
 
-from repro.compress.wah import (
-    _FILL_FLAG,
-    _FILL_VALUE_FLAG,
-    _GROUP_BITS,
-    _LITERAL_MASK,
-    _MAX_FILL,
-)
-from repro.errors import CodecError
-
 import numpy as np
 
-_OPS = {
-    "and": lambda a, b: a & b,
-    "or": lambda a, b: a | b,
-    "xor": lambda a, b: a ^ b,
-}
-
-
-class _Run:
-    """Decoded view of one WAH word: a fill run or a literal group."""
-
-    __slots__ = ("is_fill", "value", "count")
-
-    def __init__(self, is_fill: bool, value: int, count: int):
-        self.is_fill = is_fill
-        self.value = value  # 0/_LITERAL_MASK for fills; group bits for literals
-        self.count = count  # groups remaining
-
-
-def _runs(payload: bytes) -> list[_Run]:
-    if len(payload) % 4:
-        raise CodecError(f"WAH payload size {len(payload)} not word aligned")
-    out: list[_Run] = []
-    for word in np.frombuffer(payload, dtype=np.uint32).tolist():
-        if word & _FILL_FLAG:
-            value = _LITERAL_MASK if word & _FILL_VALUE_FLAG else 0
-            out.append(_Run(True, value, word & _MAX_FILL))
-        else:
-            out.append(_Run(False, word, 1))
-    return out
-
-
-class _Writer:
-    """Accumulates groups and emits a canonical WAH stream."""
-
-    def __init__(self) -> None:
-        self._words: list[int] = []
-        self._fill_value = 0
-        self._fill_count = 0
-
-    def _flush_fill(self) -> None:
-        while self._fill_count > 0:
-            chunk = min(self._fill_count, _MAX_FILL)
-            if chunk == 1:
-                self._words.append(self._fill_value)
-            else:
-                flag = _FILL_VALUE_FLAG if self._fill_value else 0
-                self._words.append(_FILL_FLAG | flag | chunk)
-            self._fill_count -= chunk
-        self._fill_count = 0
-
-    def add_fill(self, value: int, count: int) -> None:
-        if count <= 0:
-            return
-        if self._fill_count and value != self._fill_value:
-            self._flush_fill()
-        self._fill_value = value
-        self._fill_count += count
-
-    def add_literal(self, group: int) -> None:
-        group &= _LITERAL_MASK
-        if group in (0, _LITERAL_MASK):
-            self.add_fill(group, 1)
-            return
-        self._flush_fill()
-        self._words.append(group)
-
-    def finish(self) -> bytes:
-        self._flush_fill()
-        return np.asarray(self._words, dtype=np.uint32).tobytes()
+from repro.compress import kernels
+from repro.compress.wah import (
+    _GROUP_BITS,
+    _LITERAL_MASK,
+    runs_from_wah,
+    wah_from_runs,
+)
+from repro.errors import CodecError
 
 
 def wah_logical(op: str, payload_a: bytes, payload_b: bytes) -> bytes:
     """``op`` in {"and", "or", "xor"} over equal-group-count WAH payloads."""
-    if op not in _OPS:
+    if op not in kernels._NP_OPS:
         raise CodecError(f"unknown compressed operation {op!r}")
-    fn = _OPS[op]
-    runs_a = _runs(payload_a)
-    runs_b = _runs(payload_b)
-    writer = _Writer()
-    ia = ib = 0
-    rem_a = runs_a[0].count if runs_a else 0
-    rem_b = runs_b[0].count if runs_b else 0
-    while ia < len(runs_a) and ib < len(runs_b):
-        run_a, run_b = runs_a[ia], runs_b[ib]
-        if run_a.is_fill and run_b.is_fill:
-            take = min(rem_a, rem_b)
-            writer.add_fill(fn(run_a.value, run_b.value) & _LITERAL_MASK, take)
-        else:
-            take = 1
-            writer.add_literal(fn(run_a.value, run_b.value))
-        rem_a -= take
-        rem_b -= take
-        if rem_a == 0:
-            ia += 1
-            rem_a = runs_a[ia].count if ia < len(runs_a) else 0
-        if rem_b == 0:
-            ib += 1
-            rem_b = runs_b[ib].count if ib < len(runs_b) else 0
-    if ia < len(runs_a) or ib < len(runs_b):
+    runs_a = runs_from_wah(payload_a)
+    runs_b = runs_from_wah(payload_b)
+    if runs_a.total != runs_b.total:
         raise CodecError("WAH operands have different group counts")
-    return writer.finish()
+    result = kernels.combine(op, runs_a, runs_b, _LITERAL_MASK, np.uint32)
+    return wah_from_runs(result)
 
 
 def wah_not(payload: bytes, length: int) -> bytes:
     """Complement of a WAH payload for a vector of ``length`` bits."""
     num_groups = (length + _GROUP_BITS - 1) // _GROUP_BITS
     tail_bits = length % _GROUP_BITS
-    tail_mask = (1 << tail_bits) - 1 if tail_bits else _LITERAL_MASK
-    writer = _Writer()
-    emitted = 0
-    for run in _runs(payload):
-        complemented = (~run.value) & _LITERAL_MASK
-        ends_stream = emitted + run.count == num_groups
-        if run.is_fill:
-            body = run.count - 1 if ends_stream and tail_bits else run.count
-            writer.add_fill(complemented, body)
-            if ends_stream and tail_bits:
-                writer.add_literal(complemented & tail_mask)
-        else:
-            if ends_stream and tail_bits:
-                complemented &= tail_mask
-            writer.add_literal(complemented)
-        emitted += run.count
-    if emitted != num_groups:
+    runs = runs_from_wah(payload)
+    if runs.total != num_groups:
         raise CodecError(
-            f"WAH stream has {emitted} groups, expected {num_groups}"
+            f"WAH stream has {runs.total} groups, expected {num_groups}"
         )
-    return writer.finish()
+    tail_mask = (1 << tail_bits) - 1 if tail_bits else None
+    result = kernels.complement(runs, _LITERAL_MASK, np.uint32, tail_mask)
+    return wah_from_runs(result)
 
 
 def wah_count(payload: bytes) -> int:
     """Population count of a WAH payload without decompression."""
-    total = 0
-    for run in _runs(payload):
-        if run.is_fill:
-            if run.value:
-                total += run.count * _GROUP_BITS
-        else:
-            total += bin(run.value).count("1")
-    return total
+    return kernels.runs_popcount(runs_from_wah(payload), _GROUP_BITS)

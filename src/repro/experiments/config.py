@@ -8,7 +8,8 @@ unaffected and simulated times scale linearly (DESIGN.md §1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+from dataclasses import dataclass
 
 from repro.workload.datasets import DEFAULT_NUM_RECORDS
 
@@ -36,17 +37,10 @@ class ExperimentConfig:
     schemes: tuple[str, ...] = ("E", "R", "I")
     #: Skew sweep for the skew-effect experiments (Figures 7 and 9).
     skews: tuple[float, ...] = (0.0, 1.0, 2.0, 3.0)
+    #: Process count for regenerating independent data points
+    #: (1 = serial, 0 = one per CPU; see :mod:`repro.parallel`).
+    workers: int = 1
 
     def scaled(self, num_records: int) -> "ExperimentConfig":
         """A copy with a different record count (for quick benches)."""
-        return ExperimentConfig(
-            cardinality=self.cardinality,
-            skew=self.skew,
-            num_records=num_records,
-            seed=self.seed,
-            component_counts=self.component_counts,
-            codec=self.codec,
-            queries_per_set=self.queries_per_set,
-            schemes=self.schemes,
-            skews=self.skews,
-        )
+        return dataclasses.replace(self, num_records=num_records)

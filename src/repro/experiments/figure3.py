@@ -18,8 +18,33 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult
 from repro.index.costmodel import index_expected_scans
 from repro.index.decompose import optimal_bases
+from repro.parallel import parallel_map
 
 QUERY_CLASSES = ("EQ", "1RQ", "2RQ", "RQ")
+
+
+def _design_entries(
+    task: tuple[ExperimentConfig, str, int]
+) -> list[tuple[str, str, int, float]]:
+    """(class, label, space, scans) entries for one design; pool worker."""
+    config, scheme_name, n = task
+    cardinality = config.cardinality
+    scheme = get_scheme(scheme_name)
+    try:
+        bases = optimal_bases(cardinality, n, scheme)
+    except Exception:
+        return []
+    space = sum(scheme.num_bitmaps(b) for b in bases)
+    label = f"{scheme_name}<{','.join(map(str, bases))}>"
+    return [
+        (
+            query_class,
+            label,
+            space,
+            index_expected_scans(cardinality, bases, scheme, query_class),
+        )
+        for query_class in QUERY_CLASSES
+    ]
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
@@ -30,21 +55,15 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         headers=["class", "design", "space (bitmaps)", "E[scans]", "pareto"],
     )
 
+    tasks = [
+        (config, scheme_name, n)
+        for scheme_name in ALL_SCHEME_NAMES
+        for n in config.component_counts
+    ]
     field: dict[str, list[tuple[str, int, float]]] = {q: [] for q in QUERY_CLASSES}
-    for scheme_name in ALL_SCHEME_NAMES:
-        scheme = get_scheme(scheme_name)
-        for n in config.component_counts:
-            try:
-                bases = optimal_bases(cardinality, n, scheme)
-            except Exception:
-                continue
-            space = sum(scheme.num_bitmaps(b) for b in bases)
-            label = f"{scheme_name}<{','.join(map(str, bases))}>"
-            for query_class in QUERY_CLASSES:
-                scans = index_expected_scans(
-                    cardinality, bases, scheme, query_class
-                )
-                field[query_class].append((label, space, scans))
+    for entries in parallel_map(_design_entries, tasks, workers=config.workers):
+        for query_class, label, space, scans in entries:
+            field[query_class].append((label, space, scans))
 
     for query_class in QUERY_CLASSES:
         points = field[query_class]

@@ -20,9 +20,11 @@ from __future__ import annotations
 from repro.encoding import get_scheme
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult
+from repro.experiments.shared import cached_dataset
 from repro.index.bitmap_index import BitmapIndex, IndexSpec
 from repro.index.decompose import optimal_bases
-from repro.workload.datasets import DatasetSpec, generate_dataset
+from repro.parallel import parallel_map
+from repro.workload.datasets import DatasetSpec
 
 
 def build_point(
@@ -39,9 +41,10 @@ def build_point(
     return BitmapIndex.build(values, spec)
 
 
-def run(config: ExperimentConfig) -> ExperimentResult:
-    """Regenerate the three Figure 6 ratio series."""
-    values = generate_dataset(
+def _point_row(task: tuple[ExperimentConfig, str, int]) -> list[object]:
+    """One table row for a (scheme, n) point; picklable pool worker."""
+    config, scheme_name, n = task
+    values = cached_dataset(
         DatasetSpec(
             cardinality=config.cardinality,
             skew=config.skew,
@@ -51,7 +54,21 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     )
     words = -(-config.num_records // 64)
     baseline_bytes = config.cardinality * words * 8  # 1-component E, raw.
+    index = build_point(values, config.cardinality, scheme_name, n, config.codec)
+    uncompressed = index.uncompressed_bytes()
+    compressed = index.size_bytes()
+    return [
+        scheme_name,
+        n,
+        "<" + ",".join(map(str, index.bases)) + ">",
+        uncompressed / baseline_bytes,
+        compressed / uncompressed,
+        compressed / baseline_bytes,
+    ]
 
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Regenerate the three Figure 6 ratio series."""
     result = ExperimentResult(
         experiment=(
             f"Figure 6: space ratios (C={config.cardinality}, "
@@ -66,23 +83,12 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             "(c) comp/base",
         ],
     )
-    for scheme_name in config.schemes:
-        for n in config.component_counts:
-            index = build_point(
-                values, config.cardinality, scheme_name, n, config.codec
-            )
-            uncompressed = index.uncompressed_bytes()
-            compressed = index.size_bytes()
-            result.rows.append(
-                [
-                    scheme_name,
-                    n,
-                    "<" + ",".join(map(str, index.bases)) + ">",
-                    uncompressed / baseline_bytes,
-                    compressed / uncompressed,
-                    compressed / baseline_bytes,
-                ]
-            )
+    tasks = [
+        (config, scheme_name, n)
+        for scheme_name in config.schemes
+        for n in config.component_counts
+    ]
+    result.rows.extend(parallel_map(_point_row, tasks, workers=config.workers))
     result.notes.append(
         "per (scheme, n) the space-optimal base sequence is used; the paper "
         "plots the best ratio over all n-component indexes"

@@ -10,17 +10,33 @@ from __future__ import annotations
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figure6 import build_point
 from repro.experiments.runner import ExperimentResult
-from repro.workload.datasets import DatasetSpec, generate_dataset
+from repro.experiments.shared import cached_dataset
+from repro.parallel import parallel_map
+from repro.workload.datasets import DatasetSpec
 
 #: The component counts the paper plots in Figure 7.
 FIGURE7_COMPONENTS = (1, 2, 5)
 
 
-def run(config: ExperimentConfig) -> ExperimentResult:
-    """Regenerate the Figure 7 skew sweep."""
+def _point_ratio(task: tuple[ExperimentConfig, int, str, float]) -> float:
+    """Compressed/baseline ratio for one (n, scheme, z); pool worker."""
+    config, n, scheme_name, skew = task
+    values = cached_dataset(
+        DatasetSpec(
+            cardinality=config.cardinality,
+            skew=skew,
+            num_records=config.num_records,
+            seed=config.seed,
+        )
+    )
     words = -(-config.num_records // 64)
     baseline_bytes = config.cardinality * words * 8
+    index = build_point(values, config.cardinality, scheme_name, n, config.codec)
+    return index.size_bytes() / baseline_bytes
 
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Regenerate the Figure 7 skew sweep."""
     result = ExperimentResult(
         experiment=(
             f"Figure 7: compressed space vs skew (C={config.cardinality}, "
@@ -28,21 +44,20 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         ),
         headers=["n", "scheme", *[f"z={z:g}" for z in config.skews]],
     )
-    for n in FIGURE7_COMPONENTS:
-        for scheme_name in config.schemes:
-            ratios: list[float] = []
-            for skew in config.skews:
-                values = generate_dataset(
-                    DatasetSpec(
-                        cardinality=config.cardinality,
-                        skew=skew,
-                        num_records=config.num_records,
-                        seed=config.seed,
-                    )
-                )
-                index = build_point(
-                    values, config.cardinality, scheme_name, n, config.codec
-                )
-                ratios.append(index.size_bytes() / baseline_bytes)
-            result.rows.append([n, scheme_name, *ratios])
+    series = [
+        (n, scheme_name)
+        for n in FIGURE7_COMPONENTS
+        for scheme_name in config.schemes
+    ]
+    tasks = [
+        (config, n, scheme_name, skew)
+        for n, scheme_name in series
+        for skew in config.skews
+    ]
+    ratios = parallel_map(_point_ratio, tasks, workers=config.workers)
+    per_series = len(config.skews)
+    for i, (n, scheme_name) in enumerate(series):
+        result.rows.append(
+            [n, scheme_name, *ratios[i * per_series : (i + 1) * per_series]]
+        )
     return result

@@ -17,10 +17,11 @@ from repro.analysis.spacetime import SpaceTimePoint, measure_design
 from repro.encoding import get_scheme
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult
+from repro.experiments.shared import cached_dataset, cached_query_sets
 from repro.index.bitmap_index import BitmapIndex, IndexSpec
 from repro.index.decompose import optimal_bases
-from repro.queries.generator import generate_query_set, paper_query_sets
-from repro.workload.datasets import DatasetSpec, generate_dataset
+from repro.parallel import parallel_map
+from repro.workload.datasets import DatasetSpec
 
 
 def design_specs(config: ExperimentConfig) -> list[IndexSpec]:
@@ -42,31 +43,41 @@ def design_specs(config: ExperimentConfig) -> list[IndexSpec]:
     return specs
 
 
-def measure_all(
-    config: ExperimentConfig,
-) -> tuple[dict[str, list], list[SpaceTimePoint]]:
-    """Query sets and measured points shared by Figures 8 and 9 helpers."""
-    values = generate_dataset(
+def _measure_point(
+    task: tuple[ExperimentConfig, float, IndexSpec]
+) -> SpaceTimePoint:
+    """Measure one design point at one skew; picklable pool worker."""
+    config, skew, spec = task
+    values = cached_dataset(
         DatasetSpec(
             cardinality=config.cardinality,
-            skew=config.skew,
+            skew=skew,
             num_records=config.num_records,
             seed=config.seed,
         )
     )
-    query_sets = {
-        spec.label: generate_query_set(
-            spec,
-            config.cardinality,
-            num_queries=config.queries_per_set,
-            seed=config.seed,
-        )
-        for spec in paper_query_sets()
-    }
-    points = [
-        measure_design(values, spec, query_sets)
-        for spec in design_specs(config)
-    ]
+    query_sets = cached_query_sets(
+        config.cardinality, config.queries_per_set, config.seed
+    )
+    return measure_design(values, spec, query_sets)
+
+
+def measure_points(
+    config: ExperimentConfig, skew: float
+) -> list[SpaceTimePoint]:
+    """Measure every design point at ``skew``, fanned out per point."""
+    tasks = [(config, skew, spec) for spec in design_specs(config)]
+    return parallel_map(_measure_point, tasks, workers=config.workers)
+
+
+def measure_all(
+    config: ExperimentConfig,
+) -> tuple[dict[str, list], list[SpaceTimePoint]]:
+    """Query sets and measured points shared by Figures 8 and 9 helpers."""
+    query_sets = cached_query_sets(
+        config.cardinality, config.queries_per_set, config.seed
+    )
+    points = measure_points(config, config.skew)
     return query_sets, points
 
 

@@ -10,26 +10,13 @@ skew, with interval encoding the overall winner at low skew.
 from __future__ import annotations
 
 from repro.analysis.pareto import pareto_frontier
-from repro.analysis.spacetime import measure_design
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.figure8 import design_specs
+from repro.experiments.figure8 import measure_points
 from repro.experiments.runner import ExperimentResult
-from repro.queries.generator import generate_query_set, paper_query_sets
-from repro.workload.datasets import DatasetSpec, generate_dataset
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
     """Regenerate the Figure 9 skew scatter."""
-    query_sets = {
-        spec.label: generate_query_set(
-            spec,
-            config.cardinality,
-            num_queries=config.queries_per_set,
-            seed=config.seed,
-        )
-        for spec in paper_query_sets()
-    }
-
     result = ExperimentResult(
         experiment=(
             f"Figure 9: space-time vs skew (C={config.cardinality}, "
@@ -38,18 +25,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         headers=["z", "design", "space KB", "avg time ms", "pareto"],
     )
     for skew in config.skews:
-        values = generate_dataset(
-            DatasetSpec(
-                cardinality=config.cardinality,
-                skew=skew,
-                num_records=config.num_records,
-                seed=config.seed,
-            )
-        )
-        points = [
-            measure_design(values, spec, query_sets)
-            for spec in design_specs(config)
-        ]
+        points = measure_points(config, skew)
         frontier = set(
             id(p)
             for p in pareto_frontier(

@@ -1,0 +1,42 @@
+"""Per-process memoization of regenerable experiment inputs.
+
+Parallel experiment workers cannot cheaply ship datasets or query sets
+across the process boundary, so they regenerate them from their
+(deterministic, hashable) specs inside the worker.  The ``lru_cache``
+wrappers here make that regeneration a once-per-process cost instead of
+once-per-task: a pool worker that measures ten design points against
+the same dataset generates it a single time, exactly like the serial
+path did.
+
+Callers must treat returned arrays and query lists as read-only — they
+are shared by every task in the process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.queries.generator import generate_query_set, paper_query_sets
+from repro.queries.model import MembershipQuery
+from repro.workload.datasets import DatasetSpec, generate_dataset
+
+
+@lru_cache(maxsize=16)
+def cached_dataset(spec: DatasetSpec) -> np.ndarray:
+    """The column for ``spec``, generated at most once per process."""
+    return generate_dataset(spec)
+
+
+@lru_cache(maxsize=4)
+def cached_query_sets(
+    cardinality: int, queries_per_set: int, seed: int | None
+) -> dict[str, list[MembershipQuery]]:
+    """The paper's 8 query sets, generated at most once per process."""
+    return {
+        spec.label: generate_query_set(
+            spec, cardinality, num_queries=queries_per_set, seed=seed
+        )
+        for spec in paper_query_sets()
+    }

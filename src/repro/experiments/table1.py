@@ -25,6 +25,7 @@ from repro.analysis.optimality import (
 from repro.encoding import get_scheme
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult
+from repro.parallel import parallel_map
 
 #: Cardinalities verified exhaustively (C = 6 roughly doubles the
 #: runtime of the whole experiment; it is included because the paper's
@@ -87,6 +88,31 @@ def dominance_checks(cardinality: int) -> list[tuple[str, str, str, str]]:
     return rows
 
 
+def _search_row(task: tuple[int, str, str]) -> list[object]:
+    """One exhaustive-search verdict row; picklable pool worker."""
+    cardinality, query_class, scheme_name = task
+    verification = verify_scheme_optimality(
+        get_scheme(scheme_name), cardinality, query_class
+    )
+    if verification.optimal is True:
+        verdict = "optimal"
+        method = "search (exhaustive)"
+    elif verification.optimal is False:
+        verdict = "not optimal"
+        method = f"search: {verification.dominator}"
+    else:
+        verdict = "unknown"
+        method = "search infeasible"
+    return [
+        cardinality,
+        query_class,
+        scheme_name,
+        verdict,
+        method,
+        PAPER_MATRIX[(query_class, scheme_name)],
+    ]
+
+
 def run(config: ExperimentConfig) -> ExperimentResult:
     """Re-establish Table 1's entries numerically."""
     result = ExperimentResult(
@@ -94,31 +120,13 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         headers=["C", "class", "scheme", "verdict", "method", "paper says"],
     )
 
-    for cardinality in SEARCH_CARDINALITIES:
-        for query_class in QUERY_CLASSES:
-            for scheme_name in SCHEMES:
-                verification = verify_scheme_optimality(
-                    get_scheme(scheme_name), cardinality, query_class
-                )
-                if verification.optimal is True:
-                    verdict = "optimal"
-                    method = "search (exhaustive)"
-                elif verification.optimal is False:
-                    verdict = "not optimal"
-                    method = f"search: {verification.dominator}"
-                else:
-                    verdict = "unknown"
-                    method = "search infeasible"
-                result.rows.append(
-                    [
-                        cardinality,
-                        query_class,
-                        scheme_name,
-                        verdict,
-                        method,
-                        PAPER_MATRIX[(query_class, scheme_name)],
-                    ]
-                )
+    tasks = [
+        (cardinality, query_class, scheme_name)
+        for cardinality in SEARCH_CARDINALITIES
+        for query_class in QUERY_CLASSES
+        for scheme_name in SCHEMES
+    ]
+    result.rows.extend(parallel_map(_search_row, tasks, workers=config.workers))
 
     # Any-C dominance facts at the paper's experimental cardinality.
     for q, name, verdict, detail in dominance_checks(config.cardinality):

@@ -1,0 +1,57 @@
+"""Process-based parallel mapping for independent experiment points.
+
+Every figure/table in :mod:`repro.experiments` is a collection of
+independent data points (one per scheme x component count x skew ...),
+so regeneration parallelizes trivially.  This module provides the one
+primitive they share: :func:`parallel_map`, an order-preserving map
+that fans out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+when ``workers > 1`` and degrades to a plain serial loop otherwise —
+the serial path stays allocation- and dependency-free so ``workers=1``
+(the default everywhere) behaves exactly like the pre-parallel code.
+
+Worker functions must be module-level (picklable) and take a single
+task argument; per-process state (datasets, query sets) is recreated
+inside the worker and memoized with ``functools.lru_cache`` so a pool
+worker pays the regeneration cost once, not once per task.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count request.
+
+    ``None`` or ``0`` means "one per CPU"; negative counts are an
+    error surfaced as ``ValueError`` so CLI typos fail loudly.
+    """
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def parallel_map(
+    fn: Callable[[T], R], tasks: Sequence[T], workers: int = 1
+) -> list[R]:
+    """Map ``fn`` over ``tasks``, preserving order.
+
+    Serial when ``workers <= 1`` or there is at most one task;
+    otherwise fans out over a process pool capped at ``len(tasks)``
+    workers.  ``fn`` must be picklable (module-level) for the pool
+    path.
+    """
+    tasks = list(tasks)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        return list(pool.map(fn, tasks))

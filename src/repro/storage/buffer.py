@@ -88,12 +88,25 @@ class BufferPool:
         return self._used_pages
 
     def fetch(self, key: Hashable) -> BitVector:
-        """Return the bitmap for ``key``, reading through on a miss."""
+        """Return the bitmap for ``key``, reading through on a miss.
+
+        Resident bitmaps can change size in place (e.g. an append grows
+        every bitmap of an index), so each hit re-measures the entry and
+        settles the difference against the pool's page accounting,
+        evicting colder entries if the bitmap outgrew its old footprint.
+        """
         entry = self._resident.get(key)
         if entry is not None:
+            vector, cached_pages = entry
+            pages = pages_for(vector.num_words * 8, self._store.page_size)
+            if pages != cached_pages:
+                self._used_pages += pages - cached_pages
+                self._resident[key] = (vector, pages)
+                if pages > cached_pages:
+                    self._evict_to_fit(0, keep=key)
             self._resident.move_to_end(key)
             self.stats.hits += 1
-            return entry[0]
+            return vector
 
         self.stats.misses += 1
         info = self._store.info(key)
@@ -109,9 +122,14 @@ class BufferPool:
         self._used_pages += decoded_pages
         return vector
 
-    def _evict_to_fit(self, incoming_pages: int) -> None:
-        while self._resident and self._used_pages + incoming_pages > self._capacity:
-            _, (_, pages) = self._resident.popitem(last=False)
+    def _evict_to_fit(
+        self, incoming_pages: int, keep: Hashable | None = None
+    ) -> None:
+        while self._used_pages + incoming_pages > self._capacity:
+            victim = next((k for k in self._resident if k != keep), None)
+            if victim is None:
+                break
+            _, pages = self._resident.pop(victim)
             self._used_pages -= pages
             self.stats.evictions += 1
 

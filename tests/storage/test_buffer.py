@@ -118,6 +118,51 @@ class TestClockCharges:
         assert clock.words_operated == 0
 
 
+class TestInPlaceResize:
+    """Re-fetching a resident bitmap re-measures it (regression tests:
+    the pool used to keep the page count recorded at insert time, so an
+    in-place size change corrupted ``used_pages`` at eviction time)."""
+
+    def test_refetch_after_growth_evicts_others_not_the_key(self):
+        pool = BufferPool(make_store(), capacity_pages=9)
+        vector = pool.fetch(0)
+        pool.fetch(1)
+        pool.fetch(2)  # 3 x 3 pages, pool exactly full
+        # Grow key 0 in place: 40_000 bits = 5000 bytes -> 10 pages.
+        BitVector.__init__(vector, 40_000)
+        assert pool.fetch(0) is vector
+        assert pool.stats.hits == 1
+        assert pool.contains(0)
+        assert not pool.contains(1)
+        assert not pool.contains(2)
+        assert pool.used_pages == 10  # oversized entries occupy the pool alone
+
+    def test_refetch_after_shrink_frees_pages(self):
+        pool = BufferPool(make_store(), capacity_pages=9)
+        vector = pool.fetch(0)
+        pool.fetch(1)
+        pool.fetch(2)
+        # Shrink key 0 in place: 512 bits = 64 bytes -> 1 page.
+        BitVector.__init__(vector, 512)
+        pool.fetch(0)
+        assert pool.used_pages == 7
+        pool.fetch(3)  # needs 3 pages; only the LRU entry (1) must go
+        assert pool.stats.evictions == 1
+        assert pool.contains(0)
+        assert not pool.contains(1)
+        assert pool.contains(2)
+        assert pool.contains(3)
+        assert pool.used_pages == 7
+
+    def test_unchanged_hit_keeps_accounting(self):
+        pool = BufferPool(make_store(), capacity_pages=9)
+        pool.fetch(0)
+        used = pool.used_pages
+        pool.fetch(0)
+        assert pool.used_pages == used
+        assert pool.stats.evictions == 0
+
+
 @given(
     sequence=st.lists(st.integers(min_value=0, max_value=7), max_size=60),
     capacity=st.integers(min_value=3, max_value=30),

@@ -1,0 +1,57 @@
+"""Tests for the process-pool helper and parallel experiment equality."""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.parallel import parallel_map, resolve_workers
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_positive_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_none_means_cpu_count(self):
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestParallelMap:
+    def test_serial_identity(self):
+        assert parallel_map(square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_empty(self):
+        assert parallel_map(square, [], workers=4) == []
+
+    def test_parallel_preserves_order(self):
+        tasks = list(range(20))
+        assert parallel_map(square, tasks, workers=2) == [x * x for x in tasks]
+
+    def test_single_task_stays_serial(self):
+        assert parallel_map(square, [5], workers=8) == [25]
+
+
+class TestParallelExperimentsMatchSerial:
+    """Fanning data points out over processes must not change a row."""
+
+    @pytest.mark.parametrize("name", ["figure6", "figure7"])
+    def test_rows_identical(self, name):
+        serial = run_experiment(
+            name, ExperimentConfig(num_records=5_000, workers=1)
+        )
+        parallel = run_experiment(
+            name, ExperimentConfig(num_records=5_000, workers=2)
+        )
+        assert serial.rows == parallel.rows
+        assert serial.headers == parallel.headers
