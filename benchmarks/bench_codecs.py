@@ -1,4 +1,4 @@
-"""Ablation: BBC vs WAH vs EWAH size and speed across skews.
+"""Ablation: BBC vs WAH vs EWAH vs roaring size and speed across skews.
 
 Not a paper figure — the paper fixes the codec to Antoshenkov's
 byte-aligned scheme.  This bench shows the choice does not change the
@@ -15,7 +15,7 @@ from repro.encoding import get_scheme
 from repro.workload import zipf_column
 
 NUM_RECORDS = 50_000
-CODECS = ("bbc", "wah", "ewah")
+CODECS = ("bbc", "wah", "ewah", "roaring")
 
 
 @pytest.fixture(scope="module")

@@ -2,14 +2,20 @@
 """Benchmark-regression driver: codec kernels, compressed ops, one e2e run.
 
 Times encode/decode for every codec, compressed-domain AND/OR, and one
-end-to-end figure regeneration, then writes ``BENCH_PR1.json`` at the
-repo root.  Entries measured by the fixed seed revision are merged in
-under ``seed:``-prefixed names (from ``benchmarks/results/
-seed_baseline.json``) so a single file shows current numbers next to
-the pre-vectorization baseline.
+end-to-end figure regeneration, then writes ``BENCH_PR2.json`` at the
+repo root.  Prior recorded numbers are merged in under prefixed names —
+``seed:`` for the pre-vectorization baseline (``benchmarks/results/
+seed_baseline.json``) and ``pr1:`` for the PR-1 numbers
+(``BENCH_PR1.json``) — so a single file shows current medians next to
+both baselines.
 
 Schema: ``{bench_name: {"median_s": float, "iterations": int,
 "params": {...}}}``.
+
+The run fails (exit 1) if roaring's compressed-domain AND is slower
+than WAH's at the measured configuration — the speed of per-container
+dispatch over matching chunks is the point of the roaring extension,
+so losing to a word-aligned run-length codec is a regression.
 
 Usage::
 
@@ -42,11 +48,13 @@ from repro.bitmap import BitVector
 from repro.compress import get_codec
 from repro.compress.bbc_ops import bbc_logical
 from repro.compress.compressed_ops import ewah_logical
+from repro.compress.roaring_ops import roaring_logical
 from repro.compress.wah_ops import wah_logical
 from repro.experiments import ExperimentConfig, run_experiment
 
 SEED_BASELINE = Path(__file__).parent / "results" / "seed_baseline.json"
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR1.json"
+PR1_BASELINE = REPO_ROOT / "BENCH_PR1.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR2.json"
 
 
 def timeit(fn, iterations: int) -> float:
@@ -73,7 +81,7 @@ def run_benchmarks(
     vec2 = make_vector(n_bits, density, 1)
 
     payloads = {}
-    for name in ("wah", "ewah", "bbc"):
+    for name in ("wah", "ewah", "bbc", "roaring"):
         codec = get_codec(name)
         payloads[name] = (codec.encode(vec), codec.encode(vec2))
         results[f"{name}_encode"] = {
@@ -93,11 +101,14 @@ def run_benchmarks(
     wah_a, wah_b = payloads["wah"]
     ewah_a, ewah_b = payloads["ewah"]
     bbc_a, bbc_b = payloads["bbc"]
+    roar_a, roar_b = payloads["roaring"]
     op_benches = {
         "wah_and": lambda: wah_logical("and", wah_a, wah_b),
         "ewah_and": lambda: ewah_logical("and", ewah_a, ewah_b),
         "ewah_or": lambda: ewah_logical("or", ewah_a, ewah_b),
         "bbc_and": lambda: bbc_logical("and", bbc_a, bbc_b, n_bits),
+        "roaring_and": lambda: roaring_logical("and", roar_a, roar_b, n_bits),
+        "roaring_or": lambda: roaring_logical("or", roar_a, roar_b, n_bits),
     }
     for bench_name, fn in op_benches.items():
         results[bench_name] = {
@@ -122,6 +133,21 @@ def merge_seed_baseline(results: dict[str, dict]) -> None:
     baseline = json.loads(SEED_BASELINE.read_text())
     for bench_name, entry in baseline.items():
         results[f"seed:{bench_name}"] = entry
+
+
+def merge_pr1_baseline(results: dict[str, dict]) -> None:
+    """Add ``pr1:``-prefixed entries from the recorded PR-1 numbers.
+
+    ``seed:``-prefixed entries inside BENCH_PR1.json are skipped; they
+    are already merged directly from the seed baseline file.
+    """
+    if not PR1_BASELINE.exists():
+        return
+    baseline = json.loads(PR1_BASELINE.read_text())
+    for bench_name, entry in baseline.items():
+        if bench_name.startswith("seed:"):
+            continue
+        results[f"pr1:{bench_name}"] = entry
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -159,6 +185,7 @@ def main(argv: list[str] | None = None) -> int:
         iters=iters,
     )
     merge_seed_baseline(results)
+    merge_pr1_baseline(results)
 
     output = args.output
     if output is None and not args.quick:
@@ -177,6 +204,17 @@ def main(argv: list[str] | None = None) -> int:
     if seed_enc and seed_dec and not args.quick:
         wah_seed = seed_enc["median_s"] + seed_dec["median_s"]
         print(f"wah encode+decode speedup vs seed: {wah_seed / wah_new:.1f}x")
+
+    roaring_and = results["roaring_and"]["median_s"]
+    wah_and = results["wah_and"]["median_s"]
+    print(f"roaring AND vs wah AND: {wah_and / roaring_and:.1f}x faster")
+    if roaring_and > wah_and:
+        print(
+            f"FAIL: roaring AND ({roaring_and:.6f}s) is slower than "
+            f"wah AND ({wah_and:.6f}s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -4,7 +4,8 @@ Reproduces the narrative of the paper's §7.1 interactively: equality-
 encoded bitmaps are sparse and compress extremely well; interval-
 encoded bitmaps are ~50% dense and barely compress; skew helps
 everything.  Also compares the paper's byte-aligned codec (BBC) against
-the later word-aligned codecs (WAH, EWAH) as an ablation.
+the later word-aligned codecs (WAH, EWAH) and the container-based
+roaring codec as an ablation.
 
 Run:  python examples/compression_study.py
 """
@@ -16,6 +17,7 @@ from repro.compress import measure_codec
 
 NUM_ROWS = 100_000
 CARDINALITY = 50
+CODECS = ("bbc", "wah", "ewah", "roaring")
 
 
 def study(scheme_name: str, skew: float) -> dict[str, float]:
@@ -23,7 +25,7 @@ def study(scheme_name: str, skew: float) -> dict[str, float]:
     scheme = get_scheme(scheme_name)
     bitmaps = list(scheme.build(values, CARDINALITY).values())
     ratios = {}
-    for codec_name in ("bbc", "wah", "ewah"):
+    for codec_name in CODECS:
         stats = measure_codec(get_codec(codec_name), bitmaps)
         ratios[codec_name] = stats.ratio
     return ratios
@@ -31,15 +33,13 @@ def study(scheme_name: str, skew: float) -> dict[str, float]:
 
 def main() -> None:
     print(f"Compressed/uncompressed ratio, C={CARDINALITY}, N={NUM_ROWS}")
-    print(f"{'scheme':8s} {'z':>4s} {'bbc':>8s} {'wah':>8s} {'ewah':>8s}")
+    header = " ".join(f"{name:>8s}" for name in CODECS)
+    print(f"{'scheme':8s} {'z':>4s} {header}")
     for scheme_name in ("E", "R", "I"):
         for skew in (0.0, 1.0, 2.0, 3.0):
             ratios = study(scheme_name, skew)
-            print(
-                f"{scheme_name:8s} {skew:4.0f} "
-                f"{ratios['bbc']:8.3f} {ratios['wah']:8.3f} "
-                f"{ratios['ewah']:8.3f}"
-            )
+            cells = " ".join(f"{ratios[name]:8.3f}" for name in CODECS)
+            print(f"{scheme_name:8s} {skew:4.0f} {cells}")
     print(
         "\nReading: E compresses best (sparse bitmaps), I worst (~50% "
         "density), matching the paper's Figure 6(b); higher skew "

@@ -134,7 +134,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentConfig, run_all, run_experiment
 
     config = ExperimentConfig(
-        num_records=args.num_records, workers=args.workers
+        num_records=args.num_records, workers=args.workers, codec=args.codec
     )
     if args.name == "all":
         for name, result in run_all(config).items():
@@ -257,6 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     p.add_argument("--num-records", type=int, default=50_000)
+    p.add_argument(
+        "--codec",
+        default="bbc",
+        help="codec for the compressed index variants (e.g. bbc, wah, "
+        "ewah, roaring)",
+    )
     p.add_argument(
         "--workers",
         type=_workers_arg,

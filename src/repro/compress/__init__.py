@@ -9,23 +9,37 @@ with "a byte-aligned run-length encoding scheme proposed by Antoshenkov"
   the BBC atom structure;
 * :mod:`repro.compress.wah` — 32-bit Word-Aligned Hybrid, the codec that
   later superseded BBC in FastBit (included as a cross-check/ablation);
-* :mod:`repro.compress.ewah` — 64-bit Enhanced WAH (ablation).
+* :mod:`repro.compress.ewah` — 64-bit Enhanced WAH (ablation);
+* :mod:`repro.compress.roaring` — the Roaring container codec
+  (2^16-bit chunks with array/bitmap/run containers), an extension
+  beyond the paper's run-length family.
 
-Codecs are looked up by name via :func:`get_codec`.
+Codecs are looked up by name via :func:`get_codec`.  Every codec except
+``raw`` supports compressed-domain AND/OR/XOR/NOT and popcount
+(``raw`` gets the same payload-level entry points, which are simply the
+plain word operations); :class:`CompressedBitmap` wraps any codec in
+:data:`COMPRESSED_DOMAIN_CODECS` behind the ``BitVector`` operator
+protocol.
 """
 
 from repro.compress.base import Codec, available_codecs, get_codec, register_codec
 from repro.compress.bbc import BbcCodec
 from repro.compress.bbc_ops import bbc_count, bbc_logical, bbc_not
 from repro.compress.compressed_ops import (
+    COMPRESSED_DOMAIN_CODECS,
+    COUNT_OPS,
+    LOGICAL_OPS,
+    NOT_OPS,
     CompressedBitmap,
     ewah_count,
     ewah_logical,
     ewah_not,
 )
 from repro.compress.ewah import EwahCodec
-from repro.compress.raw import RawCodec
-from repro.compress.stats import CompressionStats, measure_codec
+from repro.compress.raw import RawCodec, raw_count, raw_logical, raw_not
+from repro.compress.roaring import RoaringCodec
+from repro.compress.roaring_ops import roaring_count, roaring_logical, roaring_not
+from repro.compress.stats import CompressionStats, measure_all_codecs, measure_codec
 from repro.compress.wah import WahCodec
 from repro.compress.wah_ops import wah_count, wah_logical, wah_not
 
@@ -35,12 +49,18 @@ __all__ = [
     "BbcCodec",
     "WahCodec",
     "EwahCodec",
+    "RoaringCodec",
     "get_codec",
     "register_codec",
     "available_codecs",
     "CompressionStats",
     "measure_codec",
+    "measure_all_codecs",
     "CompressedBitmap",
+    "COMPRESSED_DOMAIN_CODECS",
+    "LOGICAL_OPS",
+    "NOT_OPS",
+    "COUNT_OPS",
     "ewah_logical",
     "ewah_not",
     "ewah_count",
@@ -50,4 +70,10 @@ __all__ = [
     "bbc_logical",
     "bbc_not",
     "bbc_count",
+    "roaring_logical",
+    "roaring_not",
+    "roaring_count",
+    "raw_logical",
+    "raw_not",
+    "raw_count",
 ]

@@ -20,9 +20,13 @@ vectorized kernels in :mod:`repro.compress.kernels`:
   are re-detected in bulk so outputs stay canonically compressed.
 
 The evaluation engine uses these through
-:class:`~repro.compress.compressed_ops.CompressedBitmap`, and the
-``bench_compressed_ops`` benchmark quantifies the saving against
-decompress-then-operate.
+:class:`~repro.compress.compressed_ops.CompressedBitmap`, which since
+the roaring extension dispatches per codec: the module-level
+``LOGICAL_OPS`` / ``NOT_OPS`` / ``COUNT_OPS`` tables give every
+compressed-domain codec (BBC, WAH, EWAH, roaring) one payload-level
+signature, and ``COMPRESSED_DOMAIN_CODECS`` names the codecs the
+compressed query engine accepts.  The ``bench_compressed_ops``
+benchmark quantifies the saving against decompress-then-operate.
 """
 
 from __future__ import annotations
@@ -32,7 +36,10 @@ import numpy as np
 from repro.bitmap import BitVector
 from repro.compress import kernels
 from repro.compress.base import get_codec
+from repro.compress.bbc_ops import bbc_count, bbc_logical, bbc_not
 from repro.compress.ewah import _FULL, ewah_from_runs, runs_from_ewah
+from repro.compress.roaring_ops import roaring_count, roaring_logical, roaring_not
+from repro.compress.wah_ops import wah_count, wah_logical, wah_not
 from repro.errors import CodecError
 
 
@@ -71,63 +78,106 @@ def ewah_count(payload: bytes) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Per-codec compressed-domain dispatch
+# ---------------------------------------------------------------------------
+
+#: ``(op, payload_a, payload_b, length) -> payload`` per codec.
+LOGICAL_OPS = {
+    "bbc": bbc_logical,
+    "wah": lambda op, a, b, length: wah_logical(op, a, b),
+    "ewah": lambda op, a, b, length: ewah_logical(op, a, b),
+    "roaring": roaring_logical,
+}
+
+#: ``(payload, length) -> payload`` per codec.
+NOT_OPS = {
+    "bbc": bbc_not,
+    "wah": wah_not,
+    "ewah": ewah_not,
+    "roaring": roaring_not,
+}
+
+#: ``(payload) -> int`` per codec.
+COUNT_OPS = {
+    "bbc": bbc_count,
+    "wah": wah_count,
+    "ewah": ewah_count,
+    "roaring": roaring_count,
+}
+
+#: Codecs whose payloads support the full compressed-domain protocol.
+COMPRESSED_DOMAIN_CODECS = frozenset(LOGICAL_OPS)
+
+
+# ---------------------------------------------------------------------------
 # Convenience wrapper
 # ---------------------------------------------------------------------------
 
 
 class CompressedBitmap:
-    """An EWAH-compressed bitmap supporting compressed-domain logic.
+    """A compressed bitmap supporting compressed-domain logic.
 
     Mirrors the :class:`~repro.bitmap.BitVector` operator protocol but
     keeps the payload compressed throughout; :meth:`decode` gives the
-    plain vector when record ids are finally needed.
+    plain vector when record ids are finally needed.  Any codec in
+    :data:`COMPRESSED_DOMAIN_CODECS` works (EWAH remains the default);
+    operands must share both length and codec.
     """
 
-    def __init__(self, payload: bytes, length: int):
+    def __init__(self, payload: bytes, length: int, codec: str = "ewah"):
+        if codec not in COMPRESSED_DOMAIN_CODECS:
+            raise CodecError(
+                f"codec {codec!r} has no compressed-domain operations; "
+                f"available: {sorted(COMPRESSED_DOMAIN_CODECS)}"
+            )
         self.payload = payload
         self.length = length
+        self.codec = codec
 
     @classmethod
-    def from_vector(cls, vector: BitVector) -> "CompressedBitmap":
-        codec = get_codec("ewah")
-        return cls(codec.encode(vector), len(vector))
+    def from_vector(cls, vector: BitVector, codec: str = "ewah") -> "CompressedBitmap":
+        return cls(get_codec(codec).encode(vector), len(vector), codec)
 
     def decode(self) -> BitVector:
         """Materialize the plain bit vector."""
-        return get_codec("ewah").decode(self.payload, self.length)
+        return get_codec(self.codec).decode(self.payload, self.length)
 
     def _check(self, other: "CompressedBitmap") -> None:
         if self.length != other.length:
             raise CodecError(
                 f"length mismatch: {self.length} vs {other.length}"
             )
+        if self.codec != other.codec:
+            raise CodecError(
+                f"codec mismatch: {self.codec!r} vs {other.codec!r}"
+            )
+
+    def _logical(self, other: "CompressedBitmap", op: str) -> "CompressedBitmap":
+        self._check(other)
+        payload = LOGICAL_OPS[self.codec](
+            op, self.payload, other.payload, self.length
+        )
+        return CompressedBitmap(payload, self.length, self.codec)
 
     def __and__(self, other: "CompressedBitmap") -> "CompressedBitmap":
-        self._check(other)
-        return CompressedBitmap(
-            ewah_logical("and", self.payload, other.payload), self.length
-        )
+        return self._logical(other, "and")
 
     def __or__(self, other: "CompressedBitmap") -> "CompressedBitmap":
-        self._check(other)
-        return CompressedBitmap(
-            ewah_logical("or", self.payload, other.payload), self.length
-        )
+        return self._logical(other, "or")
 
     def __xor__(self, other: "CompressedBitmap") -> "CompressedBitmap":
-        self._check(other)
-        return CompressedBitmap(
-            ewah_logical("xor", self.payload, other.payload), self.length
-        )
+        return self._logical(other, "xor")
 
     def __invert__(self) -> "CompressedBitmap":
         return CompressedBitmap(
-            ewah_not(self.payload, self.length), self.length
+            NOT_OPS[self.codec](self.payload, self.length),
+            self.length,
+            self.codec,
         )
 
     def count(self) -> int:
         """Set-bit count, computed in the compressed domain."""
-        return ewah_count(self.payload)
+        return COUNT_OPS[self.codec](self.payload)
 
     def compressed_size(self) -> int:
         """Payload size in bytes."""
@@ -136,11 +186,11 @@ class CompressedBitmap:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CompressedBitmap):
             return NotImplemented
-        # Payloads are canonical only up to run merging; compare decoded.
+        # Payloads are canonical only per codec; compare decoded.
         return self.length == other.length and self.decode() == other.decode()
 
     def __repr__(self) -> str:
         return (
-            f"CompressedBitmap(length={self.length}, "
+            f"CompressedBitmap(codec={self.codec!r}, length={self.length}, "
             f"bytes={len(self.payload)})"
         )

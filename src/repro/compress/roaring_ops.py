@@ -1,0 +1,209 @@
+"""Logical operations directly on roaring-compressed bitmaps.
+
+Roaring's container directory makes the compressed domain *the* natural
+place to operate (Kaser & Lemire, "Compressed bitmap indexes: beyond
+unions and intersections"): AND touches only chunks present on both
+sides, OR/XOR copy single-sided containers verbatim, and each matched
+pair dispatches on its container kinds:
+
+* array x array — galloping intersection / sorted-set union / symmetric
+  difference via ``np.searchsorted`` and the ``1d`` set routines;
+* bitmap x bitmap — one vectorized word operation per chunk;
+* mixed (array vs bitmap/run) — membership tests of the array's
+  offsets against the dense side's words;
+* run containers are expanded through
+  :func:`repro.compress.kernels.expand_ranges` when an operation needs
+  them dense.
+
+Results are re-classified through the shared container constructors in
+:mod:`repro.compress.roaring`, so outputs are bit-identical to
+re-encoding the decoded result — the canonical-form property the
+differential suite checks for every codec.
+
+All entry points take the logical bit length: roaring drops empty
+chunks, so the payload alone cannot bound the domain (NOT must
+materialize the missing chunks as full runs, and validation needs to
+know where the vector ends).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compress import kernels
+from repro.compress.roaring import (
+    ARRAY,
+    BITMAP,
+    CHUNK_BITS,
+    RUN,
+    Container,
+    chunk_geometry,
+    container_from_positions,
+    container_from_runs,
+    container_from_words,
+    containers_from_roaring,
+    roaring_bytes,
+)
+from repro.errors import CodecError
+
+_ONE = np.uint64(1)
+
+
+def _directory(payload: bytes, length: int) -> dict[int, Container]:
+    """Parse ``payload`` and validate its chunks against ``length``."""
+    num_chunks = (length + CHUNK_BITS - 1) // CHUNK_BITS
+    directory: dict[int, Container] = {}
+    for container in containers_from_roaring(payload):
+        if container.key >= num_chunks:
+            raise CodecError(
+                f"roaring container key {container.key} overruns the "
+                f"declared length {length}"
+            )
+        directory[container.key] = container
+    return directory
+
+
+def _positions_of(container: Container) -> np.ndarray:
+    """The container's chunk-relative set positions, sorted, as int64."""
+    if container.kind == ARRAY:
+        return container.data.astype(np.int64)
+    if container.kind == RUN:
+        starts, lengths = container.data
+        return kernels.expand_ranges(starts, lengths)
+    return np.flatnonzero(
+        np.unpackbits(container.data.view(np.uint8), bitorder="little")
+    ).astype(np.int64)
+
+
+def _words_of(container: Container, chunk_words: int) -> np.ndarray:
+    """The container's chunk as 64-bit words (bitmap containers as-is)."""
+    if container.kind == BITMAP:
+        return container.data
+    words = np.zeros(chunk_words, dtype=np.uint64)
+    rel = _positions_of(container)
+    np.bitwise_or.at(words, rel >> 6, _ONE << (rel & 63).astype(np.uint64))
+    return words
+
+
+def _members(rel: np.ndarray, words: np.ndarray) -> np.ndarray:
+    """Boolean mask: which positions in ``rel`` are set in ``words``."""
+    bits = (words[rel >> 6] >> (rel & 63).astype(np.uint64)) & _ONE
+    return bits != 0
+
+
+def _intersect_sorted(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Galloping intersection of two sorted arrays (search the larger)."""
+    if x.size > y.size:
+        x, y = y, x
+    idx = np.searchsorted(y, x)
+    hit = idx < y.size
+    hit[hit] = y[idx[hit]] == x[hit]
+    return x[hit]
+
+
+def _and_pair(a: Container, b: Container, chunk_bits: int) -> Container | None:
+    chunk_words = (chunk_bits + 63) // 64
+    if a.kind == ARRAY and b.kind == ARRAY:
+        rel = _intersect_sorted(_positions_of(a), _positions_of(b))
+        return container_from_positions(a.key, rel, chunk_bits)
+    if a.kind == ARRAY or b.kind == ARRAY:
+        sparse, dense = (a, b) if a.kind == ARRAY else (b, a)
+        rel = _positions_of(sparse)
+        rel = rel[_members(rel, _words_of(dense, chunk_words))]
+        return container_from_positions(a.key, rel, chunk_bits)
+    words = _words_of(a, chunk_words) & _words_of(b, chunk_words)
+    return container_from_words(a.key, words, chunk_bits)
+
+
+def _or_pair(a: Container, b: Container, chunk_bits: int) -> Container | None:
+    if a.kind == ARRAY and b.kind == ARRAY:
+        rel = np.union1d(_positions_of(a), _positions_of(b))
+        return container_from_positions(a.key, rel, chunk_bits)
+    chunk_words = (chunk_bits + 63) // 64
+    words = _words_of(a, chunk_words) | _words_of(b, chunk_words)
+    return container_from_words(a.key, words, chunk_bits)
+
+
+def _xor_pair(a: Container, b: Container, chunk_bits: int) -> Container | None:
+    if a.kind == ARRAY and b.kind == ARRAY:
+        rel = np.setxor1d(_positions_of(a), _positions_of(b), assume_unique=True)
+        return container_from_positions(a.key, rel, chunk_bits)
+    chunk_words = (chunk_bits + 63) // 64
+    words = _words_of(a, chunk_words) ^ _words_of(b, chunk_words)
+    return container_from_words(a.key, words, chunk_bits)
+
+
+_PAIR_OPS = {"and": _and_pair, "or": _or_pair, "xor": _xor_pair}
+
+
+def roaring_logical(
+    op: str, payload_a: bytes, payload_b: bytes, length: int
+) -> bytes:
+    """``op`` in {"and", "or", "xor"} over two ``length``-bit payloads."""
+    try:
+        pair_op = _PAIR_OPS[op]
+    except KeyError:
+        raise CodecError(f"unknown compressed operation {op!r}") from None
+    dir_a = _directory(payload_a, length)
+    dir_b = _directory(payload_b, length)
+    if op == "and":
+        keys = sorted(dir_a.keys() & dir_b.keys())
+    else:
+        keys = sorted(dir_a.keys() | dir_b.keys())
+    out: list[Container] = []
+    for key in keys:
+        a = dir_a.get(key)
+        b = dir_b.get(key)
+        if a is None or b is None:
+            # OR/XOR with an absent (all-zero) chunk copies the other side.
+            out.append(a if a is not None else b)
+            continue
+        chunk_bits, _ = chunk_geometry(key, length)
+        result = pair_op(a, b, chunk_bits)
+        if result is not None:
+            out.append(result)
+    return roaring_bytes(out)
+
+
+def roaring_not(payload: bytes, length: int) -> bytes:
+    """Complement of a roaring payload for a vector of ``length`` bits.
+
+    Chunks absent from the payload (all-zero) complement to full runs;
+    present chunks complement word-wise with the final chunk's padding
+    bits masked back to zero.
+    """
+    directory = _directory(payload, length)
+    num_chunks = (length + CHUNK_BITS - 1) // CHUNK_BITS
+    out: list[Container] = []
+    for key in range(num_chunks):
+        chunk_bits, chunk_words = chunk_geometry(key, length)
+        container = directory.get(key)
+        if container is None:
+            result = container_from_runs(
+                key,
+                np.zeros(1, dtype=np.uint16),
+                np.asarray([chunk_bits], dtype=np.int64),
+                chunk_bits,
+            )
+        else:
+            words = np.bitwise_not(_words_of(container, chunk_words))
+            tail = chunk_bits % 64
+            if tail:
+                words[-1] &= (_ONE << np.uint64(tail)) - _ONE
+            result = container_from_words(key, words, chunk_bits)
+        if result is not None:
+            out.append(result)
+    return roaring_bytes(out)
+
+
+def roaring_count(payload: bytes) -> int:
+    """Population count of a roaring payload without decompression."""
+    total = 0
+    for container in containers_from_roaring(payload):
+        if container.kind == ARRAY:
+            total += int(container.data.size)
+        elif container.kind == BITMAP:
+            total += int(np.bitwise_count(container.data).astype(np.int64).sum())
+        else:
+            total += int(container.data[1].sum())
+    return total

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.bitmap import BitVector
-from repro.compress.base import Codec
+from repro.compress.base import Codec, available_codecs, get_codec
 
 
 @dataclass(frozen=True)
@@ -40,3 +40,17 @@ def measure_codec(codec: Codec, vectors: Iterable[BitVector]) -> CompressionStat
         raw += vector.num_words * 8
         enc += codec.encoded_size(vector)
     return CompressionStats(codec.name, num, raw, enc)
+
+
+def measure_all_codecs(
+    vectors: Iterable[BitVector], names: Sequence[str] | None = None
+) -> dict[str, CompressionStats]:
+    """Measure the same vectors under several codecs.
+
+    ``names`` defaults to every registered codec, in registry (sorted)
+    order — the comparison the codec-ablation studies tabulate.
+    """
+    vectors = list(vectors)
+    if names is None:
+        names = available_codecs()
+    return {name: measure_codec(get_codec(name), vectors) for name in names}

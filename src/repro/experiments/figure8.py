@@ -31,7 +31,8 @@ def design_specs(config: ExperimentConfig) -> list[IndexSpec]:
         scheme = get_scheme(scheme_name)
         for n in config.component_counts:
             bases = optimal_bases(config.cardinality, n, scheme)
-            for codec in ("raw", config.codec):
+            # dict.fromkeys dedupes when config.codec is itself "raw".
+            for codec in dict.fromkeys(("raw", config.codec)):
                 specs.append(
                     IndexSpec(
                         cardinality=config.cardinality,

@@ -2,15 +2,18 @@
 
 The paper's cost model charges decompression CPU for every compressed
 bitmap a query reads — that charge is why compressed indexes lose to
-uncompressed ones at low skew (Figure 9).  Word-aligned codecs admit a
-way out: logical operations can run *directly on the compressed
+uncompressed ones at low skew (Figure 9).  Compressed-domain codecs
+admit a way out: logical operations can run *directly on the compressed
 payloads* (:mod:`repro.compress.compressed_ops`), touching only the
-dirty words, so the decompression charge disappears and the CPU charge
-shrinks with the compression ratio.
+dirty words (or, for roaring, only the matching containers), so the
+decompression charge disappears and the CPU charge shrinks with the
+compression ratio.
 
-:class:`CompressedQueryEngine` is the engine-level realization for
-EWAH-encoded indexes: stored payloads are fetched (and buffered) in
-compressed form, the whole expression DAG is evaluated over
+:class:`CompressedQueryEngine` is the engine-level realization for any
+index stored under a codec in
+:data:`~repro.compress.COMPRESSED_DOMAIN_CODECS` (BBC, WAH, EWAH,
+roaring): stored payloads are fetched (and buffered) in compressed
+form, the whole expression DAG is evaluated over
 :class:`~repro.compress.CompressedBitmap` values, and only the final
 answer is decoded.  The ``bench_compressed_ops`` benchmark quantifies
 the saving against the standard decompress-then-operate engine.
@@ -21,7 +24,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from collections.abc import Hashable
 
-from repro.compress import CompressedBitmap
+from repro.compress import COMPRESSED_DOMAIN_CODECS, CompressedBitmap
 from repro.errors import QueryError
 from repro.expr import EvalStats, Expr
 from repro.expr.nodes import And, Const, Leaf, Not, Or, Xor
@@ -41,6 +44,7 @@ class _PayloadPool:
 
     def __init__(self, store, capacity_pages: int, clock: CostClock | None):
         self._store = store
+        self._codec_name = store.codec.name
         self._capacity = capacity_pages
         self._clock = clock
         self._resident: OrderedDict[Hashable, tuple[CompressedBitmap, int]] = (
@@ -61,7 +65,7 @@ class _PayloadPool:
         if self._clock is not None:
             self._clock.charge_read(info.pages)
             # No decompression charge: the payload is used as-is.
-        bitmap = CompressedBitmap(payload, length)
+        bitmap = CompressedBitmap(payload, length, self._codec_name)
         pages = pages_for(len(payload), self._store.page_size)
         while self._resident and self._used + pages > self._capacity:
             _, (_, old_pages) = self._resident.popitem(last=False)
@@ -77,21 +81,26 @@ class _PayloadPool:
 
 
 class CompressedQueryEngine:
-    """Evaluates queries over an EWAH index without decompression.
+    """Evaluates queries over a compressed index without decompression.
 
     Mirrors :class:`~repro.index.evaluation.QueryEngine` (component-wise
     strategy) but keeps every operand compressed; CPU is charged per
     compressed word actually touched by an operation rather than per
-    uncompressed word.
+    uncompressed word.  Works for any codec with compressed-domain
+    operations (BBC, WAH, EWAH, roaring).
     """
 
     def __init__(self, index, buffer_pages: int | None = None,
                  clock: CostClock | None = None):
-        if index.store.codec.name != "ewah":
+        codec_name = index.store.codec.name
+        if codec_name not in COMPRESSED_DOMAIN_CODECS:
             raise QueryError(
-                "compressed-domain evaluation requires the 'ewah' codec, "
-                f"index uses {index.store.codec.name!r}"
+                "compressed-domain evaluation requires a codec with "
+                f"compressed-domain operations "
+                f"({sorted(COMPRESSED_DOMAIN_CODECS)}), index uses "
+                f"{codec_name!r}"
             )
+        self._codec_name = codec_name
         self.index = index
         self.clock = clock if clock is not None else CostClock()
         if buffer_pages is None:
@@ -173,7 +182,7 @@ class CompressedQueryEngine:
             from repro.bitmap import BitVector
 
             base = BitVector.ones(length) if expr.value else BitVector.zeros(length)
-            result = CompressedBitmap.from_vector(base)
+            result = CompressedBitmap.from_vector(base, self._codec_name)
         elif isinstance(expr, Not):
             child = self._eval(expr.child, stats, cache, memo)
             result = ~child

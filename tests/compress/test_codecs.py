@@ -1,14 +1,19 @@
-"""Unit tests for the raw, BBC, WAH and EWAH codecs."""
+"""Unit tests for the raw, BBC, WAH, EWAH and roaring codecs."""
 
 import numpy as np
 import pytest
 
 from repro.bitmap import BitVector
-from repro.compress import available_codecs, get_codec, measure_codec
+from repro.compress import (
+    available_codecs,
+    get_codec,
+    measure_all_codecs,
+    measure_codec,
+)
 from repro.errors import CodecError
 from tests.conftest import random_bitvector
 
-ALL_CODECS = ("raw", "bbc", "wah", "ewah")
+ALL_CODECS = ("raw", "bbc", "wah", "ewah", "roaring")
 
 
 @pytest.fixture(params=ALL_CODECS)
@@ -20,9 +25,18 @@ class TestRegistry:
     def test_all_registered(self):
         assert set(ALL_CODECS) <= set(available_codecs())
 
+    def test_registry_order_is_sorted_and_stable(self):
+        # Pinned: experiment configs and stats tables iterate this order.
+        assert available_codecs() == ["bbc", "ewah", "raw", "roaring", "wah"]
+
     def test_unknown_codec(self):
-        with pytest.raises(CodecError):
+        with pytest.raises(CodecError) as exc_info:
             get_codec("lz77")
+        message = str(exc_info.value)
+        assert "unknown codec 'lz77'" in message
+        assert "available" in message
+        for name in ALL_CODECS:
+            assert name in message
 
 
 class TestRoundtrip:
@@ -136,3 +150,16 @@ class TestStats:
     def test_empty_ratio(self):
         stats = measure_codec(get_codec("raw"), [])
         assert stats.ratio == 0.0
+
+    def test_measure_all_codecs(self, rng):
+        vectors = [random_bitvector(rng, 2000, 0.05) for _ in range(3)]
+        by_codec = measure_all_codecs(vectors)
+        assert list(by_codec) == available_codecs()
+        for name, stats in by_codec.items():
+            assert stats.codec == name
+            assert stats == measure_codec(get_codec(name), vectors)
+
+    def test_measure_all_codecs_subset(self, rng):
+        vectors = [random_bitvector(rng, 500, 0.5)]
+        by_codec = measure_all_codecs(vectors, names=["roaring", "wah"])
+        assert list(by_codec) == ["roaring", "wah"]

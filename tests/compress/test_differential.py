@@ -1,11 +1,13 @@
 """Differential property tests: compressed-domain ops vs the oracle.
 
 Every compressed-domain operation (AND/OR/XOR/NOT and popcount for the
-BBC, WAH and EWAH codecs) must agree bit-for-bit with the obvious
-oracle — decompress, operate on the plain :class:`BitVector`, and
-recompress.  Lengths deliberately hit the codecs' word boundaries:
-n = 0, 1, 63, 64, 65 and 31·k ± 1 (WAH packs 31-bit groups; EWAH
-64-bit words; BBC bytes).
+raw, BBC, WAH, EWAH and roaring codecs) must agree bit-for-bit with
+the obvious oracle — decompress, operate on the plain
+:class:`BitVector`, and recompress — and all codecs must agree with
+*each other* on the same inputs.  Lengths deliberately hit the codecs'
+alignment boundaries: n = 0, 1, 31·k ± 1 (WAH packs 31-bit groups),
+32/33, 63/64/65 (EWAH and raw use 64-bit words; BBC bytes), and
+2^16 ± 1 (roaring splits the domain into 2^16-bit containers).
 """
 
 import numpy as np
@@ -21,27 +23,48 @@ from repro.compress import (
     ewah_logical,
     ewah_not,
     get_codec,
+    raw_count,
+    raw_logical,
+    raw_not,
+    roaring_count,
+    roaring_logical,
+    roaring_not,
     wah_count,
     wah_logical,
     wah_not,
 )
 
-CODEC_NAMES = ("bbc", "wah", "ewah")
+CODEC_NAMES = ("raw", "bbc", "wah", "ewah", "roaring")
 
 #: op(name, payload_a, payload_b, length) -> payload, per codec.
 LOGICAL = {
+    "raw": raw_logical,
     "bbc": bbc_logical,
     "wah": lambda op, a, b, length: wah_logical(op, a, b),
     "ewah": lambda op, a, b, length: ewah_logical(op, a, b),
+    "roaring": roaring_logical,
 }
-NOT = {"bbc": bbc_not, "wah": wah_not, "ewah": ewah_not}
-COUNT = {"bbc": bbc_count, "wah": wah_count, "ewah": ewah_count}
+NOT = {
+    "raw": raw_not,
+    "bbc": bbc_not,
+    "wah": wah_not,
+    "ewah": ewah_not,
+    "roaring": roaring_not,
+}
+COUNT = {
+    "raw": raw_count,
+    "bbc": bbc_count,
+    "wah": wah_count,
+    "ewah": ewah_count,
+    "roaring": roaring_count,
+}
 
-# Word-boundary lengths for 31-bit groups, 64-bit words and bytes,
-# mixed with arbitrary lengths.
+# Alignment-boundary lengths for 31-bit groups, 32/64-bit words, bytes
+# and 2^16-bit roaring containers, mixed with arbitrary lengths.
 BOUNDARY_LENGTHS = sorted(
-    {0, 1, 7, 8, 9, 63, 64, 65, 127, 128, 129}
+    {0, 1, 7, 8, 9, 32, 33, 63, 64, 65, 127, 128, 129}
     | {31 * k + d for k in (1, 2, 3, 8) for d in (-1, 0, 1)}
+    | {2**16 - 1, 2**16, 2**16 + 1}
 )
 lengths = st.one_of(
     st.sampled_from(BOUNDARY_LENGTHS),
@@ -123,3 +146,51 @@ def test_count_matches_oracle(name, length, density, seed):
     vector, _ = random_pair(length, density, density, seed)
     codec = get_codec(name)
     assert COUNT[name](codec.encode(vector)) == vector.count()
+
+
+@pytest.mark.parametrize("op", ["and", "or", "xor"])
+@given(
+    length=lengths,
+    density_a=densities,
+    density_b=densities,
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@settings(max_examples=60, deadline=None)
+def test_all_codecs_agree(op, length, density_a, density_b, seed):
+    """Every codec's compressed-domain pipeline yields the same bits.
+
+    Each codec encodes the same pair, operates in its own compressed
+    domain, and decodes; all five results — and the counts of the
+    results — must be identical.  This pits five independent
+    implementations against each other rather than against one oracle.
+    """
+    vec_a, vec_b = random_pair(length, density_a, density_b, seed)
+    decoded = {}
+    counts = {}
+    for name in CODEC_NAMES:
+        codec = get_codec(name)
+        result = LOGICAL[name](
+            op, codec.encode(vec_a), codec.encode(vec_b), length
+        )
+        decoded[name] = codec.decode(result, length)
+        counts[name] = COUNT[name](result)
+    reference = decoded[CODEC_NAMES[0]]
+    for name in CODEC_NAMES[1:]:
+        assert decoded[name] == reference, name
+    assert len(set(counts.values())) == 1, counts
+
+
+@given(
+    length=st.sampled_from(
+        [2**16 - 1, 2**16, 2**16 + 1, 2 * 2**16, 3 * 2**16 + 17]
+    ),
+    density=densities,
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@settings(max_examples=30, deadline=None)
+def test_container_boundary_roundtrip_all_codecs(length, density, seed):
+    """Lengths at/around the 2^16 container boundary roundtrip everywhere."""
+    vector, _ = random_pair(length, density, density, seed)
+    for name in CODEC_NAMES:
+        codec = get_codec(name)
+        assert codec.decode(codec.encode(vector), length) == vector

@@ -1,0 +1,253 @@
+"""Unit tests for the roaring container codec.
+
+Pins the container-type selection rule (array below/bitmap above the
+4096-cardinality threshold, run containers when ``4 * num_runs`` bytes
+win), the chunked roundtrip behaviour on degenerate vectors, the size
+accounting through :class:`CompressionStats`, and the stream
+validation error paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitVector
+from repro.compress import get_codec, measure_codec
+from repro.compress.roaring import (
+    ARRAY,
+    ARRAY_MAX_CARD,
+    BITMAP,
+    CHUNK_BITS,
+    CHUNK_WORDS,
+    RUN,
+    containers_from_roaring,
+    containers_from_vector,
+    roaring_bytes,
+)
+from repro.errors import CodecError
+from tests.conftest import random_bitvector
+
+
+@pytest.fixture
+def codec():
+    return get_codec("roaring")
+
+
+def kinds_of(payload: bytes) -> list[int]:
+    return [c.kind for c in containers_from_roaring(payload)]
+
+
+def encode_indices(codec, length: int, indices) -> bytes:
+    return codec.encode(BitVector.from_indices(length, indices))
+
+
+class TestContainerSelection:
+    def test_sparse_chunk_is_array(self, codec):
+        # Isolated bits, cardinality far below the threshold.
+        payload = encode_indices(codec, CHUNK_BITS, range(0, 1000, 3))
+        assert kinds_of(payload) == [ARRAY]
+
+    def test_array_at_threshold_cardinality(self, codec):
+        # Every other bit: 4096 single-bit runs, exactly ARRAY_MAX_CARD.
+        payload = encode_indices(
+            codec, CHUNK_BITS, range(0, 2 * ARRAY_MAX_CARD, 2)
+        )
+        (container,) = containers_from_roaring(payload)
+        assert container.kind == ARRAY
+        assert container.data.size == ARRAY_MAX_CARD
+
+    def test_bitmap_just_above_threshold_cardinality(self, codec):
+        payload = encode_indices(
+            codec, CHUNK_BITS, range(0, 2 * (ARRAY_MAX_CARD + 1), 2)
+        )
+        (container,) = containers_from_roaring(payload)
+        assert container.kind == BITMAP
+        assert container.data.shape[0] == CHUNK_WORDS
+
+    def test_dense_random_chunk_is_bitmap(self, codec, rng):
+        vector = random_bitvector(rng, CHUNK_BITS, density=0.5)
+        assert kinds_of(codec.encode(vector)) == [BITMAP]
+
+    def test_full_chunk_is_run(self, codec):
+        # One maximal run: 4 bytes beat both the array and the bitmap.
+        assert kinds_of(codec.encode(BitVector.ones(CHUNK_BITS))) == [RUN]
+
+    def test_few_long_runs_is_run(self, codec):
+        indices = list(range(0, 5000)) + list(range(30000, 42000))
+        payload = encode_indices(codec, CHUNK_BITS, indices)
+        (container,) = containers_from_roaring(payload)
+        assert container.kind == RUN
+        starts, lengths = container.data
+        assert starts.tolist() == [0, 30000]
+        assert lengths.tolist() == [5000, 12000]
+
+    def test_mixed_chunks_select_independently(self, codec):
+        length = 3 * CHUNK_BITS
+        vector = BitVector.zeros(length)
+        vector[5] = True  # chunk 0: sparse -> array
+        for i in range(CHUNK_BITS, 2 * CHUNK_BITS):  # chunk 1: full -> run
+            vector[i] = True
+        assert kinds_of(codec.encode(vector)) == [ARRAY, RUN]
+
+    def test_empty_chunks_get_no_container(self, codec):
+        payload = encode_indices(codec, 10 * CHUNK_BITS, [9 * CHUNK_BITS])
+        (container,) = containers_from_roaring(payload)
+        assert container.key == 9
+
+    def test_tail_chunk_bitmap_is_truncated(self, codec, rng):
+        # A dense final chunk only stores the words the length needs,
+        # not the full 8 KB chunk.
+        length = 10_000
+        vector = random_bitvector(rng, length, density=0.5)
+        (container,) = containers_from_roaring(codec.encode(vector))
+        assert container.kind == BITMAP
+        assert container.data.shape[0] == (length + 63) // 64
+
+
+class TestRoundtrip:
+    def test_all_zeros(self, codec):
+        vector = BitVector.zeros(500_000)
+        payload = codec.encode(vector)
+        assert payload == roaring_bytes([])  # just the empty directory
+        assert len(payload) == 4
+        assert codec.decode(payload, 500_000) == vector
+
+    def test_all_ones(self, codec):
+        for length in (1, 64, CHUNK_BITS - 1, CHUNK_BITS, CHUNK_BITS + 1):
+            vector = BitVector.ones(length)
+            assert codec.decode(codec.encode(vector), length) == vector
+
+    def test_alternating(self, codec):
+        length = 2 * CHUNK_BITS + 100
+        vector = BitVector.from_bools([True, False] * (length // 2))
+        assert codec.decode(codec.encode(vector), len(vector)) == vector
+
+    def test_every_container_kind_roundtrips(self, codec, rng):
+        length = 3 * CHUNK_BITS
+        vector = BitVector.zeros(length)
+        vector[10] = True  # array
+        for i in range(CHUNK_BITS, CHUNK_BITS + 40_000):  # run
+            vector[i] = True
+        dense = np.flatnonzero(rng.random(CHUNK_BITS) < 0.5)
+        for i in dense:
+            vector[2 * CHUNK_BITS + int(i)] = True  # bitmap
+        payload = codec.encode(vector)
+        assert sorted(kinds_of(payload)) == [ARRAY, BITMAP, RUN]
+        assert codec.decode(payload, length) == vector
+
+    def test_canonical_reencode(self, codec, rng):
+        vector = random_bitvector(rng, CHUNK_BITS + 123, density=0.1)
+        payload = codec.encode(vector)
+        assert codec.encode(codec.decode(payload, len(vector))) == payload
+
+
+class TestStatsAccounting:
+    def test_encoded_bytes_match_payload_sizes(self, codec, rng):
+        vectors = [
+            random_bitvector(rng, 20_000, density)
+            for density in (0.001, 0.1, 0.5)
+        ]
+        stats = measure_codec(codec, vectors)
+        assert stats.codec == "roaring"
+        assert stats.num_bitmaps == 3
+        assert stats.raw_bytes == sum(v.num_words * 8 for v in vectors)
+        assert stats.encoded_bytes == sum(
+            len(codec.encode(v)) for v in vectors
+        )
+
+    def test_directory_overhead_accounted(self, codec):
+        # One single-bit array container: 4 (header) + 2 (key) + 1 (kind)
+        # + 4 (count) + 2 (offset payload) bytes.
+        vector = BitVector.from_indices(CHUNK_BITS, [77])
+        assert codec.encoded_size(vector) == 13
+
+
+class TestValidation:
+    def directory(self, keys, kinds, counts) -> bytes:
+        n = len(keys)
+        return b"".join(
+            [
+                np.asarray([n], dtype="<u4").tobytes(),
+                np.asarray(keys, dtype="<u2").tobytes(),
+                np.asarray(kinds, dtype=np.uint8).tobytes(),
+                np.asarray(counts, dtype="<u4").tobytes(),
+            ]
+        )
+
+    def test_too_short(self, codec):
+        with pytest.raises(CodecError, match="too short"):
+            codec.decode(b"\x01\x00", 64)
+
+    def test_truncated_directory(self, codec):
+        with pytest.raises(CodecError, match="directory"):
+            codec.decode(np.asarray([3], dtype="<u4").tobytes(), 64)
+
+    def test_keys_must_ascend(self, codec):
+        payload = self.directory([1, 0], [ARRAY, ARRAY], [1, 1]) + b"\x00" * 4
+        with pytest.raises(CodecError, match="ascending"):
+            codec.decode(payload, 2 * CHUNK_BITS)
+
+    def test_empty_container_rejected(self, codec):
+        payload = self.directory([0], [ARRAY], [0])
+        with pytest.raises(CodecError, match="empty"):
+            codec.decode(payload, CHUNK_BITS)
+
+    def test_unknown_kind_rejected(self, codec):
+        payload = self.directory([0], [7], [1]) + b"\x00\x00"
+        with pytest.raises(CodecError, match="kind"):
+            codec.decode(payload, CHUNK_BITS)
+
+    def test_oversized_bitmap_container_rejected(self, codec):
+        payload = self.directory([0], [BITMAP], [CHUNK_WORDS + 1])
+        payload += b"\x00" * 8 * (CHUNK_WORDS + 1)
+        with pytest.raises(CodecError, match="exceeds a chunk"):
+            codec.decode(payload, CHUNK_BITS)
+
+    def test_truncated_payload_rejected(self, codec):
+        good = encode_indices(codec, CHUNK_BITS, [1, 2, 3])
+        with pytest.raises(CodecError, match="truncated"):
+            codec.decode(good[:-2], CHUNK_BITS)
+
+    def test_trailing_bytes_rejected(self, codec):
+        good = encode_indices(codec, CHUNK_BITS, [1, 2, 3])
+        with pytest.raises(CodecError, match="trailing"):
+            codec.decode(good + b"\x00\x00", CHUNK_BITS)
+
+    def test_unsorted_array_rejected(self, codec):
+        payload = self.directory([0], [ARRAY], [2])
+        payload += np.asarray([5, 4], dtype="<u2").tobytes()
+        with pytest.raises(CodecError, match="sorted"):
+            codec.decode(payload, CHUNK_BITS)
+
+    def test_overlapping_runs_rejected(self, codec):
+        payload = self.directory([0], [RUN], [2])
+        payload += np.asarray([0, 5], dtype="<u2").tobytes()  # starts
+        payload += np.asarray([9, 9], dtype="<u2").tobytes()  # lengths - 1
+        with pytest.raises(CodecError, match="overlap"):
+            codec.decode(payload, CHUNK_BITS)
+
+    def test_run_overrunning_chunk_rejected(self, codec):
+        payload = self.directory([0], [RUN], [1])
+        payload += np.asarray([CHUNK_BITS - 1], dtype="<u2").tobytes()
+        payload += np.asarray([1], dtype="<u2").tobytes()  # length 2
+        with pytest.raises(CodecError, match="overruns its chunk"):
+            codec.decode(payload, CHUNK_BITS)
+
+    def test_container_beyond_declared_length_rejected(self, codec):
+        payload = encode_indices(codec, 2 * CHUNK_BITS, [CHUNK_BITS + 5])
+        with pytest.raises(CodecError, match="overruns the declared length"):
+            codec.decode(payload, CHUNK_BITS)
+
+    def test_position_beyond_declared_length_rejected(self, codec):
+        payload = encode_indices(codec, CHUNK_BITS, [500])
+        with pytest.raises(CodecError, match="overruns the declared length"):
+            codec.decode(payload, 100)
+
+    def test_wrong_bitmap_word_count_rejected(self, codec, rng):
+        # A full-chunk bitmap container presented for a shorter tail.
+        payload = codec.encode(random_bitvector(rng, CHUNK_BITS, 0.5))
+        with pytest.raises(CodecError, match="words"):
+            codec.decode(payload, CHUNK_BITS - 64)
+
+
+def test_containers_from_vector_empty():
+    assert containers_from_vector(BitVector.zeros(0)) == []

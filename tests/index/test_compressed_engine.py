@@ -21,13 +21,27 @@ def index_and_values():
 
 
 class TestCorrectness:
-    def test_requires_ewah(self, rng):
+    def test_requires_compressed_domain_codec(self, rng):
         values = rng.integers(0, 10, size=100)
         index = BitmapIndex.build(
-            values, IndexSpec(cardinality=10, scheme="I", codec="bbc")
+            values, IndexSpec(cardinality=10, scheme="I", codec="raw")
         )
-        with pytest.raises(QueryError):
+        with pytest.raises(QueryError, match="compressed-domain"):
             CompressedQueryEngine(index)
+
+    @pytest.mark.parametrize("codec", ["bbc", "wah", "ewah", "roaring"])
+    def test_all_compressed_domain_codecs_agree(self, rng, codec):
+        values = rng.integers(0, 10, size=400)
+        index = BitmapIndex.build(
+            values, IndexSpec(cardinality=10, scheme="I", codec=codec)
+        )
+        engine = CompressedQueryEngine(index)
+        for query in (
+            IntervalQuery(2, 7, 10),
+            MembershipQuery.of({0, 3, 9}, 10),
+        ):
+            result = engine.execute(query)
+            assert result.row_count == int(query.matches(values).sum())
 
     def test_interval_queries_match_standard_engine(self, index_and_values):
         index, values = index_and_values

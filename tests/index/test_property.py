@@ -18,7 +18,7 @@ def index_cases(draw):
     while 2 ** (max_n + 1) <= cardinality and max_n < 3:
         max_n += 1
     n = draw(st.integers(min_value=1, max_value=max_n))
-    codec = draw(st.sampled_from(["raw", "bbc", "wah", "ewah"]))
+    codec = draw(st.sampled_from(["raw", "bbc", "wah", "ewah", "roaring"]))
     strategy = draw(st.sampled_from(["component-wise", "query-wise", "scheduled"]))
     seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
     return scheme, cardinality, n, codec, strategy, seed
