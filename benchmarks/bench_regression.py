@@ -2,20 +2,31 @@
 """Benchmark-regression driver: codec kernels, compressed ops, one e2e run.
 
 Times encode/decode for every codec, compressed-domain AND/OR, and one
-end-to-end figure regeneration, then writes ``BENCH_PR2.json`` at the
+end-to-end figure regeneration, then writes ``BENCH_PR3.json`` at the
 repo root.  Prior recorded numbers are merged in under prefixed names —
 ``seed:`` for the pre-vectorization baseline (``benchmarks/results/
-seed_baseline.json``) and ``pr1:`` for the PR-1 numbers
-(``BENCH_PR1.json``) — so a single file shows current medians next to
-both baselines.
+seed_baseline.json``), ``pr1:`` for the PR-1 numbers
+(``BENCH_PR1.json``) and ``pr2:`` for the PR-2 numbers
+(``BENCH_PR2.json``) — so a single file shows current medians next to
+every baseline.
 
 Schema: ``{bench_name: {"median_s": float, "iterations": int,
-"params": {...}}}``.
+"params": {...}}}``, plus one special ``obs_export`` entry holding the
+full :mod:`repro.obs` export of an instrumented end-to-end figure run
+(the per-figure span tree and ``clock.*``/``buffer.*`` counters), so
+the uploaded artifact doubles as an observability sample.
 
-The run fails (exit 1) if roaring's compressed-domain AND is slower
-than WAH's at the measured configuration — the speed of per-container
-dispatch over matching chunks is the point of the roaring extension,
-so losing to a word-aligned run-length codec is a regression.
+Two gates can fail the run (exit 1):
+
+* roaring's compressed-domain AND slower than WAH's at the measured
+  configuration — the speed of per-container dispatch over matching
+  chunks is the point of the roaring extension, so losing to a
+  word-aligned run-length codec is a regression;
+* installing a :class:`repro.obs.Observability` instance slows the
+  codec kernel workload by more than 5% — the instrumentation must
+  stay effectively free.  (The overhead is measured in ``--quick``
+  mode too but only reported there: one-iteration timings are too
+  noisy to gate on.)
 
 Usage::
 
@@ -44,6 +55,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 import numpy as np
 
+from repro import obs
 from repro.bitmap import BitVector
 from repro.compress import get_codec
 from repro.compress.bbc_ops import bbc_logical
@@ -54,7 +66,11 @@ from repro.experiments import ExperimentConfig, run_experiment
 
 SEED_BASELINE = Path(__file__).parent / "results" / "seed_baseline.json"
 PR1_BASELINE = REPO_ROOT / "BENCH_PR1.json"
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR2.json"
+PR2_BASELINE = REPO_ROOT / "BENCH_PR2.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR3.json"
+
+#: Maximum tolerated slowdown of the kernel workload with obs installed.
+OBS_OVERHEAD_LIMIT_PCT = 5.0
 
 
 def timeit(fn, iterations: int) -> float:
@@ -123,31 +139,66 @@ def run_benchmarks(
         "iterations": 1,
         "params": {"num_records": num_records, "workers": workers},
     }
+
+    # Separate instrumented run so the timing above stays comparable to
+    # the recorded baselines; its export ships with the results.
+    with obs.observed() as o:
+        run_experiment("figure6", config)
+    results["obs_export"] = o.export()
+
+    results["obs_overhead"] = measure_obs_overhead(n_bits, density)
     return results
 
 
-def merge_seed_baseline(results: dict[str, dict]) -> None:
-    """Add ``seed:``-prefixed entries from the recorded seed baseline."""
-    if not SEED_BASELINE.exists():
-        return
-    baseline = json.loads(SEED_BASELINE.read_text())
-    for bench_name, entry in baseline.items():
-        results[f"seed:{bench_name}"] = entry
+def measure_obs_overhead(n_bits: int, density: float, pairs: int = 15) -> dict:
+    """Kernel workload timed with observability off vs. installed.
 
-
-def merge_pr1_baseline(results: dict[str, dict]) -> None:
-    """Add ``pr1:``-prefixed entries from the recorded PR-1 numbers.
-
-    ``seed:``-prefixed entries inside BENCH_PR1.json are skipped; they
-    are already merged directly from the seed baseline file.
+    The workload exercises the instrumented hot paths (codec encode and
+    decode).  Off/on samples are *interleaved* so clock-frequency drift
+    hits both sides equally, and the medians are compared.
     """
-    if not PR1_BASELINE.exists():
+    codec = get_codec("wah")
+    vec = make_vector(n_bits, density, 2)
+
+    def workload():
+        for _ in range(3):
+            codec.decode(codec.encode(vec), n_bits)
+
+    workload()  # warm-up
+    baseline_samples = []
+    installed_samples = []
+    for _ in range(pairs):
+        t0 = time.perf_counter()
+        workload()
+        baseline_samples.append(time.perf_counter() - t0)
+        with obs.observed():
+            t0 = time.perf_counter()
+            workload()
+            installed_samples.append(time.perf_counter() - t0)
+    baseline_s = statistics.median(baseline_samples)
+    installed_s = statistics.median(installed_samples)
+    return {
+        "median_s": installed_s,
+        "baseline_s": baseline_s,
+        "overhead_pct": (installed_s / baseline_s - 1.0) * 100.0,
+        "iterations": pairs,
+        "params": {"n_bits": n_bits, "density": density, "codec": "wah"},
+    }
+
+
+def merge_baseline(results: dict[str, dict], path: Path, prefix: str) -> None:
+    """Add ``prefix:``-prefixed entries from a recorded baseline file.
+
+    Already-prefixed entries and non-bench entries (``obs_export``) of
+    the prior file are skipped; each baseline merges from its own file.
+    """
+    if not path.exists():
         return
-    baseline = json.loads(PR1_BASELINE.read_text())
+    baseline = json.loads(path.read_text())
     for bench_name, entry in baseline.items():
-        if bench_name.startswith("seed:"):
+        if ":" in bench_name or "median_s" not in entry:
             continue
-        results[f"pr1:{bench_name}"] = entry
+        results[f"{prefix}:{bench_name}"] = entry
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -184,8 +235,9 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         iters=iters,
     )
-    merge_seed_baseline(results)
-    merge_pr1_baseline(results)
+    merge_baseline(results, SEED_BASELINE, "seed")
+    merge_baseline(results, PR1_BASELINE, "pr1")
+    merge_baseline(results, PR2_BASELINE, "pr2")
 
     output = args.output
     if output is None and not args.quick:
@@ -194,9 +246,12 @@ def main(argv: list[str] | None = None) -> int:
         output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
         print(f"wrote {output}", file=sys.stderr)
 
-    width = max(len(name) for name in results)
-    for name in sorted(results):
-        print(f"{name:{width}s}  {results[name]['median_s']:.6f}s")
+    timed = {
+        name: entry for name, entry in results.items() if "median_s" in entry
+    }
+    width = max(len(name) for name in timed)
+    for name in sorted(timed):
+        print(f"{name:{width}s}  {timed[name]['median_s']:.6f}s")
 
     wah_new = results["wah_encode"]["median_s"] + results["wah_decode"]["median_s"]
     seed_enc = results.get("seed:wah_encode")
@@ -212,6 +267,21 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: roaring AND ({roaring_and:.6f}s) is slower than "
             f"wah AND ({wah_and:.6f}s)",
+            file=sys.stderr,
+        )
+        return 1
+
+    overhead = results["obs_overhead"]
+    print(
+        f"obs instrumentation overhead on kernels: "
+        f"{overhead['overhead_pct']:+.2f}% "
+        f"({overhead['baseline_s']:.6f}s -> {overhead['median_s']:.6f}s)"
+    )
+    if not args.quick and overhead["overhead_pct"] > OBS_OVERHEAD_LIMIT_PCT:
+        print(
+            f"FAIL: obs instrumentation overhead "
+            f"{overhead['overhead_pct']:.2f}% exceeds the "
+            f"{OBS_OVERHEAD_LIMIT_PCT:.0f}% gate",
             file=sys.stderr,
         )
         return 1

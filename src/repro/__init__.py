@@ -10,9 +10,12 @@ Public API highlights:
   with the Section 6 query rewrite/evaluation framework;
 * :mod:`~repro.workload` / :mod:`~repro.queries` — the paper's synthetic
   data and query generators;
-* :mod:`~repro.experiments` — regeneration of every table and figure.
+* :mod:`~repro.experiments` — regeneration of every table and figure;
+* :mod:`~repro.obs` — unified observability (metrics + spans) across
+  the storage, codec, engine and experiment layers.
 """
 
+from repro import obs
 from repro._version import __version__
 from repro.bitmap import BitVector
 from repro.compress import available_codecs, get_codec
@@ -60,4 +63,5 @@ __all__ = [
     "DatasetSpec",
     "generate_dataset",
     "zipf_column",
+    "obs",
 ]

@@ -22,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.encoding import ALL_SCHEME_NAMES
 from repro.errors import ReproError
 from repro.index import BitmapIndex, IndexSpec
@@ -200,6 +201,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Observability flags shared by every command that exercises the
+    # instrumented stack (see docs/observability.md).
+    traceable = argparse.ArgumentParser(add_help=False)
+    traceable.add_argument(
+        "--trace",
+        action="store_true",
+        help="record metrics + spans for this run and print the JSON "
+        "export after the command output",
+    )
+    traceable.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="like --trace, but write the JSON export to PATH instead "
+        "of printing it",
+    )
+
     p = sub.add_parser("generate", help="generate a synthetic Zipf column")
     p.add_argument("output", help="output .npy path")
     p.add_argument("--num-records", type=int, default=100_000)
@@ -208,7 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_generate)
 
-    p = sub.add_parser("build", help="build and save a bitmap index")
+    p = sub.add_parser("build", help="build and save a bitmap index", parents=[traceable])
     p.add_argument("column", help=".npy or text column file")
     p.add_argument("output", help="index directory")
     p.add_argument("--scheme", choices=ALL_SCHEME_NAMES + ("I+",), default="I")
@@ -222,11 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_build)
 
-    p = sub.add_parser("info", help="describe a saved index")
+    p = sub.add_parser("info", help="describe a saved index", parents=[traceable])
     p.add_argument("index", help="index directory")
     p.set_defaults(func=_cmd_info)
 
-    p = sub.add_parser("query", help="query a saved index")
+    p = sub.add_parser("query", help="query a saved index", parents=[traceable])
     p.add_argument("index", help="index directory")
     p.add_argument("--low", type=int, default=None, help="interval lower bound")
     p.add_argument("--high", type=int, default=None, help="interval upper bound")
@@ -238,12 +256,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_query)
 
-    p = sub.add_parser("append", help="append a batch to a saved index")
+    p = sub.add_parser("append", help="append a batch to a saved index", parents=[traceable])
     p.add_argument("index", help="index directory")
     p.add_argument("column", help=".npy or text column file with new records")
     p.set_defaults(func=_cmd_append)
 
-    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure", parents=[traceable])
     p.add_argument(
         "name",
         choices=[
@@ -278,7 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true", help="show per-C details")
     p.set_defaults(func=_cmd_theorems)
 
-    p = sub.add_parser("advise", help="recommend an index design")
+    p = sub.add_parser("advise", help="recommend an index design", parents=[traceable])
     p.add_argument("column", help=".npy or text column file")
     p.add_argument("--cardinality", type=int, default=None)
     p.add_argument("--budget-kb", type=int, default=None)
@@ -292,8 +310,20 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    tracing = bool(getattr(args, "trace", False)) or trace_out is not None
     try:
-        return args.func(args)
+        if not tracing:
+            return args.func(args)
+        with obs.observed() as o:
+            code = args.func(args)
+        export = o.export_json()
+        if trace_out is not None:
+            Path(trace_out).write_text(export + "\n")
+            print(f"wrote trace to {trace_out}", file=sys.stderr)
+        else:
+            print(export)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

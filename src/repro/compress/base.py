@@ -10,27 +10,87 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from repro import obs as _obs
 from repro.bitmap import BitVector
 from repro.errors import CodecError
 
 
 class Codec(ABC):
-    """Stateless bitmap compressor/decompressor."""
+    """Stateless bitmap compressor/decompressor.
+
+    Subclasses implement :meth:`_encode` / :meth:`_decode`; the public
+    :meth:`encode` / :meth:`decode` wrappers additionally report
+    ``codec.encode.*`` / ``codec.decode.*`` counters to the installed
+    :mod:`repro.obs` instance (tagged by codec name), so every byte that
+    crosses the codec boundary is attributable to the span that caused
+    it.
+    """
 
     #: Short registry name; subclasses must override.
     name: str = ""
 
+    #: Cached ``(obs_instance, counter_handles)`` pair.  Codecs sit on
+    #: the hottest instrumented path (every page fetch decodes), so the
+    #: registry lookups are done once per installed instance and the
+    #: handles reused until a different instance is installed.
+    _obs_handles: tuple = (None, None)
+
     @abstractmethod
-    def encode(self, vector: BitVector) -> bytes:
+    def _encode(self, vector: BitVector) -> bytes:
         """Compress ``vector`` into a self-contained byte string."""
 
     @abstractmethod
-    def decode(self, payload: bytes, length: int) -> BitVector:
+    def _decode(self, payload: bytes, length: int) -> BitVector:
         """Decompress ``payload`` back into a vector of ``length`` bits."""
 
+    def _counters(self, o):
+        owner, handles = self._obs_handles
+        if owner is not o:
+            handles = (
+                o.metrics.counter("codec.encode.calls", codec=self.name),
+                o.metrics.counter("codec.encode.bits_in", codec=self.name),
+                o.metrics.counter("codec.encode.bytes_out", codec=self.name),
+                o.metrics.counter("codec.decode.calls", codec=self.name),
+                o.metrics.counter("codec.decode.bytes_in", codec=self.name),
+            )
+            self._obs_handles = (o, handles)
+        return handles
+
+    def encode(self, vector: BitVector) -> bytes:
+        """Compress ``vector``, reporting to the installed obs sink."""
+        payload = self._encode(vector)
+        o = _obs.active()
+        if o is not None:
+            calls, bits_in, bytes_out, _, _ = self._counters(o)
+            calls.inc(1)
+            bits_in.inc(len(vector))
+            bytes_out.inc(len(payload))
+            tracer = o.tracer
+            tracer.attribute("codec.encode.calls", 1)
+            tracer.attribute("codec.encode.bits_in", len(vector))
+            tracer.attribute("codec.encode.bytes_out", len(payload))
+        return payload
+
+    def decode(self, payload: bytes, length: int) -> BitVector:
+        """Decompress ``payload``, reporting to the installed obs sink."""
+        vector = self._decode(payload, length)
+        o = _obs.active()
+        if o is not None:
+            _, _, _, calls, bytes_in = self._counters(o)
+            calls.inc(1)
+            bytes_in.inc(len(payload))
+            tracer = o.tracer
+            tracer.attribute("codec.decode.calls", 1)
+            tracer.attribute("codec.decode.bytes_in", len(payload))
+        return vector
+
     def encoded_size(self, vector: BitVector) -> int:
-        """Size in bytes of the encoded form (default: encode and measure)."""
-        return len(self.encode(vector))
+        """Size in bytes of the encoded form (default: encode and measure).
+
+        Goes through :meth:`_encode` directly so pure size measurement
+        (``stats.measure_codec``) does not inflate the encode counters.
+        """
+        return len(self._encode(vector))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -259,7 +259,7 @@ class BbcCodec(Codec):
 
     _MIN_FILL_RUN = _MIN_FILL_RUN
 
-    def encode(self, vector: BitVector) -> bytes:
+    def _encode(self, vector: BitVector) -> bytes:
         data = np.frombuffer(vector.to_bytes(), dtype=np.uint8)
         # Trim trailing padding bytes that are entirely past the logical
         # length; they are zero by the padding invariant and the decoder
@@ -268,7 +268,7 @@ class BbcCodec(Codec):
         data = data[:logical_bytes]
         return bbc_from_runs(kernels.runs_from_elements(data, _FULL_BYTE))
 
-    def decode(self, payload: bytes, length: int) -> BitVector:
+    def _decode(self, payload: bytes, length: int) -> BitVector:
         logical_bytes = (length + 7) // 8
         runs = runs_from_bbc(payload)
         produced = runs.total

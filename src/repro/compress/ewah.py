@@ -167,10 +167,10 @@ class EwahCodec(Codec):
 
     name = "ewah"
 
-    def encode(self, vector: BitVector) -> bytes:
+    def _encode(self, vector: BitVector) -> bytes:
         return ewah_from_runs(kernels.runs_from_elements(vector.words, _FULL))
 
-    def decode(self, payload: bytes, length: int) -> BitVector:
+    def _decode(self, payload: bytes, length: int) -> BitVector:
         runs = runs_from_ewah(payload)
         num_words = (length + 63) // 64
         total = runs.total

@@ -64,10 +64,10 @@ class RawCodec(Codec):
 
     name = "raw"
 
-    def encode(self, vector: BitVector) -> bytes:
+    def _encode(self, vector: BitVector) -> bytes:
         return vector.to_bytes()
 
-    def decode(self, payload: bytes, length: int) -> BitVector:
+    def _decode(self, payload: bytes, length: int) -> BitVector:
         return BitVector.from_bytes(length, payload)
 
     def encoded_size(self, vector: BitVector) -> int:

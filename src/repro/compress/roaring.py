@@ -336,10 +336,10 @@ class RoaringCodec(Codec):
 
     name = "roaring"
 
-    def encode(self, vector: BitVector) -> bytes:
+    def _encode(self, vector: BitVector) -> bytes:
         return roaring_bytes(containers_from_vector(vector))
 
-    def decode(self, payload: bytes, length: int) -> BitVector:
+    def _decode(self, payload: bytes, length: int) -> BitVector:
         return vector_from_containers(containers_from_roaring(payload), length)
 
 

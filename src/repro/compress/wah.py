@@ -137,13 +137,13 @@ class WahCodec(Codec):
 
     name = "wah"
 
-    def encode(self, vector: BitVector) -> bytes:
+    def _encode(self, vector: BitVector) -> bytes:
         values = group_values(vector)
         if values.shape[0] == 0:
             return b""
         return wah_from_runs(kernels.runs_from_elements(values, _LITERAL_MASK))
 
-    def decode(self, payload: bytes, length: int) -> BitVector:
+    def _decode(self, payload: bytes, length: int) -> BitVector:
         runs = runs_from_wah(payload)
         num_groups = (length + _GROUP_BITS - 1) // _GROUP_BITS
         total = runs.total

@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro import obs as _obs
 from repro.analysis.report import render_table
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
@@ -58,7 +59,17 @@ def run_experiment(
         raise ExperimentError(
             f"unknown experiment {name!r}; available: {sorted(runners)}"
         ) from None
-    return runner(config or ExperimentConfig())
+    config = config or ExperimentConfig()
+    o = _obs.active()
+    if o is None:
+        return runner(config)
+    # Per-figure roll-up: every query span and clock charge issued while
+    # regenerating this figure aggregates into one "experiment" span.
+    with o.span("experiment", name=name):
+        result = runner(config)
+    o.count("experiment.runs", 1, name=name)
+    o.count("experiment.rows", len(result.rows), name=name)
+    return result
 
 
 EXPERIMENT_NAMES = (

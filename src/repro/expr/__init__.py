@@ -15,7 +15,12 @@ subpackage provides the shared machinery:
   equations and the optimality theorems).
 """
 
-from repro.expr.evaluator import EvalStats, evaluate, expression_scan_count
+from repro.expr.evaluator import (
+    EvalStats,
+    evaluate,
+    expression_operation_count,
+    expression_scan_count,
+)
 from repro.expr.nodes import (
     And,
     Const,
@@ -55,6 +60,7 @@ __all__ = [
     "evaluate",
     "EvalStats",
     "expression_scan_count",
+    "expression_operation_count",
     "minimal_scan_cost",
     "plan_expression",
     "to_tree",

@@ -47,6 +47,33 @@ def expression_scan_count(expr: Expr) -> int:
     return len(expr.leaf_keys())
 
 
+def expression_operation_count(expr: Expr) -> int:
+    """Bulk logical operations :func:`evaluate` performs on ``expr``.
+
+    Mirrors ``_eval`` exactly, including its memoization: a subtree that
+    appears several times (by node equality) is evaluated once, so its
+    operations are counted once.  ``Not`` costs 1, an n-ary node costs
+    ``n - 1``, leaves and constants cost 0.  This is the CPU side of the
+    analytic cost model — the engine charges exactly this many bulk ops
+    (times the words per operation) to its clock.
+    """
+    seen: set[Expr] = set()
+
+    def walk(node: Expr) -> int:
+        if node in seen:
+            return 0
+        ops = 0
+        if isinstance(node, Not):
+            ops = walk(node.child) + 1
+        elif isinstance(node, (And, Or, Xor)):
+            children = node.children()
+            ops = sum(walk(child) for child in children) + len(children) - 1
+        seen.add(node)
+        return ops
+
+    return walk(expr)
+
+
 def evaluate(
     expr: Expr,
     fetch: FetchFn,

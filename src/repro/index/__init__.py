@@ -12,8 +12,10 @@ from repro.index.compressed_engine import CompressedQueryEngine
 from repro.index.costbased import CostBasedRewriter
 from repro.index.bitmap_index import BitmapIndex, IndexSpec, UpdateReport
 from repro.index.costmodel import (
+    PredictedQueryCost,
     index_expected_scans,
     index_space,
+    predict_query_cost,
     time_optimal_bases,
 )
 from repro.index.persist import load_index, save_index
@@ -43,6 +45,8 @@ __all__ = [
     "index_expected_scans",
     "index_space",
     "time_optimal_bases",
+    "predict_query_cost",
+    "PredictedQueryCost",
     "QueryEngine",
     "EvaluationResult",
     "QueryRewriter",

@@ -24,11 +24,12 @@ from __future__ import annotations
 from collections import OrderedDict
 from collections.abc import Hashable
 
+from repro import obs as _obs
 from repro.compress import COMPRESSED_DOMAIN_CODECS, CompressedBitmap
 from repro.errors import QueryError
 from repro.expr import EvalStats, Expr
 from repro.expr.nodes import And, Const, Leaf, Not, Or, Xor
-from repro.index.evaluation import EvaluationResult
+from repro.index.evaluation import EvaluationResult, query_class_of
 from repro.queries.model import IntervalQuery, MembershipQuery
 from repro.storage import BufferStats, CostClock
 from repro.storage.pages import pages_for
@@ -55,11 +56,16 @@ class _PayloadPool:
 
     def fetch(self, key: Hashable) -> CompressedBitmap:
         entry = self._resident.get(key)
+        o = _obs.active()
         if entry is not None:
             self._resident.move_to_end(key)
             self.stats.hits += 1
+            if o is not None:
+                o.count("buffer.hits", 1, pool="compressed")
             return entry[0]
         self.stats.misses += 1
+        if o is not None:
+            o.count("buffer.misses", 1, pool="compressed")
         payload, length = self._store.get_payload(key)
         info = self._store.info(key)
         if self._clock is not None:
@@ -71,8 +77,12 @@ class _PayloadPool:
             _, (_, old_pages) = self._resident.popitem(last=False)
             self._used -= old_pages
             self.stats.evictions += 1
+            if o is not None:
+                o.count("buffer.evictions", 1, pool="compressed")
         self._resident[key] = (bitmap, pages)
         self._used += pages
+        if o is not None:
+            o.gauge_set("buffer.used_pages", self._used, pool="compressed")
         return bitmap
 
     def clear(self) -> None:
@@ -113,7 +123,33 @@ class CompressedQueryEngine:
         return self.pool.stats
 
     def execute(self, query: IntervalQuery | MembershipQuery) -> EvaluationResult:
-        """Rewrite and evaluate ``query`` in the compressed domain."""
+        """Rewrite and evaluate ``query`` in the compressed domain.
+
+        Traced like the decoded engine (``engine="compressed"`` spans
+        and the same per-(scheme, class) latency histogram).
+        """
+        o = _obs.active()
+        if o is None:
+            return self._do_execute(query)
+        klass = query_class_of(query)
+        scheme = self.index.scheme.name
+        with o.span(
+            "query",
+            scheme=scheme,
+            strategy="compressed-domain",
+            klass=klass,
+            engine="compressed",
+            codec=self._codec_name,
+        ):
+            result = self._do_execute(query)
+        o.observe("query.simulated_ms", result.simulated_ms,
+                  scheme=scheme, klass=klass)
+        o.count("query.executed", 1, scheme=scheme, klass=klass)
+        return result
+
+    def _do_execute(
+        self, query: IntervalQuery | MembershipQuery
+    ) -> EvaluationResult:
         if isinstance(query, IntervalQuery):
             constituents = [self.index.rewriter.rewrite_interval(query)]
         elif isinstance(query, MembershipQuery):

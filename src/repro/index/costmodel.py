@@ -15,15 +15,16 @@ from __future__ import annotations
 
 import math
 from collections.abc import Sequence
+from dataclasses import dataclass
 from itertools import combinations_with_replacement
 
 from repro.encoding.base import EncodingScheme
 from repro.encoding.costmodel import query_class_queries
 from repro.errors import DecompositionError
-from repro.expr import expression_scan_count
+from repro.expr import expression_operation_count, expression_scan_count
 from repro.index.decompose import validate_bases
 from repro.index.rewrite import QueryRewriter
-from repro.queries.model import IntervalQuery
+from repro.queries.model import IntervalQuery, MembershipQuery
 
 
 def index_expected_scans(
@@ -53,6 +54,80 @@ def index_expected_scans(
 def index_space(bases: Sequence[int], scheme: EncodingScheme) -> int:
     """Stored bitmaps of a (scheme, bases) design."""
     return sum(scheme.num_bitmaps(base) for base in bases)
+
+
+@dataclass(frozen=True)
+class PredictedQueryCost:
+    """Analytic prediction of what one query charges the simulator.
+
+    Produced by :func:`predict_query_cost` without running the engine;
+    the ``repro.obs`` cross-validation suite asserts these numbers equal
+    the observed :class:`~repro.storage.CostClock` counters exactly.
+    """
+
+    #: Distinct-bitmap scans (``EvalStats.scans``).
+    scans: int
+    #: Buffer-pool misses, i.e. read requests issued to the store.
+    read_requests: int
+    #: Pages transferred by those reads.
+    pages_read: int
+    #: Bulk logical operations the evaluator performs.
+    operations: int
+    #: Uncompressed 64-bit words each bulk operation touches.
+    words_per_operation: int
+
+    @property
+    def words_operated(self) -> int:
+        """Total words charged to the clock (``operations x words``)."""
+        return self.operations * self.words_per_operation
+
+
+def predict_query_cost(
+    index,
+    query: IntervalQuery | MembershipQuery,
+    strategy: str = "component-wise",
+) -> PredictedQueryCost:
+    """Predict the exact simulator charges of one query, analytically.
+
+    The prediction models a *cold* :class:`~repro.storage.BufferPool`
+    large enough to hold the query's whole working set (the engine's
+    default sizing): every distinct bitmap is read from the store once,
+    so ``read_requests`` is the number of distinct leaves and
+    ``pages_read`` sums their stored page footprints.  ``operations``
+    replays the evaluator's memoized walk per constituent
+    (:func:`repro.expr.expression_operation_count`) plus the final ORs
+    combining constituents.  Scan counts are strategy-dependent:
+    component-wise fetches each distinct bitmap once per query, while
+    query-wise/scheduled re-scan bitmaps shared between constituents.
+    """
+    if isinstance(query, IntervalQuery):
+        constituents = [index.rewriter.rewrite_interval(query)]
+    elif isinstance(query, MembershipQuery):
+        constituents = index.rewriter.rewrite_membership(query)
+    else:
+        raise TypeError(f"unsupported query type {type(query).__name__}")
+
+    distinct_keys = set()
+    for expr in constituents:
+        distinct_keys |= expr.leaf_keys()
+    pages_read = sum(index.store.info(key).pages for key in distinct_keys)
+
+    operations = sum(expression_operation_count(e) for e in constituents)
+    if len(constituents) > 1:
+        operations += len(constituents) - 1
+
+    if strategy == "component-wise":
+        scans = len(distinct_keys)
+    else:
+        scans = sum(len(e.leaf_keys()) for e in constituents)
+
+    return PredictedQueryCost(
+        scans=scans,
+        read_requests=len(distinct_keys),
+        pages_read=pages_read,
+        operations=operations,
+        words_per_operation=max(1, -(-index.num_records // 64)),
+    )
 
 
 def candidate_base_sequences(

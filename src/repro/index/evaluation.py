@@ -32,6 +32,7 @@ from __future__ import annotations
 from collections.abc import Hashable
 from dataclasses import dataclass, field
 
+from repro import obs as _obs
 from repro.bitmap import BitVector, or_all
 from repro.errors import QueryError
 from repro.expr import EvalStats, Expr, evaluate
@@ -39,6 +40,13 @@ from repro.queries.model import IntervalQuery, MembershipQuery
 from repro.storage import BufferPool, BufferStats, CostClock
 
 STRATEGIES = ("component-wise", "query-wise", "scheduled")
+
+
+def query_class_of(query: IntervalQuery | MembershipQuery) -> str:
+    """Observability label for a query: its paper class, or ``"MQ"``."""
+    if isinstance(query, IntervalQuery):
+        return query.query_class
+    return "MQ"
 
 
 @dataclass
@@ -135,7 +143,34 @@ class QueryEngine:
     # ------------------------------------------------------------------
 
     def execute(self, query: IntervalQuery | MembershipQuery) -> EvaluationResult:
-        """Rewrite and evaluate ``query``, charging the engine's clock."""
+        """Rewrite and evaluate ``query``, charging the engine's clock.
+
+        When a :mod:`repro.obs` instance is installed, the rewrite and
+        evaluation run inside a ``query`` span (tagged with scheme,
+        strategy and query class) and the simulated latency lands in the
+        per-(scheme, class) ``query.simulated_ms`` histogram.
+        """
+        o = _obs.active()
+        if o is None:
+            return self._rewrite_and_execute(query)
+        klass = query_class_of(query)
+        scheme = self.index.scheme.name
+        with o.span(
+            "query",
+            scheme=scheme,
+            strategy=self.strategy,
+            klass=klass,
+            engine="decoded",
+        ):
+            result = self._rewrite_and_execute(query)
+        o.observe("query.simulated_ms", result.simulated_ms,
+                  scheme=scheme, klass=klass)
+        o.count("query.executed", 1, scheme=scheme, klass=klass)
+        return result
+
+    def _rewrite_and_execute(
+        self, query: IntervalQuery | MembershipQuery
+    ) -> EvaluationResult:
         if isinstance(query, IntervalQuery):
             constituents = [self.index.rewriter.rewrite_interval(query)]
         elif isinstance(query, MembershipQuery):

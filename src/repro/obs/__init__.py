@@ -1,0 +1,145 @@
+"""Unified observability: metrics + tracing for the whole stack.
+
+The paper's evaluation is an exercise in counting — pages read, words
+ANDed, bytes decompressed.  This package gives those counts one
+surface.  An :class:`Observability` object bundles a
+:class:`~repro.obs.metrics.MetricsRegistry` (counters / gauges /
+histograms keyed by name + tags) with a :class:`~repro.obs.trace.Tracer`
+(nestable spans capturing per-query timelines), and the instrumented
+layers — :class:`~repro.storage.BufferPool`,
+:class:`~repro.storage.CostClock`, every codec's encode/decode, both
+query engines, and the experiment runners — report into whichever
+instance is currently *installed*.
+
+Nothing is recorded unless an instance is installed: the hot paths
+guard on :func:`active` returning None, which keeps the disabled
+overhead to one global read per call (the ``bench_regression`` gate
+holds the *enabled* overhead under 5% on the kernel benches too).
+
+Typical use::
+
+    from repro import obs
+
+    with obs.observed() as o:
+        index.query(q)
+    print(o.export_json())
+
+or imperatively via :func:`install` / :func:`uninstall` (the CLI's
+``--trace`` flag does exactly this).  See ``docs/observability.md`` for
+the metric-name catalog and the export format.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "active",
+    "install",
+    "uninstall",
+    "observed",
+]
+
+
+class Observability:
+    """One metrics registry plus one tracer, exported together."""
+
+    def __init__(self, max_roots: int = 1000):
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(max_roots=max_roots)
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, /, **tags: object):
+        """Open a nested span (context manager yielding the Span)."""
+        return self.tracer.span(name, **tags)
+
+    def count(self, name: str, amount: float = 1.0, /, **tags: object) -> None:
+        """Increment counter ``(name, tags)`` and attribute ``amount``
+        to the innermost open span under the plain ``name``."""
+        self.metrics.counter(name, **tags).inc(amount)
+        self.tracer.attribute(name, amount)
+
+    def observe(self, name: str, value: float, /, **tags: object) -> None:
+        """Record ``value`` into histogram ``(name, tags)``."""
+        self.metrics.histogram(name, **tags).observe(value)
+
+    def gauge_set(self, name: str, value: float, /, **tags: object) -> None:
+        """Set gauge ``(name, tags)`` to ``value``."""
+        self.metrics.gauge(name, **tags).set(value)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter_total(self, name: str) -> float:
+        """Sum of counter ``name`` across every tag set."""
+        return self.metrics.total(name)
+
+    def last_span(self, name: str | None = None) -> Span | None:
+        """Most recent completed root span (optionally by name)."""
+        return self.tracer.last(name)
+
+    def export(self) -> dict:
+        """The full state as a JSON-serializable dict."""
+        return {"metrics": self.metrics.to_dict(), "trace": self.tracer.to_dict()}
+
+    def export_json(self, indent: int | None = 2) -> str:
+        """The full state as a JSON document."""
+        return json.dumps(self.export(), indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide installation
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Observability | None = None
+
+
+def active() -> Observability | None:
+    """The installed instance, or None when observability is off."""
+    return _ACTIVE
+
+
+def install(obs: Observability | None = None) -> Observability:
+    """Install ``obs`` (or a fresh instance) as the process-wide sink."""
+    global _ACTIVE
+    _ACTIVE = obs if obs is not None else Observability()
+    return _ACTIVE
+
+
+def uninstall() -> None:
+    """Turn observability off (the previous instance keeps its data)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def observed(obs: Observability | None = None):
+    """Install a (fresh) instance for the duration of a ``with`` block.
+
+    The previously installed instance, if any, is restored on exit, so
+    ``observed()`` blocks nest safely.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    current = obs if obs is not None else Observability()
+    _ACTIVE = current
+    try:
+        yield current
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,212 @@
+"""Counters, gauges and histograms behind one registry.
+
+Metric identity is ``(name, tags)``: the same name with different tag
+values (``codec="wah"`` vs ``codec="bbc"``) is a different time series,
+exactly as in Prometheus-style systems.  Instruments are created on
+first touch and kept forever — the registry is the single source of
+truth that :meth:`MetricsRegistry.to_dict` exports.
+
+All instruments are plain Python objects with no locking: the simulator
+is single-threaded per process (parallel experiment workers each build
+their own registry), and keeping increments to one attribute addition
+is what keeps the instrumentation overhead under the bench gate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections.abc import Hashable
+
+#: Default histogram bucket upper bounds (values are unitless; the
+#: engine records milliseconds).  Geometric with ratio ~3.16 so two
+#: buckets span a decade; an implicit +inf bucket catches the rest.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.00316, 0.01, 0.0316, 0.1, 0.316, 1.0, 3.16, 10.0, 31.6,
+    100.0, 316.0, 1000.0,
+)
+
+TagItems = tuple[tuple[str, str], ...]
+
+
+def _tag_key(tags: dict[str, object]) -> TagItems:
+    """Canonical hashable identity of a tag set."""
+    if not tags:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in tags.items()))
+
+
+class Counter:
+    """Monotonically increasing sum."""
+
+    __slots__ = ("name", "tags", "value")
+
+    def __init__(self, name: str, tags: TagItems):
+        self.name = name
+        self.tags = tags
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can move both ways (e.g. resident buffer pages)."""
+
+    __slots__ = ("name", "tags", "value")
+
+    def __init__(self, name: str, tags: TagItems):
+        self.name = name
+        self.tags = tags
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Bucketed distribution with count/sum/min/max summary.
+
+    Buckets hold counts of observations ``<= bound``; observations above
+    the last bound land in the implicit overflow bucket.
+    """
+
+    __slots__ = ("name", "tags", "bounds", "bucket_counts", "count",
+                 "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        tags: TagItems,
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        self.name = name
+        self.tags = tags
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 when empty)."""
+        if not self.count:
+            return 0.0
+        return self.sum / self.count
+
+    def to_dict(self) -> dict:
+        out = {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+        # Only ship non-empty buckets; exports stay readable.
+        out["buckets"] = {
+            ("+inf" if i == len(self.bounds) else str(self.bounds[i])): n
+            for i, n in enumerate(self.bucket_counts)
+            if n
+        }
+        return out
+
+
+class MetricsRegistry:
+    """Lazily-created instruments addressed by ``(name, tags)``."""
+
+    def __init__(self):
+        self._instruments: dict[tuple[str, TagItems], object] = {}
+
+    def _get(self, cls, name: str, tags: dict, **kwargs):
+        key = (name, _tag_key(tags))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1], **kwargs)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, /, **tags: object) -> Counter:
+        """The counter for ``(name, tags)``, created on first use."""
+        return self._get(Counter, name, tags)
+
+    def gauge(self, name: str, /, **tags: object) -> Gauge:
+        """The gauge for ``(name, tags)``, created on first use."""
+        return self._get(Gauge, name, tags)
+
+    def histogram(
+        self,
+        name: str,
+        /,
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+        **tags: object,
+    ) -> Histogram:
+        """The histogram for ``(name, tags)``, created on first use."""
+        return self._get(Histogram, name, tags, bounds=bounds)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def instruments(self):
+        """All instruments, in creation order."""
+        return list(self._instruments.values())
+
+    def find(self, name: str, /, **tags: object):
+        """The instrument under ``(name, tags)``, or None."""
+        return self._instruments.get((name, _tag_key(tags)))
+
+    def total(self, name: str) -> float:
+        """Sum of every counter series sharing ``name`` (all tag sets)."""
+        return sum(
+            inst.value
+            for (metric_name, _), inst in self._instruments.items()
+            if metric_name == name and isinstance(inst, Counter)
+        )
+
+    def to_dict(self) -> dict:
+        """Nested export: ``{name: {tag_repr: instrument_dict}}``."""
+        out: dict[str, dict] = {}
+        for (name, tags), instrument in sorted(
+            self._instruments.items(), key=lambda item: item[0]
+        ):
+            tag_repr = ",".join(f"{k}={v}" for k, v in tags) or "_"
+            out.setdefault(name, {})[tag_repr] = instrument.to_dict()
+        return out
+
+    def export_json(self, indent: int | None = 2) -> str:
+        """The registry as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

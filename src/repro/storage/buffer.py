@@ -16,6 +16,7 @@ from collections import OrderedDict
 from collections.abc import Hashable
 from dataclasses import dataclass
 
+from repro import obs as _obs
 from repro.bitmap import BitVector
 from repro.compress import RawCodec
 from repro.errors import BufferError_
@@ -106,9 +107,15 @@ class BufferPool:
                     self._evict_to_fit(0, keep=key)
             self._resident.move_to_end(key)
             self.stats.hits += 1
+            o = _obs.active()
+            if o is not None:
+                o.count("buffer.hits", 1, pool="decoded")
             return vector
 
         self.stats.misses += 1
+        o = _obs.active()
+        if o is not None:
+            o.count("buffer.misses", 1, pool="decoded")
         info = self._store.info(key)
         vector = self._store.get(key)
         if self._clock is not None:
@@ -120,6 +127,8 @@ class BufferPool:
         self._evict_to_fit(decoded_pages)
         self._resident[key] = (vector, decoded_pages)
         self._used_pages += decoded_pages
+        if o is not None:
+            o.gauge_set("buffer.used_pages", self._used_pages, pool="decoded")
         return vector
 
     def _evict_to_fit(
@@ -132,6 +141,9 @@ class BufferPool:
             _, pages = self._resident.pop(victim)
             self._used_pages -= pages
             self.stats.evictions += 1
+            o = _obs.active()
+            if o is not None:
+                o.count("buffer.evictions", 1, pool="decoded")
 
     def contains(self, key: Hashable) -> bool:
         """True iff ``key`` is resident (does not touch LRU order)."""

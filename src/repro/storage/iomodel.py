@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs as _obs
+
 
 @dataclass(frozen=True)
 class DiskModel:
@@ -90,6 +92,11 @@ class CostClock:
     All times are milliseconds.  The clock is shared between the buffer
     pool (I/O and decompression charges) and the evaluation harness
     (word-operation charges).
+
+    Every charge is also reported to the installed :mod:`repro.obs`
+    instance as ``clock.*`` counters and attributed to the innermost
+    open span, so per-query traces carry exactly the quantities the
+    analytic cost model predicts (pages read, words operated).
     """
 
     model: DiskModel = field(default_factory=lambda: DEFAULT_DISK_MODEL)
@@ -109,12 +116,23 @@ class CostClock:
         """Charge one read request transferring ``pages`` pages."""
         self.read_requests += 1
         self.pages_read += pages
-        self.io_ms += self.model.seek_ms + pages * self.model.transfer_ms_per_page
+        io_ms = self.model.seek_ms + pages * self.model.transfer_ms_per_page
+        self.io_ms += io_ms
+        o = _obs.active()
+        if o is not None:
+            o.count("clock.read_requests", 1)
+            o.count("clock.pages_read", pages)
+            o.count("clock.io_ms", io_ms)
 
     def charge_decompress(self, num_bytes: int) -> None:
         """Charge CPU time for decoding ``num_bytes`` compressed bytes."""
         self.bytes_decompressed += num_bytes
-        self.cpu_ms += num_bytes * self.model.decompress_ns_per_byte * 1e-6
+        cpu_ms = num_bytes * self.model.decompress_ns_per_byte * 1e-6
+        self.cpu_ms += cpu_ms
+        o = _obs.active()
+        if o is not None:
+            o.count("clock.bytes_decompressed", num_bytes)
+            o.count("clock.cpu_ms", cpu_ms)
 
     def charge_word_ops(self, operations: int, words_per_operation: int) -> None:
         """Charge CPU time for bulk logical operations.
@@ -124,7 +142,12 @@ class CostClock:
         """
         words = operations * words_per_operation
         self.words_operated += words
-        self.cpu_ms += words * self.model.cpu_ns_per_word * 1e-6
+        cpu_ms = words * self.model.cpu_ns_per_word * 1e-6
+        self.cpu_ms += cpu_ms
+        o = _obs.active()
+        if o is not None:
+            o.count("clock.words_operated", words)
+            o.count("clock.cpu_ms", cpu_ms)
 
     def reset(self) -> None:
         """Zero all accumulators (the model is kept)."""

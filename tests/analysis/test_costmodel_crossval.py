@@ -1,0 +1,146 @@
+"""Cross-validation of the analytic cost model against observed charges.
+
+:func:`repro.index.predict_query_cost` claims to predict — without
+running the engine — exactly what one query charges the simulated cost
+stack: distinct-bitmap scans, read requests, pages transferred, and
+64-bit words touched by bulk logical operations.  This suite holds it to
+that claim: for hundreds of randomized (scheme, cardinality, bases,
+data, query) draws it executes the query for real and asserts the
+prediction equals
+
+* the engine's :class:`~repro.expr.EvalStats`,
+* the :class:`~repro.storage.CostClock` counters,
+* the ``repro.obs`` counter totals, and
+* the metrics attributed to the per-query ``query`` span
+
+with **zero tolerance** — any drift between the analytic model and the
+instrumented execution path is a bug in one of them.
+
+The predictions assume a cold buffer pool that fits the query's working
+set, which is exactly how a fresh :class:`~repro.index.QueryEngine`
+starts out, so every draw uses a newly built engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.encoding import ALL_SCHEME_NAMES
+from repro.index import BitmapIndex, IndexSpec, QueryEngine, predict_query_cost
+from repro.queries import IntervalQuery, MembershipQuery
+from repro.storage import CostClock
+from repro.workload import zipf_column
+
+DRAWS_PER_SCHEME = 30
+
+
+def random_draw(rng: random.Random, scheme: str):
+    """One random (index, query) pair, small enough to build quickly."""
+    num_records = rng.randint(10, 200)
+    cardinality = rng.randint(4, 30)
+    num_components = rng.randint(1, 2)
+    skew = rng.choice([0.0, 0.86, 1.5])
+    values = zipf_column(
+        num_records, cardinality, skew, seed=rng.randint(0, 2**31)
+    )
+    spec = IndexSpec(
+        cardinality=cardinality,
+        scheme=scheme,
+        num_components=num_components,
+        codec="raw",
+    )
+    index = BitmapIndex.build(values, spec)
+    if rng.random() < 0.5:
+        low = rng.randint(0, cardinality - 1)
+        high = rng.randint(low, cardinality - 1)
+        query = IntervalQuery(low, high, cardinality)
+    else:
+        size = rng.randint(1, min(5, cardinality))
+        members = set(rng.sample(range(cardinality), size))
+        query = MembershipQuery.of(members, cardinality)
+    return index, query
+
+
+def assert_prediction_matches(index, query, strategy: str) -> None:
+    """Execute ``query`` cold and check every predicted charge exactly."""
+    predicted = predict_query_cost(index, query, strategy=strategy)
+    clock = CostClock()
+    engine = QueryEngine(index, clock=clock, strategy=strategy)
+    with obs.observed() as o:
+        result = engine.execute(query)
+
+    context = f"{index.spec.label} {strategy} {query}"
+    assert result.stats.scans == predicted.scans, context
+    assert clock.read_requests == predicted.read_requests, context
+    assert clock.pages_read == predicted.pages_read, context
+    assert clock.words_operated == predicted.words_operated, context
+    assert result.stats.operations == predicted.operations, context
+
+    # The obs counters must agree with the clock they mirror.
+    assert o.counter_total("clock.read_requests") == predicted.read_requests
+    assert o.counter_total("clock.pages_read") == predicted.pages_read
+    assert o.counter_total("clock.words_operated") == predicted.words_operated
+
+    # And the per-query span must carry the same attribution.
+    span = o.last_span("query")
+    assert span is not None, context
+    assert span.tags["scheme"] == index.scheme.name
+    assert span.tags["strategy"] == strategy
+    assert span.metrics.get("clock.read_requests", 0) == predicted.read_requests
+    assert span.metrics.get("clock.pages_read", 0) == predicted.pages_read
+    assert span.metrics.get("clock.words_operated", 0) == predicted.words_operated
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEME_NAMES)
+def test_predicted_cost_matches_observed(scheme):
+    """>= 200 seeded draws total: 30 per scheme x 7 schemes."""
+    rng = random.Random(f"crossval-{scheme}")
+    for _ in range(DRAWS_PER_SCHEME):
+        index, query = random_draw(rng, scheme)
+        assert_prediction_matches(index, query, "component-wise")
+
+
+@pytest.mark.parametrize("strategy", ["query-wise", "scheduled"])
+def test_predicted_cost_matches_other_strategies(strategy):
+    """The strategy-dependent scan formula holds for re-scanning modes."""
+    rng = random.Random(f"crossval-{strategy}")
+    for _ in range(10):
+        for scheme in ALL_SCHEME_NAMES:
+            index, query = random_draw(rng, scheme)
+            assert_prediction_matches(index, query, strategy)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    scheme=st.sampled_from(ALL_SCHEME_NAMES),
+    strategy=st.sampled_from(["component-wise", "query-wise", "scheduled"]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_predicted_cost_property(scheme, strategy, seed):
+    """Hypothesis sweep over (scheme, strategy, draw) space."""
+    rng = random.Random(seed)
+    index, query = random_draw(rng, scheme)
+    assert_prediction_matches(index, query, strategy)
+
+
+def test_predicted_words_per_operation_formula():
+    """words_per_operation is the 64-bit word footprint of one bitmap."""
+    values = zipf_column(130, 8, 1.0, seed=0)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=8, scheme="E"))
+    predicted = predict_query_cost(index, IntervalQuery(2, 5, 8))
+    assert predicted.words_per_operation == -(-130 // 64) == 3
+    assert predicted.words_operated == (
+        predicted.operations * predicted.words_per_operation
+    )
+
+
+def test_prediction_rejects_unknown_query_type():
+    values = zipf_column(50, 6, 1.0, seed=0)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=6, scheme="E"))
+    with pytest.raises(TypeError):
+        predict_query_cost(index, object())

@@ -1,0 +1,44 @@
+"""Golden small-config experiment runs.
+
+Full-size experiment regression lives in the benchmark baselines; these
+tests pin *small* deterministic configurations end to end — rendered
+output included — so a change anywhere in the data -> index -> query ->
+report pipeline that shifts results is caught by the test suite itself,
+not only by a benchmark diff.  The digests are over the rendered table,
+which also freezes header wording and number formatting.
+"""
+
+import hashlib
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+SMALL = ExperimentConfig(num_records=2000)
+TINY_DOMAIN = ExperimentConfig(num_records=2000, cardinality=12)
+
+
+def rendered_digest(result) -> str:
+    return hashlib.sha256(result.render().encode()).hexdigest()[:16]
+
+
+def test_figure6_small_config_golden():
+    result = run_experiment("figure6", SMALL)
+    assert len(result.rows) == 15
+    assert rendered_digest(result) == "34befdf6b85f55f3"
+    # Spot-check the anchor row: one-component E has ratio 1 by
+    # definition, and BBC compresses the 2000-record bitmaps to ~25%.
+    assert result.rows[0][:3] == ["E", 1, "<50>"]
+    assert result.rows[0][3] == 1.0
+
+
+def test_figure3_tiny_domain_golden():
+    result = run_experiment("figure3", TINY_DOMAIN)
+    assert len(result.rows) == 84
+    assert rendered_digest(result) == "293d0577713853f8"
+    # The EQ frontier at C=12 starts at the paper's R<3,2,2> point.
+    assert result.rows[0] == ["EQ", "R<3,2,2>", 4, 10 / 3, "*"]
+
+
+def test_golden_runs_are_reproducible():
+    first = run_experiment("figure6", SMALL)
+    second = run_experiment("figure6", SMALL)
+    assert first.render() == second.render()

@@ -1,0 +1,80 @@
+"""Simplification vs. the bitmap evaluator on random expressions.
+
+The existing simplify tests verify equivalence under *set semantics*
+(:meth:`Expr.value_set`).  The engine, however, runs simplified
+expressions through :func:`repro.expr.evaluate` over real
+:class:`~repro.bitmap.BitVector` objects — so this suite closes the
+loop under *bitmap semantics*: for random expression trees,
+
+* ``simplify`` is idempotent (a normal form, not just a rewrite), and
+* ``evaluate(simplify(e)) == evaluate(e)`` bit for bit, and
+* simplification never increases the number of distinct leaves
+  (the scan-count guarantee stated in its module docstring).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import BitVector
+from repro.expr import And, Const, Leaf, Not, Or, Xor, evaluate, simplify
+
+#: Deliberately not a multiple of 64 so complements exercise tail-bit
+#: masking.
+NUM_BITS = 131
+
+KEYS = tuple(range(5))
+
+
+def make_bitmaps(seed: int) -> dict[int, BitVector]:
+    rng = random.Random(seed)
+    return {
+        key: BitVector.from_indices(
+            NUM_BITS,
+            [i for i in range(NUM_BITS) if rng.random() < 0.3],
+        )
+        for key in KEYS
+    }
+
+
+def expressions() -> st.SearchStrategy:
+    atoms = st.sampled_from(
+        [Leaf(key) for key in KEYS] + [Const(True), Const(False)]
+    )
+
+    def compound(children: st.SearchStrategy) -> st.SearchStrategy:
+        operands = st.lists(children, min_size=1, max_size=4).map(tuple)
+        return st.one_of(
+            children.map(Not),
+            operands.map(And),
+            operands.map(Or),
+            operands.map(Xor),
+        )
+
+    return st.recursive(atoms, compound, max_leaves=12)
+
+
+@settings(max_examples=300, deadline=None)
+@given(expr=expressions(), seed=st.integers(min_value=0, max_value=2**16))
+def test_simplify_preserves_bitmap_semantics(expr, seed):
+    bitmaps = make_bitmaps(seed)
+    simplified = simplify(expr)
+    before = evaluate(expr, bitmaps.__getitem__, NUM_BITS)
+    after = evaluate(simplified, bitmaps.__getitem__, NUM_BITS)
+    assert before == after, f"{expr} != {simplified}"
+
+
+@settings(max_examples=300, deadline=None)
+@given(expr=expressions())
+def test_simplify_is_idempotent(expr):
+    once = simplify(expr)
+    assert simplify(once) == once, f"{expr} -> {once} -> {simplify(once)}"
+
+
+@settings(max_examples=300, deadline=None)
+@given(expr=expressions())
+def test_simplify_never_adds_scans(expr):
+    assert len(simplify(expr).leaf_keys()) <= len(expr.leaf_keys())

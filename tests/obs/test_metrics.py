@@ -1,0 +1,115 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+
+class TestIdentity:
+    def test_same_name_and_tags_is_the_same_series(self):
+        reg = MetricsRegistry()
+        reg.counter("reads", codec="wah").inc(2)
+        reg.counter("reads", codec="wah").inc(3)
+        assert reg.counter("reads", codec="wah").value == 5
+        assert len(reg) == 1
+
+    def test_tag_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        reg.counter("x", a=1, b=2).inc()
+        assert reg.counter("x", b=2, a=1).value == 1
+        assert len(reg) == 1
+
+    def test_tag_values_are_stringified(self):
+        reg = MetricsRegistry()
+        reg.counter("x", n=1).inc()
+        assert reg.find("x", n="1") is reg.find("x", n=1)
+
+    def test_different_tags_are_different_series(self):
+        reg = MetricsRegistry()
+        reg.counter("reads", codec="wah").inc()
+        reg.counter("reads", codec="bbc").inc(4)
+        reg.counter("reads").inc(10)
+        assert len(reg) == 3
+        assert reg.total("reads") == 15
+
+    def test_type_conflict_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_find_missing_returns_none(self):
+        assert MetricsRegistry().find("nope") is None
+
+
+class TestCounter:
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_default_increment_is_one(self):
+        counter = MetricsRegistry().counter("x")
+        counter.inc()
+        assert counter.value == 1.0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("pages")
+        gauge.set(7)
+        gauge.add(-2)
+        assert gauge.value == 5
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        hist = MetricsRegistry().histogram("ms")
+        for value in (0.5, 1.5, 10.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(12.0)
+        assert hist.mean == pytest.approx(4.0)
+        assert hist.min == 0.5
+        assert hist.max == 10.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        hist = MetricsRegistry().histogram("ms")
+        assert hist.mean == 0.0
+        assert "min" not in hist.to_dict()
+
+    def test_bucketing_includes_upper_bound(self):
+        hist = MetricsRegistry().histogram("ms", bounds=(1.0, 10.0))
+        hist.observe(1.0)     # lands in the <=1.0 bucket
+        hist.observe(5.0)     # <=10.0
+        hist.observe(100.0)   # overflow
+        assert hist.bucket_counts == [1, 1, 1]
+        assert hist.to_dict()["buckets"] == {"1.0": 1, "10.0": 1, "+inf": 1}
+
+    def test_default_buckets_span_decades(self):
+        assert DEFAULT_BUCKETS[0] == 0.001
+        assert DEFAULT_BUCKETS[-1] == 1000.0
+        ratios = [
+            DEFAULT_BUCKETS[i + 1] / DEFAULT_BUCKETS[i]
+            for i in range(len(DEFAULT_BUCKETS) - 1)
+        ]
+        assert all(2.9 < r < 3.4 for r in ratios)
+
+
+class TestExport:
+    def test_to_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("reads", codec="wah").inc(2)
+        reg.gauge("pages").set(3)
+        out = reg.to_dict()
+        assert out["reads"]["codec=wah"] == {"type": "counter", "value": 2.0}
+        assert out["pages"]["_"] == {"type": "gauge", "value": 3.0}
+
+    def test_export_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("x", a=1).inc()
+        reg.histogram("ms").observe(0.2)
+        assert json.loads(reg.export_json()) == reg.to_dict()

@@ -163,6 +163,59 @@ class TestInPlaceResize:
         assert pool.stats.evictions == 0
 
 
+class TestEvictToFitKeep:
+    """``_evict_to_fit(keep=...)`` must never evict the entry whose hit
+    triggered the eviction, even when that entry alone no longer fits."""
+
+    def grown_pool(self) -> BufferPool:
+        pool = BufferPool(make_store(), capacity_pages=9)
+        vector = pool.fetch(0)
+        pool.fetch(1)
+        pool.fetch(2)
+        pool.fetch(1)  # make key 0 the LRU victim candidate
+        # Grow key 0 in place past the whole capacity:
+        # 80_000 bits = 10_000 bytes -> 20 pages > 9.
+        BitVector.__init__(vector, 80_000)
+        assert pool.fetch(0) is vector  # hit re-measures and evicts
+        return pool
+
+    def test_grown_entry_exceeding_capacity_survives_its_own_hit(self):
+        pool = self.grown_pool()
+        assert pool.contains(0)
+        assert not pool.contains(1)
+        assert not pool.contains(2)
+        assert pool.stats.evictions == 2
+        # The loop terminates with only the protected entry resident,
+        # over capacity — oversized entries occupy the pool alone.
+        assert pool.used_pages == 20 > pool.capacity_pages
+
+    def test_next_miss_evicts_the_oversized_entry(self):
+        pool = self.grown_pool()
+        pool.fetch(3)
+        assert not pool.contains(0)
+        assert pool.contains(3)
+        assert pool.used_pages == 3
+        assert pool.stats.evictions == 3
+
+
+class TestClearStats:
+    def test_clear_preserves_every_counter_exactly(self):
+        pool = BufferPool(make_store(), capacity_pages=6)
+        # misses: 0, 1, 2 (evicts 0), 0 (evicts 1); hit: 2.
+        for key in [0, 1, 2, 0, 2]:
+            pool.fetch(key)
+        assert (pool.stats.hits, pool.stats.misses, pool.stats.evictions) == (
+            1, 4, 2,
+        )
+        pool.clear()
+        assert pool.used_pages == 0
+        assert not pool.contains(0)
+        assert (pool.stats.hits, pool.stats.misses, pool.stats.evictions) == (
+            1, 4, 2,
+        )
+        assert pool.stats.hit_ratio == pytest.approx(1 / 5)
+
+
 @given(
     sequence=st.lists(st.integers(min_value=0, max_value=7), max_size=60),
     capacity=st.integers(min_value=3, max_value=30),

@@ -143,3 +143,61 @@ class TestExperimentAndAdvise:
         assert main(["advise", str(path), "--budget-kb", "100000"]) == 0
         out = capsys.readouterr().out
         assert "recommended:" in out
+
+
+class TestTrace:
+    def build(self, tmp_path, column_file):
+        path, _ = column_file
+        index_dir = tmp_path / "idx"
+        main(["build", str(path), str(index_dir), "--scheme", "I", "--codec", "wah"])
+        return index_dir
+
+    def test_trace_prints_json_export(self, tmp_path, column_file, capsys):
+        import json
+
+        index_dir = self.build(tmp_path, column_file)
+        capsys.readouterr()
+        assert main(
+            ["query", str(index_dir), "--low", "2", "--high", "9", "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        # Command output first, then the export document.
+        assert "matching rows:" in out
+        export = json.loads(out[out.index("{"):])
+        assert set(export) == {"metrics", "trace"}
+        assert export["metrics"]["clock.pages_read"]["_"]["value"] > 0
+        (span,) = [
+            s for s in export["trace"]["spans"] if s["name"] == "query"
+        ]
+        assert span["tags"]["scheme"] == "I"
+        assert span["metrics"]["clock.read_requests"] > 0
+
+    def test_trace_out_writes_file(self, tmp_path, column_file, capsys):
+        import json
+
+        index_dir = self.build(tmp_path, column_file)
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            [
+                "query",
+                str(index_dir),
+                "--low",
+                "2",
+                "--high",
+                "9",
+                "--trace-out",
+                str(trace_path),
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "wrote trace to" in captured.err
+        assert "{" not in captured.out  # export not printed
+        export = json.loads(trace_path.read_text())
+        assert export["metrics"]["query.executed"]
+
+    def test_untraced_run_installs_nothing(self, tmp_path, column_file, capsys):
+        from repro import obs
+
+        index_dir = self.build(tmp_path, column_file)
+        assert main(["query", str(index_dir), "--low", "2", "--high", "9"]) == 0
+        assert obs.active() is None

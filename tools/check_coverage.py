@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Enforce per-package line-coverage floors over a coverage.py JSON report.
+
+``pytest --cov`` can only enforce one global ``--cov-fail-under``
+threshold; this repo holds different packages to different floors
+(the codec differential suite keeps ``repro.compress`` at 90%, the
+storage and index layers at 85%).  CI runs::
+
+    pytest --cov=repro.compress --cov=repro.storage --cov=repro.index \
+           --cov-report=json
+    python tools/check_coverage.py coverage.json
+
+Exit status is 1 when any package is under its floor.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Package (as a path fragment under ``src/``) -> minimum line coverage.
+FLOORS: dict[str, float] = {
+    "repro/compress": 90.0,
+    "repro/storage": 85.0,
+    "repro/index": 85.0,
+}
+
+
+def package_of(filename: str) -> str | None:
+    """Map a report file path onto one of the gated packages."""
+    parts = filename.replace("\\", "/").split("/")
+    if "repro" not in parts:
+        return None
+    i = parts.index("repro")
+    if i + 1 >= len(parts) - 1:  # a top-level module, not a subpackage
+        return None
+    return "/".join(parts[i : i + 2])
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    report_path = Path(args[0]) if args else Path("coverage.json")
+    if not report_path.exists():
+        print(f"coverage report not found: {report_path}", file=sys.stderr)
+        return 1
+    report = json.loads(report_path.read_text())
+
+    statements = {pkg: 0 for pkg in FLOORS}
+    covered = {pkg: 0 for pkg in FLOORS}
+    for filename, data in report["files"].items():
+        pkg = package_of(filename)
+        if pkg not in FLOORS:
+            continue
+        summary = data["summary"]
+        statements[pkg] += summary["num_statements"]
+        covered[pkg] += summary["covered_lines"]
+
+    failed = False
+    for pkg, floor in FLOORS.items():
+        if not statements[pkg]:
+            print(f"FAIL {pkg}: no files measured (is --cov missing?)")
+            failed = True
+            continue
+        pct = 100.0 * covered[pkg] / statements[pkg]
+        verdict = "ok  " if pct >= floor else "FAIL"
+        if pct < floor:
+            failed = True
+        print(
+            f"{verdict} {pkg}: {pct:.1f}% "
+            f"({covered[pkg]}/{statements[pkg]} lines, floor {floor:.0f}%)"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
