@@ -27,7 +27,7 @@ from repro.encoding import (
     space_cost,
 )
 from repro.dictionary import AttributeIndex
-from repro.index import BitmapIndex, CompressedQueryEngine, IndexSpec, load_index, recommend, save_index
+from repro.index import BitmapIndex, CompressedQueryEngine, IndexSpec, load_index, recommend, save_index, validate_index
 from repro.table import ColumnConfig, Table
 from repro.queries import (
     IntervalQuery,
@@ -52,6 +52,7 @@ __all__ = [
     "recommend",
     "save_index",
     "load_index",
+    "validate_index",
     "CompressedQueryEngine",
     "Table",
     "ColumnConfig",

@@ -8,6 +8,7 @@ Commands
 ``info``       print a saved index's layout and space statistics
 ``query``      run an interval or membership query against a saved index
 ``append``     append a batch of records from a column file to a saved index
+``verify-index``  check a saved index for corruption (checksums, lengths)
 ``experiment`` regenerate one of the paper's tables/figures
 ``advise``     sweep the design space for a column and recommend a design
 
@@ -26,7 +27,7 @@ from repro import obs
 from repro.encoding import ALL_SCHEME_NAMES
 from repro.errors import ReproError
 from repro.index import BitmapIndex, IndexSpec
-from repro.index.persist import load_index, save_index
+from repro.index.persist import load_index, save_index, validate_index
 from repro.queries import IntervalQuery, MembershipQuery
 from repro.workload import zipf_column
 
@@ -129,6 +130,20 @@ def _cmd_append(args: argparse.Namespace) -> int:
         f"{report.bitmaps_touched}/{report.bitmaps_extended} bitmaps gained bits"
     )
     return 0
+
+
+def _cmd_verify_index(args: argparse.Namespace) -> int:
+    report = validate_index(args.index)
+    print(f"index:   {args.index}")
+    print(f"format:  v{report.format}")
+    print(f"bitmaps: {report.checked} checked")
+    for error in report.errors:
+        print(f"ERROR [{type(error).__name__}] {error}")
+    for orphan in report.orphans:
+        print(f"orphan:  {orphan} (unreferenced; junk from an old or "
+              f"interrupted writer)")
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -260,6 +275,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("index", help="index directory")
     p.add_argument("column", help=".npy or text column file with new records")
     p.set_defaults(func=_cmd_append)
+
+    p = sub.add_parser(
+        "verify-index",
+        help="validate a saved index directory (checksums, byte lengths, "
+        "orphans); exit 1 on any corruption",
+        parents=[traceable],
+    )
+    p.add_argument("index", help="index directory")
+    p.set_defaults(func=_cmd_verify_index)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure", parents=[traceable])
     p.add_argument(

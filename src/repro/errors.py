@@ -37,6 +37,28 @@ class StorageError(ReproError):
     """Raised for storage-layer failures (unknown bitmap key, closed store)."""
 
 
+class MissingBlobError(StorageError):
+    """Raised when a manifest references a bitmap file that does not exist
+    (or cannot be read) in the index directory."""
+
+
+class TruncatedBlobError(StorageError):
+    """Raised when a bitmap file on disk is shorter than the byte length
+    recorded in the manifest (a torn or partial write)."""
+
+
+class ChecksumMismatchError(StorageError):
+    """Raised when a bitmap file's CRC32 does not match the checksum
+    recorded in the manifest (bit rot or overwritten payload)."""
+
+
+class ManifestMismatchError(StorageError):
+    """Raised when the manifest and the directory contents disagree in a
+    way that is neither truncation nor a checksum failure: a blob longer
+    than recorded, a file entry that escapes the index directory, or a
+    malformed manifest record."""
+
+
 class BufferError_(ReproError):
     """Raised for buffer-pool misuse (zero capacity, unpinned release)."""
 

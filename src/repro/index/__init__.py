@@ -18,7 +18,12 @@ from repro.index.costmodel import (
     predict_query_cost,
     time_optimal_bases,
 )
-from repro.index.persist import load_index, save_index
+from repro.index.persist import (
+    IndexValidationReport,
+    load_index,
+    save_index,
+    validate_index,
+)
 from repro.index.segmented import SegmentedBitmapIndex
 from repro.index.decompose import (
     compose_value,
@@ -39,6 +44,8 @@ __all__ = [
     "Recommendation",
     "save_index",
     "load_index",
+    "validate_index",
+    "IndexValidationReport",
     "CompressedQueryEngine",
     "SegmentedBitmapIndex",
     "CostBasedRewriter",

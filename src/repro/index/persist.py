@@ -1,24 +1,65 @@
-"""Saving and loading bitmap indexes on disk.
+"""Saving, loading and validating bitmap indexes on disk.
 
 An index directory contains one file per bitmap (written through a
 :class:`~repro.storage.DirectoryStore`) plus a ``manifest.json`` with
-the spec, record count and the key of every bitmap file.  Slot keys are
+the spec, record count and one record per bitmap file.  Slot keys are
 scheme-specific (ints like ``3`` or tuples like ``("P", 2)``), so the
 manifest stores them in a tagged JSON form.
+
+Format v2 (the current writer) makes the directory crash-safe and
+corruption-evident:
+
+* every manifest entry records the blob's **byte length** and **CRC32**
+  alongside its bit length, so :func:`load_index` and
+  :func:`validate_index` can distinguish a missing file
+  (:class:`~repro.errors.MissingBlobError`), a torn/short blob
+  (:class:`~repro.errors.TruncatedBlobError`), bit rot
+  (:class:`~repro.errors.ChecksumMismatchError`) and
+  manifest/blob disagreement
+  (:class:`~repro.errors.ManifestMismatchError`);
+* blobs and the manifest are written atomically
+  (temp → fsync → rename, see
+  :func:`repro.storage.atomic_write_bytes`), and the manifest is
+  renamed into place *last*, so a crash at any point leaves the
+  previous index state referenced by the previous manifest;
+* blob files are named after their key
+  (:func:`repro.storage.stable_blob_name`), never a counter, so a
+  writer restarted over a non-empty directory cannot hand a new key a
+  file belonging to a different key;
+* stale blobs from a previous, larger index are removed only *after*
+  the new manifest is committed.
+
+Format v1 directories (no checksums, counter-derived names) are still
+readable; saving always writes v2.  See ``docs/persistence.md``.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import StorageError
+from repro import obs as _obs
+from repro.compress import get_codec
+from repro.errors import (
+    ChecksumMismatchError,
+    ManifestMismatchError,
+    MissingBlobError,
+    StorageError,
+    TruncatedBlobError,
+)
 from repro.index.bitmap_index import BitmapIndex, IndexSpec
 from repro.encoding import get_scheme
-from repro.storage import DirectoryStore
+from repro.storage import DirectoryStore, atomic_write_bytes
+from repro.storage import faults as _faults
+from repro.storage.store import BLOB_SUFFIX, TMP_SUFFIX
 
 MANIFEST_NAME = "manifest.json"
-FORMAT_VERSION = 1
+#: Format written by :func:`save_index`.
+FORMAT_VERSION = 2
+#: Formats :func:`load_index` can read.
+SUPPORTED_FORMATS = (1, 2)
 
 
 def _encode_slot(slot) -> list | int | str:
@@ -40,11 +81,29 @@ def _decode_slot(data):
     return data
 
 
+def _crc32(payload: bytes) -> int:
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def _count(name: str, amount: float = 1.0, **tags) -> None:
+    o = _obs.active()
+    if o is not None:
+        o.count(name, amount, **tags)
+
+
+# ---------------------------------------------------------------------------
+# Saving
+# ---------------------------------------------------------------------------
+
+
 def save_index(index: BitmapIndex, directory: str | Path) -> Path:
     """Write ``index`` to ``directory``; returns the manifest path.
 
-    The index's bitmaps are re-encoded with its own codec into the
-    directory; an existing manifest is overwritten.
+    The index's encoded payloads are copied byte-identically into the
+    directory; an existing index there is replaced atomically — the new
+    ``manifest.json`` is renamed into place only after every blob is
+    durably written, and blobs the new index no longer references are
+    unlinked only after that commit point.
     """
     directory = Path(directory)
     disk_store = DirectoryStore(
@@ -53,15 +112,20 @@ def save_index(index: BitmapIndex, directory: str | Path) -> Path:
     entries = []
     for key in index.store.keys():
         component, slot = key
-        disk_store.put(key, index.store.get(key))
+        payload, length = index.store.get_payload(key)
+        disk_store.put_payload(key, payload, length)
         entries.append(
             {
                 "component": component,
                 "slot": _encode_slot(slot),
                 "file": disk_store.path_for(key).name,
-                "length": index.num_records,
+                "length": length,
+                "bytes": len(payload),
+                "crc32": _crc32(payload),
             }
         )
+        _count("persist.blobs_written")
+        _count("persist.bytes_written", len(payload))
     manifest = {
         "format": FORMAT_VERSION,
         "cardinality": index.cardinality,
@@ -73,54 +137,262 @@ def save_index(index: BitmapIndex, directory: str | Path) -> Path:
         "bitmaps": entries,
     }
     manifest_path = directory / MANIFEST_NAME
-    manifest_path.write_text(json.dumps(manifest, indent=2))
+    atomic_write_bytes(
+        manifest_path, (json.dumps(manifest, indent=2) + "\n").encode()
+    )
+    _sweep_unreferenced(directory, {entry["file"] for entry in entries})
     return manifest_path
 
 
-def load_index(directory: str | Path) -> BitmapIndex:
-    """Load an index previously written by :func:`save_index`."""
-    directory = Path(directory)
+def _sweep_unreferenced(directory: Path, referenced: set[str]) -> None:
+    """Unlink blobs the committed manifest does not reference, plus any
+    leftover temp files from interrupted writes."""
+    for path in sorted(directory.iterdir()):
+        stale_blob = path.suffix == BLOB_SUFFIX and path.name not in referenced
+        stray_tmp = path.name.endswith(TMP_SUFFIX)
+        if not (stale_blob or stray_tmp):
+            continue
+        _faults.step("unlink", path.name, path=path)
+        path.unlink(missing_ok=True)
+        if stale_blob:
+            _count("persist.stale_blobs_removed")
+
+
+# ---------------------------------------------------------------------------
+# Loading
+# ---------------------------------------------------------------------------
+
+
+def _read_manifest(directory: Path) -> dict:
     manifest_path = directory / MANIFEST_NAME
     if not manifest_path.exists():
-        raise StorageError(f"no {MANIFEST_NAME} in {directory}")
+        raise MissingBlobError(f"no {MANIFEST_NAME} in {directory}")
     try:
         manifest = json.loads(manifest_path.read_text())
-    except json.JSONDecodeError as exc:
-        raise StorageError(f"corrupt manifest in {directory}: {exc}") from exc
-    if manifest.get("format") != FORMAT_VERSION:
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        _count("persist.corruption_detected", kind="manifest")
+        raise ManifestMismatchError(
+            f"corrupt manifest in {directory}: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict):
+        _count("persist.corruption_detected", kind="manifest")
+        raise ManifestMismatchError(
+            f"corrupt manifest in {directory}: not a JSON object"
+        )
+    if manifest.get("format") not in SUPPORTED_FORMATS:
         raise StorageError(
-            f"unsupported index format {manifest.get('format')!r}"
+            f"unsupported index format {manifest.get('format')!r} "
+            f"(supported: {SUPPORTED_FORMATS})"
+        )
+    return manifest
+
+
+def _blob_path(directory: Path, entry: dict, key) -> Path:
+    """Resolve a manifest ``file`` entry, rejecting directory escapes."""
+    name = entry.get("file")
+    if (
+        not isinstance(name, str)
+        or not name
+        or name != Path(name).name
+        or name in (".", "..")
+    ):
+        _count("persist.corruption_detected", kind="manifest")
+        raise ManifestMismatchError(
+            f"bitmap {key!r}: manifest file entry {name!r} is not a plain "
+            f"file name inside the index directory"
+        )
+    return directory / name
+
+
+def _read_blob(path: Path, key) -> bytes:
+    try:
+        return path.read_bytes()
+    except FileNotFoundError:
+        _count("persist.corruption_detected", kind="missing")
+        raise MissingBlobError(
+            f"bitmap {key!r}: file {path.name} is missing from {path.parent}"
+        ) from None
+    except OSError as exc:
+        _count("persist.corruption_detected", kind="unreadable")
+        raise MissingBlobError(
+            f"bitmap {key!r}: file {path.name} is unreadable: {exc}"
+        ) from exc
+
+
+def _check_blob(payload: bytes, entry: dict, key) -> None:
+    """Verify a v2 payload against its manifest record."""
+    expected_bytes = entry.get("bytes")
+    expected_crc = entry.get("crc32")
+    if not isinstance(expected_bytes, int) or not isinstance(expected_crc, int):
+        _count("persist.corruption_detected", kind="manifest")
+        raise ManifestMismatchError(
+            f"bitmap {key!r}: v2 manifest entry lacks integer 'bytes'/"
+            f"'crc32' fields (got {expected_bytes!r}, {expected_crc!r})"
+        )
+    if len(payload) < expected_bytes:
+        _count("persist.corruption_detected", kind="truncated")
+        raise TruncatedBlobError(
+            f"bitmap {key!r}: file {entry['file']} holds {len(payload)} "
+            f"bytes, manifest records {expected_bytes}"
+        )
+    if len(payload) > expected_bytes:
+        _count("persist.corruption_detected", kind="mismatch")
+        raise ManifestMismatchError(
+            f"bitmap {key!r}: file {entry['file']} holds {len(payload)} "
+            f"bytes, longer than the {expected_bytes} the manifest records"
+        )
+    actual_crc = _crc32(payload)
+    if actual_crc != expected_crc:
+        _count("persist.corruption_detected", kind="checksum")
+        raise ChecksumMismatchError(
+            f"bitmap {key!r}: file {entry['file']} CRC32 {actual_crc:#010x} "
+            f"does not match manifest {expected_crc:#010x}"
         )
 
-    store = DirectoryStore(
-        directory,
-        codec=manifest["codec"],
-        page_size=manifest["page_size"],
-    )
-    num_records = manifest["num_records"]
-    # Read every payload before any put: puts assign fresh file names
-    # and may overwrite a file a later entry still needs.
-    payloads = [
-        (
-            (entry["component"], _decode_slot(entry["slot"])),
-            (directory / entry["file"]).read_bytes(),
-            entry["length"],
-        )
-        for entry in manifest["bitmaps"]
-    ]
-    for key, payload, length in payloads:
-        store.put(key, store.codec.decode(payload, length))
 
-    spec = IndexSpec(
-        cardinality=manifest["cardinality"],
-        scheme=manifest["scheme"],
-        bases=tuple(manifest["bases"]),
-        codec=manifest["codec"],
-    )
+def _load_entries(directory: Path, manifest: dict, store: DirectoryStore) -> None:
+    fmt = manifest["format"]
+    for entry in manifest["bitmaps"]:
+        try:
+            key = (entry["component"], _decode_slot(entry["slot"]))
+        except (KeyError, TypeError) as exc:
+            _count("persist.corruption_detected", kind="manifest")
+            raise ManifestMismatchError(
+                f"malformed manifest bitmap entry {entry!r}: {exc}"
+            ) from exc
+        path = _blob_path(directory, entry, key)
+        payload = _read_blob(path, key)
+        if fmt >= 2:
+            _check_blob(payload, entry, key)
+            store.attach_payload(key, payload, entry["length"])
+        else:
+            # v1 recorded no checksums; eagerly decode so a corrupt
+            # stream at least fails here rather than at query time.
+            vector = store.codec.decode(payload, entry["length"])
+            store.attach_payload(key, payload, len(vector))
+
+
+def load_index(directory: str | Path) -> BitmapIndex:
+    """Load an index previously written by :func:`save_index`.
+
+    Reads are verify-on-load for v2 directories: every blob's byte
+    length and CRC32 are checked against the manifest, and any
+    disagreement raises a typed :class:`~repro.errors.StorageError`
+    subclass naming the offending key.  Loading never writes to the
+    directory.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    try:
+        store = DirectoryStore(
+            directory,
+            codec=manifest["codec"],
+            page_size=manifest["page_size"],
+        )
+        num_records = manifest["num_records"]
+        _load_entries(directory, manifest, store)
+        spec = IndexSpec(
+            cardinality=manifest["cardinality"],
+            scheme=manifest["scheme"],
+            bases=tuple(manifest["bases"]),
+            codec=manifest["codec"],
+        )
+        scheme = get_scheme(manifest["scheme"])
+        bases = tuple(manifest["bases"])
+    except (KeyError, TypeError, ValueError) as exc:
+        _count("persist.corruption_detected", kind="manifest")
+        raise ManifestMismatchError(
+            f"manifest in {directory} is malformed: {exc!r}"
+        ) from exc
     return BitmapIndex(
         spec=spec,
         store=store,
         num_records=num_records,
-        scheme=get_scheme(manifest["scheme"]),
-        bases=tuple(manifest["bases"]),
+        scheme=scheme,
+        bases=bases,
     )
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IndexValidationReport:
+    """Outcome of :func:`validate_index` over one index directory."""
+
+    directory: Path
+    #: Manifest format version found.
+    format: int
+    #: Number of manifest bitmap entries examined.
+    checked: int = 0
+    #: Typed errors, one per corrupt/missing/disagreeing bitmap entry.
+    errors: list[StorageError] = field(default_factory=list)
+    #: ``.bm`` files present but unreferenced, and leftover ``.tmp``
+    #: files — junk from an interrupted writer, harmless but removable.
+    orphans: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every referenced bitmap checks out (orphans are
+        junk, not corruption)."""
+        return not self.errors
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else "CORRUPT"
+        return (
+            f"{verdict}: {self.checked} bitmaps checked, "
+            f"{len(self.errors)} errors, {len(self.orphans)} orphan files "
+            f"(format v{self.format})"
+        )
+
+
+def validate_index(directory: str | Path) -> IndexValidationReport:
+    """Check every bitmap the manifest references against the directory.
+
+    Unlike :func:`load_index`, which stops at the first problem, this
+    examines *every* entry — existence, byte length, CRC32 and codec
+    decodability — and returns a report carrying the same typed
+    :class:`~repro.errors.StorageError` instances loading would raise.
+    An unreadable or unsupported manifest still raises, since nothing
+    can be checked without one.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    report = IndexValidationReport(directory, format=manifest["format"])
+    referenced: set[str] = set()
+    for entry in manifest.get("bitmaps", []):
+        report.checked += 1
+        try:
+            key = (entry["component"], _decode_slot(entry["slot"]))
+        except (KeyError, TypeError, StorageError):
+            key = entry.get("slot", "?")
+        try:
+            try:
+                path = _blob_path(directory, entry, key)
+                referenced.add(path.name)
+                payload = _read_blob(path, key)
+                if manifest["format"] >= 2:
+                    _check_blob(payload, entry, key)
+                codec = get_codec(manifest["codec"])
+                codec.decode(payload, entry["length"])
+            except StorageError:
+                raise
+            except Exception as exc:
+                _count("persist.corruption_detected", kind="undecodable")
+                raise ManifestMismatchError(
+                    f"bitmap {key!r}: file {entry.get('file')} does not "
+                    f"validate as {manifest['codec']!r}: {exc!r}"
+                ) from exc
+        except StorageError as exc:
+            report.errors.append(exc)
+    for path in sorted(directory.iterdir()):
+        if path.suffix == BLOB_SUFFIX and path.name not in referenced:
+            report.orphans.append(path.name)
+        elif path.name.endswith(TMP_SUFFIX):
+            report.orphans.append(path.name)
+    _count("persist.validations")
+    if report.errors:
+        _count("persist.validation_errors", len(report.errors))
+    return report

@@ -9,6 +9,7 @@ using a :class:`~repro.storage.iomodel.DiskModel`.
 """
 
 from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.faults import FaultInjector, InjectedCrash
 from repro.storage.iomodel import (
     DEFAULT_DISK_MODEL,
     DISK_MODEL_PRESETS,
@@ -16,8 +17,14 @@ from repro.storage.iomodel import (
     DiskModel,
     get_disk_model,
 )
-from repro.storage.pages import DEFAULT_PAGE_SIZE, pages_for
-from repro.storage.store import BitmapStore, DirectoryStore, StoredBitmapInfo
+from repro.storage.pages import DEFAULT_PAGE_SIZE, pages_for, validate_page_size
+from repro.storage.store import (
+    BitmapStore,
+    DirectoryStore,
+    StoredBitmapInfo,
+    atomic_write_bytes,
+    stable_blob_name,
+)
 
 __all__ = [
     "BitmapStore",
@@ -32,4 +39,9 @@ __all__ = [
     "get_disk_model",
     "DEFAULT_PAGE_SIZE",
     "pages_for",
+    "validate_page_size",
+    "atomic_write_bytes",
+    "stable_blob_name",
+    "FaultInjector",
+    "InjectedCrash",
 ]

@@ -1,0 +1,183 @@
+"""Deterministic fault injection for the durable write path.
+
+Every durable filesystem mutation the storage layer performs — writing
+a temp file's bytes, fsyncing it, renaming it into place, unlinking a
+stale blob — funnels through :func:`step`.  With no injector installed
+(the normal case) ``step`` is one global read and returns immediately;
+with one installed it can
+
+* **crash** — raise :class:`InjectedCrash` *before* the Nth durable
+  operation takes effect, leaving a half-written temp file behind to
+  simulate a torn write at process death;
+* **truncate** — silently shorten the payload of matching writes, the
+  way a lying disk or a short ``write(2)`` would;
+* **flip** — XOR one byte of matching writes, simulating bit rot.
+
+Crashes are modelled as :class:`InjectedCrash`, which deliberately does
+*not* derive from :class:`~repro.errors.ReproError`: a real crash is not
+catchable by the library, so tests must see it escape ``save_index``
+unhandled.  Truncation and flips raise nothing — they corrupt the bytes
+in flight, and it is the *reader's* job (checksums, byte lengths) to
+fail loudly later.
+
+The installed injector also keeps an ordered log of every durable
+operation (:attr:`FaultInjector.ops`), so a test can first run a save
+with a passive injector to enumerate the crash points, then replay the
+same save once per point::
+
+    probe = FaultInjector()
+    with injected(probe):
+        save_index(index, path)
+    for n in range(len(probe.ops) + 1):
+        with injected(FaultInjector(crash_at=n)):
+            ...  # save over a fresh copy; expect InjectedCrash or success
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "InjectedCrash",
+    "FaultInjector",
+    "OpRecord",
+    "active",
+    "install",
+    "uninstall",
+    "injected",
+    "step",
+]
+
+
+class InjectedCrash(Exception):
+    """Simulated process death at a durable-write point.
+
+    Not a :class:`~repro.errors.ReproError` on purpose: library code
+    must never catch it, exactly as it could never catch ``SIGKILL``.
+    """
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One durable filesystem operation seen by the injector."""
+
+    #: Position in the injector's op log (0-based).
+    index: int
+    #: ``"write"`` | ``"fsync"`` | ``"rename"`` | ``"unlink"``.
+    kind: str
+    #: Final file name the operation targets (not the temp name).
+    name: str
+
+
+class FaultInjector:
+    """A deterministic fault plan plus an op log.
+
+    Parameters
+    ----------
+    crash_at:
+        Raise :class:`InjectedCrash` before the durable effect of the
+        operation at this 0-based log position.  A crash on a ``write``
+        op first leaves the first half of the payload in the temp file,
+        simulating a torn write.  ``None`` (default) never crashes.
+    truncate:
+        ``(substring, keep_bytes)`` — payloads of ``write`` ops whose
+        target name contains ``substring`` are silently cut to their
+        first ``keep_bytes`` bytes.
+    flip:
+        ``(substring, offset)`` — payloads of matching ``write`` ops get
+        the byte at ``offset % len(payload)`` XORed with ``0xFF``.
+    """
+
+    def __init__(
+        self,
+        crash_at: int | None = None,
+        truncate: tuple[str, int] | None = None,
+        flip: tuple[str, int] | None = None,
+    ):
+        self.crash_at = crash_at
+        self.truncate = truncate
+        self.flip = flip
+        self.ops: list[OpRecord] = []
+
+    def step(
+        self,
+        kind: str,
+        name: str,
+        data: bytes | None = None,
+        path: Path | None = None,
+    ) -> bytes | None:
+        """Record one durable op; apply the plan; return the payload."""
+        record = OpRecord(len(self.ops), kind, name)
+        self.ops.append(record)
+        if self.crash_at is not None and record.index == self.crash_at:
+            if kind == "write" and data is not None and path is not None:
+                # Torn write: half the payload reaches the temp file
+                # before the "process" dies.
+                Path(path).write_bytes(data[: len(data) // 2])
+            raise InjectedCrash(
+                f"injected crash before op #{record.index}: {kind} {name}"
+            )
+        if data is None or kind != "write":
+            return data
+        if self.truncate is not None and self.truncate[0] in name:
+            data = data[: self.truncate[1]]
+        if self.flip is not None and self.flip[0] in name and data:
+            offset = self.flip[1] % len(data)
+            data = (
+                data[:offset]
+                + bytes([data[offset] ^ 0xFF])
+                + data[offset + 1 :]
+            )
+        return data
+
+
+# ---------------------------------------------------------------------------
+# Process-wide installation (mirrors repro.obs)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: FaultInjector | None = None
+
+
+def active() -> FaultInjector | None:
+    """The installed injector, or None when fault injection is off."""
+    return _ACTIVE
+
+
+def install(injector: FaultInjector | None = None) -> FaultInjector:
+    """Install ``injector`` (or a fresh passive one) process-wide."""
+    global _ACTIVE
+    _ACTIVE = injector if injector is not None else FaultInjector()
+    return _ACTIVE
+
+
+def uninstall() -> None:
+    """Turn fault injection off."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def injected(injector: FaultInjector | None = None):
+    """Install an injector for the duration of a ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    current = injector if injector is not None else FaultInjector()
+    _ACTIVE = current
+    try:
+        yield current
+    finally:
+        _ACTIVE = previous
+
+
+def step(
+    kind: str,
+    name: str,
+    data: bytes | None = None,
+    path: Path | None = None,
+) -> bytes | None:
+    """Durable-op hook: no-op passthrough unless an injector is active."""
+    if _ACTIVE is None:
+        return data
+    return _ACTIVE.step(kind, name, data=data, path=path)

@@ -12,6 +12,17 @@ from repro.errors import StorageError
 DEFAULT_PAGE_SIZE = 8192
 
 
+def validate_page_size(page_size: int) -> int:
+    """Return ``page_size`` after checking it is a usable positive size.
+
+    Stores validate at construction time so a bad page size fails
+    immediately rather than on the first accounting call.
+    """
+    if page_size < 1:
+        raise StorageError(f"page size must be >= 1, got {page_size}")
+    return page_size
+
+
 def pages_for(num_bytes: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
     """Number of whole pages needed to store ``num_bytes`` bytes.
 
@@ -20,6 +31,5 @@ def pages_for(num_bytes: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
     """
     if num_bytes < 0:
         raise StorageError(f"byte count must be >= 0, got {num_bytes}")
-    if page_size < 1:
-        raise StorageError(f"page size must be >= 1, got {page_size}")
+    validate_page_size(page_size)
     return max(1, -(-num_bytes // page_size))

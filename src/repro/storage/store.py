@@ -6,10 +6,21 @@ under a directory, mirroring the paper's one-file-region-per-bitmap
 layout on the Unix file system.  Neither store caches decoded bitmaps —
 caching is the :class:`~repro.storage.buffer.BufferPool`'s job, so that
 buffer-size effects are observable.
+
+Durability: :class:`DirectoryStore` names every blob after its *key*
+(a deterministic digest, so the same key always maps to the same file
+across processes — no sequential counter to collide after a restart)
+and writes through :func:`atomic_write_bytes` (temp file → fsync →
+rename), so a blob file on disk is always a complete former or current
+payload, never a torn mix.  Both paths report durable operations to the
+:mod:`repro.storage.faults` injection layer when one is installed.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import re
 from collections.abc import Hashable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
@@ -17,7 +28,91 @@ from pathlib import Path
 from repro.bitmap import BitVector
 from repro.compress import Codec, get_codec
 from repro.errors import StorageError
-from repro.storage.pages import DEFAULT_PAGE_SIZE, pages_for
+from repro.storage import faults
+from repro.storage.pages import DEFAULT_PAGE_SIZE, pages_for, validate_page_size
+
+#: Suffix of every bitmap blob file in a :class:`DirectoryStore`.
+BLOB_SUFFIX = ".bm"
+#: Suffix of in-flight temp files (never a committed blob).
+TMP_SUFFIX = ".tmp"
+
+_NAME_SAFE = re.compile(r"[^A-Za-z0-9]+")
+
+
+def _canonical_key(key) -> str:
+    """Injective textual form of a key, for stable file naming.
+
+    Only deterministic value types may name a file: ints, strings,
+    bytes, bools, None and (nested) tuples of those.  Anything else
+    (an object whose repr embeds its memory address, say) would produce
+    a different file name in every process.
+    """
+    if key is None:
+        return "n"
+    if isinstance(key, bool):
+        return "t" if key else "f"
+    if isinstance(key, int):
+        return f"i{key}"
+    if isinstance(key, str):
+        return f"s{len(key)}:{key}"
+    if isinstance(key, bytes):
+        return f"b{key.hex()}"
+    if isinstance(key, tuple):
+        return "(" + ",".join(_canonical_key(part) for part in key) + ")"
+    raise StorageError(
+        f"key {key!r} cannot be mapped to a stable file name; use ints, "
+        f"strings, bytes or tuples of those"
+    )
+
+
+def stable_blob_name(key: Hashable) -> str:
+    """Deterministic blob file name for ``key``.
+
+    A human-readable sanitized prefix plus a 16-hex-digit digest of the
+    canonical key form; the digest makes distinct keys collision-free
+    regardless of how the prefix sanitizes.
+    """
+    canonical = _canonical_key(key)
+    digest = hashlib.sha256(canonical.encode()).hexdigest()[:16]
+    prefix = _NAME_SAFE.sub("-", str(key)).strip("-")[:40].strip("-")
+    if prefix:
+        return f"{prefix}-{digest}{BLOB_SUFFIX}"
+    return f"{digest}{BLOB_SUFFIX}"
+
+
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory so a rename inside it is durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # some filesystems refuse directory fsync
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically: temp → fsync → rename.
+
+    A crash at any point leaves either the previous file content or the
+    new one at ``path`` — never a torn mix (at worst a stray ``.tmp``
+    file, which readers ignore).  Durable steps report to the fault
+    injection layer, which may corrupt the payload or simulate a crash.
+    """
+    path = Path(path)
+    tmp = path.parent / (path.name + TMP_SUFFIX)
+    data = faults.step("write", path.name, data=data, path=tmp)
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        faults.step("fsync", path.name, path=tmp)
+        os.fsync(fh.fileno())
+    faults.step("rename", path.name, path=tmp)
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
 
 
 @dataclass(frozen=True)
@@ -47,7 +142,7 @@ class BitmapStore:
         page_size: int = DEFAULT_PAGE_SIZE,
     ):
         self._codec = get_codec(codec) if isinstance(codec, str) else codec
-        self._page_size = page_size
+        self._page_size = validate_page_size(page_size)
         self._blobs: dict[Hashable, bytes] = {}
         self._lengths: dict[Hashable, int] = {}
 
@@ -66,9 +161,30 @@ class BitmapStore:
     def put(self, key: Hashable, vector: BitVector) -> StoredBitmapInfo:
         """Encode and store ``vector`` under ``key`` (replacing any old one)."""
         payload = self._codec.encode(vector)
+        return self.put_payload(key, payload, len(vector))
+
+    def put_payload(
+        self, key: Hashable, payload: bytes, length: int
+    ) -> StoredBitmapInfo:
+        """Store an already-encoded ``payload`` of ``length`` bits.
+
+        Used by persistence, which moves encoded blobs byte-identically
+        between stores without a decode/re-encode roundtrip.
+        """
         self._store_payload(key, payload)
-        self._blobs[key] = payload
-        self._lengths[key] = len(vector)
+        return self.attach_payload(key, payload, length)
+
+    def attach_payload(
+        self, key: Hashable, payload: bytes, length: int
+    ) -> StoredBitmapInfo:
+        """Register ``payload`` in memory without the persistence hook.
+
+        Index loading attaches payloads it just read (and verified) from
+        disk; writing them back out again would turn every load into a
+        rewrite of the whole directory.
+        """
+        self._blobs[key] = bytes(payload)
+        self._lengths[key] = int(length)
         return self.info(key)
 
     def _store_payload(self, key: Hashable, payload: bytes) -> None:
@@ -129,10 +245,12 @@ class BitmapStore:
 class DirectoryStore(BitmapStore):
     """A :class:`BitmapStore` that also persists blobs to files.
 
-    Each bitmap is written to ``directory / <sequential id>.bm``; an
-    index file is not needed because the in-memory maps are the source
-    of truth within a process (this class exists to let benchmarks
-    exercise real file I/O when desired).
+    Each bitmap is written to ``directory / stable_blob_name(key)``.
+    Deriving the file name from the key (rather than a sequential
+    counter) means a store constructed over a non-empty directory can
+    never hand a new key a file that already belongs to a different
+    key, and the same key always lands on the same file across
+    processes.  Writes are atomic (temp → fsync → rename).
     """
 
     def __init__(
@@ -144,23 +262,20 @@ class DirectoryStore(BitmapStore):
         super().__init__(codec, page_size)
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
-        self._paths: dict[Hashable, Path] = {}
-        self._next_id = 0
+
+    @property
+    def directory(self) -> Path:
+        """The directory blobs are written under."""
+        return self._directory
 
     def _store_payload(self, key: Hashable, payload: bytes) -> None:
-        path = self._paths.get(key)
-        if path is None:
-            path = self._directory / f"{self._next_id}.bm"
-            self._next_id += 1
-            self._paths[key] = path
-        path.write_bytes(payload)
+        atomic_write_bytes(self._directory / stable_blob_name(key), payload)
 
     def path_for(self, key: Hashable) -> Path:
         """Filesystem path of the bitmap stored under ``key``."""
-        try:
-            return self._paths[key]
-        except KeyError:
-            raise StorageError(f"no bitmap stored under key {key!r}") from None
+        if key not in self._blobs:
+            raise StorageError(f"no bitmap stored under key {key!r}")
+        return self._directory / stable_blob_name(key)
 
     def read_from_disk(self, key: Hashable) -> BitVector:
         """Decode the bitmap by actually reading its file."""

@@ -1,13 +1,24 @@
 """Tests for index save/load."""
 
 import json
+import zlib
 
 import numpy as np
 import pytest
 
-from repro.errors import StorageError
+from repro.bitmap import BitVector
+from repro.errors import (
+    ManifestMismatchError,
+    MissingBlobError,
+    StorageError,
+)
 from repro.index import BitmapIndex, IndexSpec
-from repro.index.persist import load_index, save_index
+from repro.index.persist import (
+    MANIFEST_NAME,
+    load_index,
+    save_index,
+    validate_index,
+)
 from repro.queries import IntervalQuery
 
 
@@ -53,6 +64,247 @@ def test_unsupported_format_version(tmp_path):
     (tmp_path / "manifest.json").write_text(json.dumps({"format": 99}))
     with pytest.raises(StorageError):
         load_index(tmp_path)
+
+
+def test_load_does_not_rewrite_files(tmp_path, rng):
+    values = rng.integers(0, 10, size=300)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=10, scheme="E"))
+    save_index(index, tmp_path / "idx")
+    before = {
+        p.name: p.read_bytes() for p in (tmp_path / "idx").iterdir()
+    }
+    mtimes = {p.name: p.stat().st_mtime_ns for p in (tmp_path / "idx").iterdir()}
+    load_index(tmp_path / "idx")
+    after = {p.name: p.read_bytes() for p in (tmp_path / "idx").iterdir()}
+    assert after == before
+    assert {
+        p.name: p.stat().st_mtime_ns for p in (tmp_path / "idx").iterdir()
+    } == mtimes
+
+
+def test_overwrite_with_smaller_index_leaves_no_orphans(tmp_path, rng):
+    # Regression: the old writer left stale .bm files behind when the
+    # new index had fewer bitmaps, and they looked valid to tooling.
+    big = BitmapIndex.build(
+        rng.integers(0, 16, size=300), IndexSpec(cardinality=16, scheme="E")
+    )
+    small = BitmapIndex.build(
+        rng.integers(0, 4, size=300), IndexSpec(cardinality=4, scheme="E")
+    )
+    save_index(big, tmp_path / "idx")
+    assert len(list((tmp_path / "idx").glob("*.bm"))) == 16
+    save_index(small, tmp_path / "idx")
+    assert len(list((tmp_path / "idx").glob("*.bm"))) == 4
+    report = validate_index(tmp_path / "idx")
+    assert report.ok and report.orphans == []
+    assert set(load_index(tmp_path / "idx").store.keys()) == set(
+        small.store.keys()
+    )
+
+
+def test_manifest_records_actual_bitmap_length(tmp_path, rng):
+    # Regression: every entry used to record index.num_records even when
+    # the stored bitmap's own length differed.
+    values = rng.integers(0, 6, size=300)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=6, scheme="E"))
+    index.store.put((0, 99), BitVector.zeros(123))  # odd-length extra bitmap
+    save_index(index, tmp_path / "idx")
+    manifest = json.loads((tmp_path / "idx" / MANIFEST_NAME).read_text())
+    lengths = {entry["slot"]: entry["length"] for entry in manifest["bitmaps"]}
+    assert lengths[99] == 123
+    assert all(lengths[slot] == 300 for slot in range(6))
+    loaded = load_index(tmp_path / "idx")
+    assert len(loaded.store.get((0, 99))) == 123
+
+
+def test_manifest_entries_carry_bytes_and_crc32(tmp_path, rng):
+    values = rng.integers(0, 6, size=300)
+    index = BitmapIndex.build(
+        values, IndexSpec(cardinality=6, scheme="E", codec="wah")
+    )
+    save_index(index, tmp_path / "idx")
+    manifest = json.loads((tmp_path / "idx" / MANIFEST_NAME).read_text())
+    assert manifest["format"] == 2
+    for entry in manifest["bitmaps"]:
+        payload = (tmp_path / "idx" / entry["file"]).read_bytes()
+        assert entry["bytes"] == len(payload)
+        assert entry["crc32"] == (zlib.crc32(payload) & 0xFFFFFFFF)
+
+
+def test_missing_blob_raises_typed_error_naming_key(tmp_path, rng):
+    values = rng.integers(0, 6, size=200)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=6, scheme="E"))
+    save_index(index, tmp_path / "idx")
+    victim = load_index(tmp_path / "idx").store.path_for((0, 3))
+    victim.unlink()
+    with pytest.raises(MissingBlobError, match=r"\(0, 3\)"):
+        load_index(tmp_path / "idx")
+    report = validate_index(tmp_path / "idx")
+    assert [type(e) for e in report.errors] == [MissingBlobError]
+
+
+@pytest.mark.parametrize(
+    "escape", ["../evil.bm", "/etc/passwd", "sub/dir.bm", "", ".."]
+)
+def test_manifest_file_entry_escaping_directory_rejected(
+    tmp_path, rng, escape
+):
+    values = rng.integers(0, 4, size=100)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=4, scheme="E"))
+    save_index(index, tmp_path / "idx")
+    manifest_path = tmp_path / "idx" / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    manifest["bitmaps"][0]["file"] = escape
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(ManifestMismatchError):
+        load_index(tmp_path / "idx")
+    report = validate_index(tmp_path / "idx")
+    assert not report.ok
+    assert isinstance(report.errors[0], ManifestMismatchError)
+
+
+def test_v1_manifest_still_loads(tmp_path, rng):
+    # Backwards compatibility: directories written by the v1 format
+    # (no bytes/crc32 fields, arbitrary file names) must keep loading.
+    values = rng.integers(0, 8, size=400)
+    index = BitmapIndex.build(
+        values, IndexSpec(cardinality=8, scheme="E", codec="bbc")
+    )
+    save_index(index, tmp_path / "idx")
+    manifest_path = tmp_path / "idx" / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    manifest["format"] = 1
+    for i, entry in enumerate(manifest["bitmaps"]):
+        del entry["bytes"], entry["crc32"]
+        legacy = tmp_path / "idx" / f"{i}.bm"
+        (tmp_path / "idx" / entry["file"]).rename(legacy)
+        entry["file"] = legacy.name
+    manifest_path.write_text(json.dumps(manifest))
+
+    loaded = load_index(tmp_path / "idx")
+    query = IntervalQuery(2, 6, 8)
+    assert loaded.query(query).row_count == index.query(query).row_count
+    report = validate_index(tmp_path / "idx")
+    assert report.ok and report.format == 1
+    # Re-saving upgrades to v2 and sweeps the legacy numbered files.
+    save_index(loaded, tmp_path / "idx")
+    upgraded = json.loads(manifest_path.read_text())
+    assert upgraded["format"] == 2
+    assert validate_index(tmp_path / "idx").orphans == []
+
+
+def test_validate_reports_orphans_without_failing(tmp_path, rng):
+    values = rng.integers(0, 4, size=100)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=4, scheme="E"))
+    save_index(index, tmp_path / "idx")
+    (tmp_path / "idx" / "stray.bm").write_bytes(b"junk")
+    (tmp_path / "idx" / "half.bm.tmp").write_bytes(b"torn")
+    report = validate_index(tmp_path / "idx")
+    assert report.ok
+    assert sorted(report.orphans) == ["half.bm.tmp", "stray.bm"]
+    # The next save sweeps them.
+    save_index(index, tmp_path / "idx")
+    assert validate_index(tmp_path / "idx").orphans == []
+
+
+def test_manifest_that_is_not_an_object_rejected(tmp_path):
+    (tmp_path / MANIFEST_NAME).write_text("[1, 2, 3]")
+    with pytest.raises(ManifestMismatchError):
+        load_index(tmp_path)
+
+
+def test_v2_entry_missing_checksum_fields_rejected(tmp_path, rng):
+    values = rng.integers(0, 4, size=100)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=4, scheme="E"))
+    save_index(index, tmp_path / "idx")
+    manifest_path = tmp_path / "idx" / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    del manifest["bitmaps"][0]["crc32"]
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(ManifestMismatchError):
+        load_index(tmp_path / "idx")
+    assert not validate_index(tmp_path / "idx").ok
+
+
+def test_entry_missing_component_rejected(tmp_path, rng):
+    values = rng.integers(0, 4, size=100)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=4, scheme="E"))
+    save_index(index, tmp_path / "idx")
+    manifest_path = tmp_path / "idx" / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    del manifest["bitmaps"][0]["component"]
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(ManifestMismatchError):
+        load_index(tmp_path / "idx")
+
+
+def test_manifest_missing_top_level_field_rejected(tmp_path, rng):
+    values = rng.integers(0, 4, size=100)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=4, scheme="E"))
+    save_index(index, tmp_path / "idx")
+    manifest_path = tmp_path / "idx" / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    del manifest["bases"]
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(ManifestMismatchError):
+        load_index(tmp_path / "idx")
+
+
+def test_malformed_slot_encodings_rejected(tmp_path, rng):
+    values = rng.integers(0, 4, size=100)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=4, scheme="E"))
+    # None survives file naming but has no manifest slot encoding.
+    index.store.put((0, None), BitVector.zeros(100))
+    with pytest.raises(StorageError, match="unsupported slot key"):
+        save_index(index, tmp_path / "bad")
+
+    save_index(
+        BitmapIndex.build(values, IndexSpec(cardinality=4, scheme="E")),
+        tmp_path / "idx",
+    )
+    manifest_path = tmp_path / "idx" / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    manifest["bitmaps"][0]["slot"] = ["not-a-tuple-tag", 1]
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(StorageError, match="malformed slot key"):
+        load_index(tmp_path / "idx")
+
+
+def test_unreadable_blob_raises_typed_error(tmp_path, rng):
+    values = rng.integers(0, 4, size=100)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=4, scheme="E"))
+    save_index(index, tmp_path / "idx")
+    victim = load_index(tmp_path / "idx").store.path_for((0, 2))
+    victim.unlink()
+    victim.mkdir()  # read_bytes now raises IsADirectoryError, not ENOENT
+    with pytest.raises(MissingBlobError, match="unreadable"):
+        load_index(tmp_path / "idx")
+
+
+def test_persist_obs_counters(tmp_path, rng):
+    from repro import obs
+
+    values = rng.integers(0, 6, size=200)
+    index = BitmapIndex.build(values, IndexSpec(cardinality=6, scheme="E"))
+    with obs.observed() as o:
+        save_index(index, tmp_path / "idx")
+    assert o.counter_total("persist.blobs_written") == 6
+    assert o.counter_total("persist.bytes_written") == sum(
+        len(index.store.get_payload(k)[0]) for k in index.store.keys()
+    )
+
+    blob = sorted((tmp_path / "idx").glob("*.bm"))[0]
+    data = bytearray(blob.read_bytes())
+    data[0] ^= 0xFF
+    blob.write_bytes(bytes(data))
+    with obs.observed() as o:
+        with pytest.raises(StorageError):
+            load_index(tmp_path / "idx")
+        report = validate_index(tmp_path / "idx")
+    assert not report.ok
+    assert o.counter_total("persist.corruption_detected") >= 2
+    assert o.counter_total("persist.validations") == 1
+    assert o.counter_total("persist.validation_errors") == 1
 
 
 def test_save_load_save_stable(tmp_path, rng):

@@ -1,0 +1,228 @@
+"""Fault-injection suite for crash-safe index persistence.
+
+The contract under test (ISSUE 4 acceptance criteria): for every
+injected crash, truncation or bit-flip point during ``save_index``, a
+subsequent ``load_index`` either returns the last fully-committed index
+state or raises a typed :class:`StorageError` — never silently wrong
+query results — and ``validate_index`` detects every single-byte
+corruption of a v2 blob.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ChecksumMismatchError,
+    ManifestMismatchError,
+    StorageError,
+    TruncatedBlobError,
+)
+from repro.index import BitmapIndex, IndexSpec
+from repro.index.persist import load_index, save_index, validate_index
+from repro.queries import IntervalQuery
+from repro.storage.faults import FaultInjector, InjectedCrash, injected
+
+
+def _build(seed: int, cardinality: int, num_records: int, codec="bbc"):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, cardinality, size=num_records)
+    spec = IndexSpec(cardinality=cardinality, scheme="E", codec=codec)
+    return BitmapIndex.build(values, spec)
+
+
+def _state(index: BitmapIndex) -> dict:
+    """Full observable on-disk identity of an index."""
+    return {
+        "records": index.num_records,
+        "cardinality": index.cardinality,
+        "blobs": {
+            key: index.store.get_payload(key) for key in index.store.keys()
+        },
+    }
+
+
+class TestCrashSweep:
+    def test_crash_at_every_point_is_prior_state_or_loud(self, tmp_path):
+        # Old index: C=8 -> 8 bitmaps.  New index: C=5 -> 5 bitmaps, so
+        # the save must also sweep 3 stale blobs after commit.
+        old_index = _build(seed=1, cardinality=8, num_records=300)
+        new_index = _build(seed=2, cardinality=5, num_records=200)
+        old_state, new_state = _state(old_index), _state(new_index)
+        assert old_state != new_state
+
+        template = tmp_path / "template"
+        save_index(old_index, template)
+
+        with injected(FaultInjector()) as probe:
+            work = tmp_path / "probe"
+            shutil.copytree(template, work)
+            save_index(new_index, work)
+        total_ops = len(probe.ops)
+        # 5 blobs x (write+fsync+rename) + manifest x 3 + 3 unlinks
+        assert total_ops == 5 * 3 + 3 + 3
+
+        outcomes = {"old": 0, "new": 0, "loud": 0}
+        for crash_at in range(total_ops):
+            work = tmp_path / f"crash{crash_at}"
+            shutil.copytree(template, work)
+            with injected(FaultInjector(crash_at=crash_at)):
+                with pytest.raises(InjectedCrash):
+                    save_index(new_index, work)
+            try:
+                loaded = load_index(work)
+            except StorageError:
+                outcomes["loud"] += 1
+                # validation must agree, via report or typed raise
+                try:
+                    assert not validate_index(work).ok
+                except StorageError:
+                    pass
+                continue
+            state = _state(loaded)
+            assert state in (old_state, new_state), (
+                f"crash at op {crash_at} produced a state that is neither "
+                f"the prior nor the new index"
+            )
+            outcomes["old" if state == old_state else "new"] += 1
+        # The sweep must actually exercise all three outcomes: crashes
+        # before the manifest commit keep the old index readable or fail
+        # loudly; crashes after it serve the new index.
+        assert outcomes["new"] > 0
+        assert outcomes["old"] + outcomes["loud"] > 0
+        assert sum(outcomes.values()) == total_ops
+
+    def test_crash_sweep_into_empty_directory(self, tmp_path):
+        index = _build(seed=3, cardinality=4, num_records=150)
+        expected = _state(index)
+
+        with injected(FaultInjector()) as probe:
+            save_index(index, tmp_path / "probe")
+        for crash_at in range(len(probe.ops)):
+            work = tmp_path / f"crash{crash_at}"
+            with injected(FaultInjector(crash_at=crash_at)):
+                with pytest.raises(InjectedCrash):
+                    save_index(index, work)
+            try:
+                loaded = load_index(work)
+            except StorageError:
+                continue  # nothing committed yet — loud is correct
+            assert _state(loaded) == expected
+
+    def test_interrupted_save_then_retry_succeeds(self, tmp_path):
+        old_index = _build(seed=1, cardinality=8, num_records=300)
+        new_index = _build(seed=2, cardinality=5, num_records=200)
+        work = tmp_path / "idx"
+        save_index(old_index, work)
+        with injected(FaultInjector(crash_at=7)):
+            with pytest.raises(InjectedCrash):
+                save_index(new_index, work)
+        # Recovery path: a clean re-save commits and sweeps the junk.
+        save_index(new_index, work)
+        assert _state(load_index(work)) == _state(new_index)
+        report = validate_index(work)
+        assert report.ok and report.orphans == []
+
+
+class TestInjectedCorruption:
+    """Silent disk corruption during the write itself (no crash)."""
+
+    def test_truncated_blob_write_detected(self, tmp_path):
+        index = _build(seed=4, cardinality=6, num_records=250)
+        with injected(FaultInjector(truncate=(".bm", 4))):
+            save_index(index, tmp_path / "idx")
+        with pytest.raises(TruncatedBlobError):
+            load_index(tmp_path / "idx")
+        report = validate_index(tmp_path / "idx")
+        assert not report.ok
+        assert all(isinstance(e, TruncatedBlobError) for e in report.errors)
+
+    def test_flipped_blob_write_detected(self, tmp_path):
+        index = _build(seed=4, cardinality=6, num_records=250)
+        with injected(FaultInjector(flip=(".bm", 2))):
+            save_index(index, tmp_path / "idx")
+        with pytest.raises(ChecksumMismatchError):
+            load_index(tmp_path / "idx")
+        report = validate_index(tmp_path / "idx")
+        assert not report.ok
+        assert all(isinstance(e, ChecksumMismatchError) for e in report.errors)
+
+    def test_truncated_manifest_write_detected(self, tmp_path):
+        index = _build(seed=4, cardinality=6, num_records=250)
+        with injected(FaultInjector(truncate=("manifest.json", 40))):
+            save_index(index, tmp_path / "idx")
+        with pytest.raises(ManifestMismatchError):
+            load_index(tmp_path / "idx")
+
+
+class TestSingleByteCorruption:
+    """`repro verify-index` must detect every single-byte corruption."""
+
+    def test_every_blob_byte_flip_detected(self, tmp_path):
+        index = _build(seed=5, cardinality=4, num_records=64)
+        save_index(index, tmp_path / "idx")
+        blob_paths = sorted((tmp_path / "idx").glob("*.bm"))
+        assert blob_paths
+        flips = 0
+        for path in blob_paths:
+            pristine = path.read_bytes()
+            assert pristine, "test needs non-empty blobs"
+            for offset in range(len(pristine)):
+                corrupt = bytearray(pristine)
+                corrupt[offset] ^= 0xFF
+                path.write_bytes(bytes(corrupt))
+                report = validate_index(tmp_path / "idx")
+                assert not report.ok, (
+                    f"flip at {path.name}[{offset}] went undetected"
+                )
+                assert any(
+                    isinstance(e, ChecksumMismatchError) for e in report.errors
+                )
+                with pytest.raises(StorageError):
+                    load_index(tmp_path / "idx")
+                flips += 1
+            path.write_bytes(pristine)
+        assert flips >= len(blob_paths)
+        assert validate_index(tmp_path / "idx").ok
+
+    def test_every_manifest_byte_flip_detected(self, tmp_path):
+        index = _build(seed=5, cardinality=4, num_records=64)
+        save_index(index, tmp_path / "idx")
+        manifest_path = tmp_path / "idx" / "manifest.json"
+        pristine = manifest_path.read_bytes()
+        for offset in range(len(pristine)):
+            corrupt = bytearray(pristine)
+            corrupt[offset] ^= 0xFF
+            manifest_path.write_bytes(bytes(corrupt))
+            # A corrupt manifest must never load silently: either the
+            # manifest itself is rejected or a blob check trips.
+            with pytest.raises(StorageError):
+                load_index(tmp_path / "idx")
+        manifest_path.write_bytes(pristine)
+        assert validate_index(tmp_path / "idx").ok
+
+    def test_shortened_and_extended_blobs_detected(self, tmp_path):
+        index = _build(seed=5, cardinality=4, num_records=64)
+        save_index(index, tmp_path / "idx")
+        path = sorted((tmp_path / "idx").glob("*.bm"))[0]
+        pristine = path.read_bytes()
+
+        path.write_bytes(pristine[:-1])
+        with pytest.raises(TruncatedBlobError):
+            load_index(tmp_path / "idx")
+
+        path.write_bytes(b"")
+        with pytest.raises(TruncatedBlobError):
+            load_index(tmp_path / "idx")
+
+        path.write_bytes(pristine + b"\x00")
+        with pytest.raises(ManifestMismatchError):
+            load_index(tmp_path / "idx")
+
+        path.write_bytes(pristine)
+        loaded = load_index(tmp_path / "idx")
+        query = IntervalQuery(1, 2, 4)
+        assert (
+            loaded.query(query).row_count == index.query(query).row_count
+        )

@@ -1,0 +1,88 @@
+"""Tests for the fault-injection layer and the atomic write path."""
+
+import pytest
+
+from repro.storage import atomic_write_bytes
+from repro.storage import faults
+from repro.storage.faults import FaultInjector, InjectedCrash, injected
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    yield
+    assert faults.active() is None, "test leaked an installed injector"
+
+
+class TestInjectorPlumbing:
+    def test_passthrough_without_injector(self):
+        assert faults.active() is None
+        assert faults.step("write", "x.bm", data=b"abc") == b"abc"
+
+    def test_install_uninstall(self):
+        inj = faults.install()
+        assert faults.active() is inj
+        faults.uninstall()
+        assert faults.active() is None
+
+    def test_injected_restores_previous(self):
+        outer = faults.install()
+        with injected(FaultInjector()) as inner:
+            assert faults.active() is inner
+        assert faults.active() is outer
+        faults.uninstall()
+
+    def test_records_ops_in_order(self, tmp_path):
+        with injected() as inj:
+            atomic_write_bytes(tmp_path / "a.bm", b"hello")
+        assert [(op.index, op.kind) for op in inj.ops] == [
+            (0, "write"),
+            (1, "fsync"),
+            (2, "rename"),
+        ]
+        assert all(op.name == "a.bm" for op in inj.ops)
+
+
+class TestAtomicWrite:
+    def test_writes_and_leaves_no_temp(self, tmp_path):
+        atomic_write_bytes(tmp_path / "a.bm", b"payload")
+        assert (tmp_path / "a.bm").read_bytes() == b"payload"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_crash_preserves_previous_content(self, tmp_path):
+        path = tmp_path / "a.bm"
+        atomic_write_bytes(path, b"old content")
+        for crash_at in range(3):  # write, fsync, rename
+            with injected(FaultInjector(crash_at=crash_at)):
+                with pytest.raises(InjectedCrash):
+                    atomic_write_bytes(path, b"NEW CONTENT!")
+            assert path.read_bytes() == b"old content"
+
+    def test_crash_on_write_leaves_torn_temp(self, tmp_path):
+        path = tmp_path / "a.bm"
+        with injected(FaultInjector(crash_at=0)):
+            with pytest.raises(InjectedCrash):
+                atomic_write_bytes(path, b"0123456789")
+        assert not path.exists()
+        assert (tmp_path / "a.bm.tmp").read_bytes() == b"01234"
+
+    def test_truncate_matching_write(self, tmp_path):
+        with injected(FaultInjector(truncate=("a.bm", 3))):
+            atomic_write_bytes(tmp_path / "a.bm", b"0123456789")
+            atomic_write_bytes(tmp_path / "b.bm", b"0123456789")
+        assert (tmp_path / "a.bm").read_bytes() == b"012"
+        assert (tmp_path / "b.bm").read_bytes() == b"0123456789"
+
+    def test_flip_matching_write(self, tmp_path):
+        with injected(FaultInjector(flip=("a.bm", 2))):
+            atomic_write_bytes(tmp_path / "a.bm", bytes([0, 0, 0, 0]))
+        assert (tmp_path / "a.bm").read_bytes() == bytes([0, 0, 0xFF, 0])
+
+    def test_flip_offset_wraps(self, tmp_path):
+        with injected(FaultInjector(flip=("a.bm", 7))):
+            atomic_write_bytes(tmp_path / "a.bm", bytes([1, 2]))
+        assert (tmp_path / "a.bm").read_bytes() == bytes([1, 2 ^ 0xFF])
+
+    def test_crash_is_not_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert not issubclass(InjectedCrash, ReproError)

@@ -4,7 +4,13 @@ import pytest
 
 from repro.bitmap import BitVector
 from repro.errors import StorageError
-from repro.storage import BitmapStore, DirectoryStore, pages_for
+from repro.storage import (
+    BitmapStore,
+    DirectoryStore,
+    pages_for,
+    stable_blob_name,
+    validate_page_size,
+)
 
 
 class TestPages:
@@ -22,6 +28,36 @@ class TestPages:
             pages_for(-1)
         with pytest.raises(StorageError):
             pages_for(10, page_size=0)
+
+    def test_validate_page_size(self):
+        assert validate_page_size(1) == 1
+        with pytest.raises(StorageError):
+            validate_page_size(0)
+
+    def test_store_rejects_bad_page_size_at_construction(self, tmp_path):
+        with pytest.raises(StorageError):
+            BitmapStore(page_size=0)
+        with pytest.raises(StorageError):
+            DirectoryStore(tmp_path, page_size=-8)
+
+
+class TestStableBlobNames:
+    def test_deterministic_and_distinct(self):
+        keys = [(0, 3), (1, 3), (0, ("P", 2)), (0, "x"), "x", 7, (7,)]
+        names = [stable_blob_name(k) for k in keys]
+        assert names == [stable_blob_name(k) for k in keys]  # stable
+        assert len(set(names)) == len(keys)  # collision-free
+        assert all(n.endswith(".bm") for n in names)
+
+    def test_lookalike_keys_do_not_collide(self):
+        # str(key) collides for these; the canonical digest must not.
+        pairs = [((0, 12), (1, "2")), ((0, "1"), (0, 1)), (("a",), "a")]
+        for a, b in pairs:
+            assert stable_blob_name(a) != stable_blob_name(b), (a, b)
+
+    def test_unstable_key_types_rejected(self):
+        with pytest.raises(StorageError):
+            stable_blob_name(object())
 
 
 class TestBitmapStore:
@@ -93,3 +129,45 @@ class TestDirectoryStore:
         store = DirectoryStore(tmp_path)
         with pytest.raises(StorageError):
             store.path_for("nope")
+
+    def test_reopen_over_nonempty_directory_no_collision(self, tmp_path):
+        # Regression: the old sequential-id naming restarted at 0 when a
+        # store was constructed over a non-empty directory, so a put for
+        # a new key silently overwrote a different key's file.
+        first = DirectoryStore(tmp_path)
+        first.put("a", BitVector.ones(64))
+        a_path = first.path_for("a")
+
+        second = DirectoryStore(tmp_path)
+        second.put("b", BitVector.zeros(64))
+        assert second.path_for("b") != a_path
+        assert first.read_from_disk("a").count() == 64
+
+    def test_same_key_same_file_across_processes(self, tmp_path):
+        store1 = DirectoryStore(tmp_path / "one")
+        store2 = DirectoryStore(tmp_path / "two")
+        store1.put((0, 3), BitVector.ones(32))
+        store2.put((0, 3), BitVector.ones(32))
+        assert store1.path_for((0, 3)).name == store2.path_for((0, 3)).name
+
+    def test_put_payload_writes_bytes_verbatim(self, tmp_path):
+        store = DirectoryStore(tmp_path, codec="bbc")
+        vector = BitVector.from_indices(300, [7, 8, 250])
+        payload = store.codec.encode(vector)
+        store.put_payload("k", payload, 300)
+        assert store.path_for("k").read_bytes() == payload
+        assert store.get("k") == vector
+
+    def test_attach_payload_does_not_write(self, tmp_path):
+        store = DirectoryStore(tmp_path, codec="raw")
+        vector = BitVector.ones(128)
+        payload = store.codec.encode(vector)
+        store.attach_payload("k", payload, 128)
+        assert store.get("k") == vector
+        assert not store.path_for("k").exists()
+
+    def test_no_temp_files_after_puts(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        for i in range(5):
+            store.put(("c", i), BitVector.ones(64))
+        assert list(tmp_path.glob("*.tmp")) == []

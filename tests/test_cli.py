@@ -201,3 +201,50 @@ class TestTrace:
         index_dir = self.build(tmp_path, column_file)
         assert main(["query", str(index_dir), "--low", "2", "--high", "9"]) == 0
         assert obs.active() is None
+
+
+class TestVerifyIndex:
+    def build(self, tmp_path, column_file):
+        path, _ = column_file
+        index_dir = tmp_path / "idx"
+        assert main(["build", str(path), str(index_dir)]) == 0
+        return index_dir
+
+    def test_clean_index_passes(self, tmp_path, column_file, capsys):
+        index_dir = self.build(tmp_path, column_file)
+        assert main(["verify-index", str(index_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "format:  v2" in out
+        assert "ok:" in out
+
+    def test_corrupt_blob_fails_with_typed_error(
+        self, tmp_path, column_file, capsys
+    ):
+        index_dir = self.build(tmp_path, column_file)
+        blob = sorted(index_dir.glob("*.bm"))[0]
+        data = bytearray(blob.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        blob.write_bytes(bytes(data))
+        assert main(["verify-index", str(index_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "ChecksumMismatchError" in out
+        assert "CORRUPT" in out
+
+    def test_missing_blob_fails(self, tmp_path, column_file, capsys):
+        index_dir = self.build(tmp_path, column_file)
+        sorted(index_dir.glob("*.bm"))[0].unlink()
+        assert main(["verify-index", str(index_dir)]) == 1
+        assert "MissingBlobError" in capsys.readouterr().out
+
+    def test_orphans_reported_but_not_fatal(
+        self, tmp_path, column_file, capsys
+    ):
+        index_dir = self.build(tmp_path, column_file)
+        (index_dir / "stray.bm").write_bytes(b"junk")
+        assert main(["verify-index", str(index_dir)]) == 0
+        assert "orphan:  stray.bm" in capsys.readouterr().out
+
+    def test_unreadable_manifest_is_a_cli_error(self, tmp_path, capsys):
+        (tmp_path / "manifest.json").write_text("{broken")
+        assert main(["verify-index", str(tmp_path)]) == 1
+        assert "error:" in capsys.readouterr().err
