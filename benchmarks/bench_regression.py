@@ -2,21 +2,28 @@
 """Benchmark-regression driver: codec kernels, compressed ops, one e2e run.
 
 Times encode/decode for every codec, compressed-domain AND/OR, and one
-end-to-end figure regeneration, then writes ``BENCH_PR3.json`` at the
+end-to-end figure regeneration, then writes ``BENCH_PR5.json`` at the
 repo root.  Prior recorded numbers are merged in under prefixed names —
 ``seed:`` for the pre-vectorization baseline (``benchmarks/results/
-seed_baseline.json``), ``pr1:`` for the PR-1 numbers
-(``BENCH_PR1.json``) and ``pr2:`` for the PR-2 numbers
-(``BENCH_PR2.json``) — so a single file shows current medians next to
-every baseline.
+seed_baseline.json``) and ``pr1:`` through ``pr4:`` for each PR's
+recorded numbers (``BENCH_PR<n>.json``) — so a single file shows
+current medians next to every baseline.
 
 Schema: ``{bench_name: {"median_s": float, "iterations": int,
-"params": {...}}}``, plus one special ``obs_export`` entry holding the
+"params": {...}}}``, plus two special entries: ``obs_export`` holds the
 full :mod:`repro.obs` export of an instrumented end-to-end figure run
-(the per-figure span tree and ``clock.*``/``buffer.*`` counters), so
-the uploaded artifact doubles as an observability sample.
+(the per-figure span tree and ``clock.*``/``buffer.*`` counters), and
+``serving_shared_scan`` holds the counted-pages serving comparison from
+:mod:`benchmarks.bench_serving`, so the uploaded artifact doubles as an
+observability sample.
 
-Two gates can fail the run (exit 1):
+Three gates can fail the run (exit 1):
+
+* the serving layer's shared-scan batching reading as many or more
+  buffer-pool pages per query than serial execution at concurrency 8
+  (or its result cache reading pages on a repeated mix / surviving an
+  append) — counted pages, deterministic, so this gate runs in
+  ``--quick`` mode too;
 
 * roaring's compressed-domain AND slower than WAH's at the measured
   configuration — the speed of per-container dispatch over matching
@@ -52,6 +59,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
 
 import numpy as np
 
@@ -64,10 +73,15 @@ from repro.compress.roaring_ops import roaring_logical
 from repro.compress.wah_ops import wah_logical
 from repro.experiments import ExperimentConfig, run_experiment
 
+from benchmarks.bench_serving import check_gates as serving_gates
+from benchmarks.bench_serving import run_serving_bench
+
 SEED_BASELINE = Path(__file__).parent / "results" / "seed_baseline.json"
 PR1_BASELINE = REPO_ROOT / "BENCH_PR1.json"
 PR2_BASELINE = REPO_ROOT / "BENCH_PR2.json"
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR3.json"
+PR3_BASELINE = REPO_ROOT / "BENCH_PR3.json"
+PR4_BASELINE = REPO_ROOT / "BENCH_PR4.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR5.json"
 
 #: Maximum tolerated slowdown of the kernel workload with obs installed.
 OBS_OVERHEAD_LIMIT_PCT = 5.0
@@ -147,6 +161,11 @@ def run_benchmarks(
     results["obs_export"] = o.export()
 
     results["obs_overhead"] = measure_obs_overhead(n_bits, density)
+
+    # Serving layer: counted pages, deterministic at any size.
+    results["serving_shared_scan"] = run_serving_bench(
+        num_records=num_records, num_queries=min(200, 10 * num_records)
+    )
     return results
 
 
@@ -238,6 +257,8 @@ def main(argv: list[str] | None = None) -> int:
     merge_baseline(results, SEED_BASELINE, "seed")
     merge_baseline(results, PR1_BASELINE, "pr1")
     merge_baseline(results, PR2_BASELINE, "pr2")
+    merge_baseline(results, PR3_BASELINE, "pr3")
+    merge_baseline(results, PR4_BASELINE, "pr4")
 
     output = args.output
     if output is None and not args.quick:
@@ -259,6 +280,19 @@ def main(argv: list[str] | None = None) -> int:
     if seed_enc and seed_dec and not args.quick:
         wah_seed = seed_enc["median_s"] + seed_dec["median_s"]
         print(f"wah encode+decode speedup vs seed: {wah_seed / wah_new:.1f}x")
+
+    serving = results["serving_shared_scan"]
+    print(
+        f"serving shared-scan pages/query: "
+        f"{serving['batched_pages_per_query']:.2f} batched vs "
+        f"{serving['serial_pages_per_query']:.2f} serial "
+        f"({serving['pages_saved_pct']:.1f}% fewer)"
+    )
+    serving_failures = serving_gates(serving)
+    for failure in serving_failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if serving_failures:
+        return 1
 
     roaring_and = results["roaring_and"]["median_s"]
     wah_and = results["wah_and"]["median_s"]

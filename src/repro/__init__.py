@@ -12,7 +12,9 @@ Public API highlights:
   data and query generators;
 * :mod:`~repro.experiments` — regeneration of every table and figure;
 * :mod:`~repro.obs` — unified observability (metrics + spans) across
-  the storage, codec, engine and experiment layers.
+  the storage, codec, engine and experiment layers;
+* :class:`~repro.serve.QueryService` — concurrent query serving with
+  shared-scan batching, result caching and admission control.
 """
 
 from repro import obs
@@ -28,6 +30,7 @@ from repro.encoding import (
 )
 from repro.dictionary import AttributeIndex
 from repro.index import BitmapIndex, CompressedQueryEngine, IndexSpec, load_index, recommend, save_index, validate_index
+from repro.serve import QueryService, ServiceConfig
 from repro.table import ColumnConfig, Table
 from repro.queries import (
     IntervalQuery,
@@ -54,6 +57,8 @@ __all__ = [
     "load_index",
     "validate_index",
     "CompressedQueryEngine",
+    "QueryService",
+    "ServiceConfig",
     "Table",
     "ColumnConfig",
     "AttributeIndex",

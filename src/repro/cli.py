@@ -11,6 +11,8 @@ Commands
 ``verify-index``  check a saved index for corruption (checksums, lengths)
 ``experiment`` regenerate one of the paper's tables/figures
 ``advise``     sweep the design space for a column and recommend a design
+``serve-bench``  drive the concurrent serving layer and compare
+               shared-scan batching against serial execution
 
 Every command is deterministic given its ``--seed``.
 """
@@ -158,6 +160,89 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print()
     else:
         print(run_experiment(args.name, config).render())
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        QueryService,
+        ServiceConfig,
+        paper_mix,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    values = zipf_column(
+        args.num_records, args.cardinality, args.skew, seed=args.seed
+    )
+    spec = IndexSpec(
+        cardinality=args.cardinality,
+        scheme=args.scheme,
+        num_components=args.components,
+        codec=args.codec,
+    )
+    index = BitmapIndex.build(values, spec)
+    queries = paper_mix(args.cardinality, args.num_queries, seed=args.seed)
+    print(
+        f"index:    {index!r}\n"
+        f"workload: {len(queries)} queries (C={args.cardinality}, "
+        f"z={args.skew:g}), concurrency {args.concurrency}, "
+        f"buffer {args.buffer_pages} pages"
+    )
+
+    def make_service(max_batch: int, cache_entries: int) -> QueryService:
+        return QueryService(
+            index,
+            ServiceConfig(
+                workers=args.workers,
+                max_batch=max_batch,
+                max_queue=args.max_queue,
+                buffer_pages=args.buffer_pages,
+                cache_entries=cache_entries,
+                engine=args.engine,
+            ),
+        )
+
+    # Counted-pages comparison on the deterministic path.
+    with make_service(1, 0) as serial:
+        for query in queries:
+            serial.execute_many([query])
+        serial_pages = serial.clock.pages_read
+    with make_service(args.concurrency, 0) as batched:
+        for start in range(0, len(queries), args.concurrency):
+            batched.execute_many(queries[start : start + args.concurrency])
+        batched_pages = batched.clock.pages_read
+    n = len(queries)
+    print(f"serial:   {serial_pages / n:.2f} pages/query ({serial_pages})")
+    print(
+        f"batched:  {batched_pages / n:.2f} pages/query ({batched_pages}, "
+        f"{100 * (1 - batched_pages / serial_pages):.1f}% fewer)"
+    )
+
+    cache_entries = 0 if args.no_cache else len(queries) + 1
+    with make_service(args.concurrency, cache_entries) as service:
+        if args.rate is not None:
+            report = run_open_loop(
+                service, queries, args.rate, timeout_s=args.timeout
+            )
+        else:
+            report = run_closed_loop(
+                service,
+                queries,
+                concurrency=args.concurrency,
+                timeout_s=args.timeout,
+            )
+        print(report.render())
+        if not args.no_cache:
+            before = service.clock.pages_read
+            repeat = run_closed_loop(
+                service, queries, concurrency=args.concurrency
+            )
+            delta = service.clock.pages_read - before
+            print(
+                f"repeat mix:     {repeat.cache_hits} cache hits, "
+                f"{delta} pages read"
+            )
     return 0
 
 
@@ -319,6 +404,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--verbose", action="store_true", help="show per-C details")
     p.set_defaults(func=_cmd_theorems)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="drive the concurrent serving layer: shared-scan batching vs "
+        "serial pages/query, then a threaded closed- or open-loop replay",
+        parents=[traceable],
+    )
+    p.add_argument("--num-records", type=int, default=20_000)
+    p.add_argument("--num-queries", type=int, default=1000)
+    p.add_argument("--cardinality", type=int, default=200)
+    p.add_argument("--skew", type=float, default=1.0)
+    p.add_argument("--scheme", choices=ALL_SCHEME_NAMES, default="E")
+    p.add_argument("--components", type=int, default=1)
+    p.add_argument("--codec", default="raw")
+    p.add_argument(
+        "--engine",
+        choices=("decoded", "compressed"),
+        default="decoded",
+        help="evaluate on decoded bitmaps via the buffer pool, or in the "
+        "compressed domain",
+    )
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="closed-loop clients / shared-scan wave size")
+    p.add_argument("--workers", type=int, default=2,
+                   help="service worker threads for the threaded replay")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission-control queue bound")
+    p.add_argument("--buffer-pages", type=int, default=16)
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop arrival rate in queries/s (default: closed loop)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-query deadline in seconds for the threaded replay",
+    )
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache in the threaded replay")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve_bench)
 
     p = sub.add_parser("advise", help="recommend an index design", parents=[traceable])
     p.add_argument("column", help=".npy or text column file")

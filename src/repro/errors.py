@@ -63,6 +63,26 @@ class BufferError_(ReproError):
     """Raised for buffer-pool misuse (zero capacity, unpinned release)."""
 
 
+class ServeError(ReproError):
+    """Base class for query-serving failures (:mod:`repro.serve`)."""
+
+
+class Overloaded(ServeError):
+    """Raised when admission control sheds a request because the service's
+    bounded queue is full.  Clients should back off and retry; the
+    service never blocks a submitter to create backpressure implicitly."""
+
+
+class DeadlineExceeded(ServeError):
+    """Raised when a request's deadline expired before the service
+    finished (or started) evaluating it."""
+
+
+class ServiceClosed(ServeError):
+    """Raised when submitting to, or waiting on, a closed
+    :class:`~repro.serve.QueryService`."""
+
+
 class PlanningError(ReproError):
     """Raised when the expression planner cannot produce a plan."""
 

@@ -86,6 +86,10 @@ class BitmapIndex:
         self.scheme = scheme
         self.bases = bases
         self.rewriter = QueryRewriter(spec.cardinality, bases, scheme)
+        #: Monotonic update counter: bumped by every :meth:`append`.
+        #: Caches keyed by ``(epoch, expression)`` — the serving layer's
+        #: result cache — are invalidated wholesale by a bump.
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -138,9 +142,11 @@ class BitmapIndex:
         §4.2 update-cost measure, amortized over the batch.  Existing
         record ids are unchanged; new records follow them.
 
-        Query engines created *before* an append hold stale decoded
-        bitmaps in their buffer pool and must be discarded; create a
-        fresh engine after appending.
+        Buffer pools of engines created *before* an append detect the
+        replaced payloads through the store's per-key write versions and
+        re-read them, so existing engines stay usable; the index
+        :attr:`epoch` is bumped so expression-level result caches can
+        invalidate.
         """
         from repro.bitmap import concatenate
         from repro.index.decompose import decompose_column
@@ -163,6 +169,7 @@ class BitmapIndex:
                 if extension.any():
                     touched += 1
         self.num_records += int(vals.size)
+        self.epoch += 1
         return UpdateReport(
             records_appended=int(vals.size),
             bitmaps_extended=self.num_bitmaps(),

@@ -48,9 +48,9 @@ class _PayloadPool:
         self._codec_name = store.codec.name
         self._capacity = capacity_pages
         self._clock = clock
-        self._resident: OrderedDict[Hashable, tuple[CompressedBitmap, int]] = (
-            OrderedDict()
-        )
+        self._resident: OrderedDict[
+            Hashable, tuple[CompressedBitmap, int, int]
+        ] = OrderedDict()
         self._used = 0
         self.stats = BufferStats()
 
@@ -58,11 +58,18 @@ class _PayloadPool:
         entry = self._resident.get(key)
         o = _obs.active()
         if entry is not None:
-            self._resident.move_to_end(key)
-            self.stats.hits += 1
-            if o is not None:
-                o.count("buffer.hits", 1, pool="compressed")
-            return entry[0]
+            bitmap, pages, version = entry
+            if version != self._store.version(key):
+                # The stored payload was replaced (an append rewrites
+                # every bitmap); drop the entry and read through below.
+                del self._resident[key]
+                self._used -= pages
+            else:
+                self._resident.move_to_end(key)
+                self.stats.hits += 1
+                if o is not None:
+                    o.count("buffer.hits", 1, pool="compressed")
+                return bitmap
         self.stats.misses += 1
         if o is not None:
             o.count("buffer.misses", 1, pool="compressed")
@@ -74,12 +81,12 @@ class _PayloadPool:
         bitmap = CompressedBitmap(payload, length, self._codec_name)
         pages = pages_for(len(payload), self._store.page_size)
         while self._resident and self._used + pages > self._capacity:
-            _, (_, old_pages) = self._resident.popitem(last=False)
+            _, (_, old_pages, _) = self._resident.popitem(last=False)
             self._used -= old_pages
             self.stats.evictions += 1
             if o is not None:
                 o.count("buffer.evictions", 1, pool="compressed")
-        self._resident[key] = (bitmap, pages)
+        self._resident[key] = (bitmap, pages, self._store.version(key))
         self._used += pages
         if o is not None:
             o.gauge_set("buffer.used_pages", self._used, pool="compressed")
@@ -175,6 +182,31 @@ class CompressedQueryEngine:
             simulated_ms=self.clock.total_ms - start_ms,
             strategy="compressed-domain",
         )
+
+    def evaluate_shared(
+        self,
+        constituents: list[Expr],
+        cache: dict[Hashable, CompressedBitmap],
+        stats: EvalStats,
+    ):
+        """Evaluate one query's constituents against a shared leaf cache.
+
+        The serving layer's shared-scan batches prefetch the union of a
+        batch's leaf bitmaps once and pass the same ``cache`` to every
+        query in the batch, so each stored bitmap crosses the buffer
+        pool at most once per batch.  Returns the decoded answer; the
+        final decode is charged as decompression, exactly as in
+        :meth:`execute`.
+        """
+        memo: dict[Expr, CompressedBitmap] = {}
+        results = [
+            self._eval(expr, stats, cache, memo) for expr in constituents
+        ]
+        answer = results[0]
+        for other in results[1:]:
+            answer = self._charged_op(answer, other, "or", stats)
+        self.clock.charge_decompress(answer.compressed_size())
+        return answer.decode()
 
     # ------------------------------------------------------------------
 

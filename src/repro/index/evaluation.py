@@ -203,6 +203,35 @@ class QueryEngine:
             strategy=self.strategy,
         )
 
+    def evaluate_shared(
+        self,
+        constituents: list[Expr],
+        cache: dict[Hashable, BitVector],
+        stats: EvalStats,
+    ) -> BitVector:
+        """Evaluate one query's constituents against a shared leaf cache.
+
+        The serving layer's shared-scan batches prefetch the union of a
+        batch's leaf bitmaps once (through :attr:`pool`) and pass the
+        same ``cache`` to every query in the batch, so each stored
+        bitmap crosses the buffer pool at most once per batch.  Word
+        operations are charged to the engine's clock as in
+        :meth:`execute`.
+        """
+        length = self.index.num_records
+        words = max(1, -(-length // 64))
+        before = stats.operations
+        results = [
+            evaluate(expr, self.pool.fetch, length, stats, cache)
+            for expr in constituents
+        ]
+        if len(results) > 1:
+            stats.operations += len(results) - 1
+        self.clock.charge_word_ops(stats.operations - before, words)
+        if len(results) == 1:
+            return results[0]
+        return or_all(results)
+
     # ------------------------------------------------------------------
 
     def _component_wise(

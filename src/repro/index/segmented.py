@@ -38,6 +38,9 @@ class SegmentedBitmapIndex:
         self.spec = spec
         self.segment_size = segment_size
         self._segments: list[BitmapIndex] = []
+        #: Monotonic update counter: bumped by every :meth:`append`
+        #: (mirrors :attr:`repro.index.BitmapIndex.epoch`).
+        self.epoch = 0
 
     @classmethod
     def build(
@@ -119,6 +122,7 @@ class SegmentedBitmapIndex:
                 )
                 extended += segment.num_bitmaps()
             offset += len(chunk)
+        self.epoch += 1
         return UpdateReport(
             records_appended=int(vals.size),
             bitmaps_extended=extended,

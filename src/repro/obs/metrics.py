@@ -122,6 +122,43 @@ class Histogram:
             return 0.0
         return self.sum / self.count
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation inside the bucket containing the target
+        rank, Prometheus ``histogram_quantile`` style, clamped to the
+        observed ``[min, max]`` so estimates never leave the data range
+        (observations in the overflow bucket resolve to ``max``).
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if not n:
+                continue
+            if cumulative + n >= target:
+                if i == len(self.bounds):  # overflow bucket
+                    return self.max
+                lower = self.bounds[i - 1] if i else 0.0
+                upper = self.bounds[i]
+                fraction = (target - cumulative) / n
+                value = lower + (upper - lower) * fraction
+                return min(max(value, self.min), self.max)
+            cumulative += n
+        return self.max
+
+    def summary_quantiles(self) -> dict[str, float]:
+        """The p50/p95/p99 summary exported by :meth:`to_dict`."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
     def to_dict(self) -> dict:
         out = {
             "type": "histogram",
@@ -132,6 +169,7 @@ class Histogram:
         if self.count:
             out["min"] = self.min
             out["max"] = self.max
+            out.update(self.summary_quantiles())
         # Only ship non-empty buckets; exports stay readable.
         out["buckets"] = {
             ("+inf" if i == len(self.bounds) else str(self.bounds[i])): n

@@ -1,0 +1,66 @@
+"""Concurrent query serving over bitmap indexes (extension).
+
+The paper evaluates one query at a time; a deployment answers many
+selection queries concurrently over shared bitmaps.  This package is
+the in-process serving layer that closes that gap:
+
+* :class:`~repro.serve.service.QueryService` — bounded queue, worker
+  pool, per-request deadlines, typed load shedding
+  (:class:`~repro.errors.Overloaded` /
+  :class:`~repro.errors.DeadlineExceeded`);
+* :mod:`~repro.serve.batcher` — shared-scan batching: one buffer-pool
+  pass over the union of a batch's bitmaps serves every query in the
+  batch;
+* :mod:`~repro.serve.cache` — result cache keyed by ``(index epoch,
+  canonical expression)``, invalidated when an append bumps the epoch;
+* :mod:`~repro.serve.driver` — closed- and open-loop workload replay
+  with throughput and p50/p95/p99 latency reporting from
+  :mod:`repro.obs` histograms.
+
+See ``docs/serving.md`` for the architecture and the ``serve.*``
+metric catalog; ``repro serve-bench`` is the CLI entry point.
+"""
+
+from repro.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    ServeError,
+    ServiceClosed,
+)
+from repro.serve.batcher import plan_batches, sharing_groups
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.driver import (
+    DriverReport,
+    paper_mix,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serve.service import (
+    ENGINES,
+    QueryService,
+    ServeResult,
+    ServiceConfig,
+    ServiceStats,
+    Ticket,
+)
+
+__all__ = [
+    "QueryService",
+    "ServiceConfig",
+    "ServiceStats",
+    "ServeResult",
+    "Ticket",
+    "ENGINES",
+    "ResultCache",
+    "CacheStats",
+    "plan_batches",
+    "sharing_groups",
+    "DriverReport",
+    "paper_mix",
+    "run_closed_loop",
+    "run_open_loop",
+    "ServeError",
+    "Overloaded",
+    "DeadlineExceeded",
+    "ServiceClosed",
+]

@@ -1,0 +1,79 @@
+"""Shared-scan batch planning.
+
+A worker drains up to ``max_batch`` queued requests and hands them
+here.  The planner groups requests whose rewritten expressions touch
+overlapping bitmap sets (union–find over leaf keys), so that one
+buffer-pool pass over each distinct bitmap serves every request in the
+group — the amortization the paper's component-wise strategy applies
+*within* one membership query, lifted across concurrent queries.
+
+Requests that share nothing are still packed together (a batch's
+bitmaps are the union of its members' leaf sets, and disjoint sets cost
+exactly their own fetches either way), but sharing groups are never
+split below ``max_batch``: splitting a group would re-fetch its shared
+bitmaps once per fragment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+
+def _find(parent: list[int], i: int) -> int:
+    root = i
+    while parent[root] != root:
+        root = parent[root]
+    while parent[i] != root:  # path compression
+        parent[i], i = root, parent[i]
+    return root
+
+
+def sharing_groups(keysets: Sequence[frozenset[Hashable]]) -> list[list[int]]:
+    """Partition request indices into groups connected by shared keys.
+
+    Two requests are in one group when their leaf-key sets intersect,
+    directly or transitively.  Groups are returned in first-appearance
+    order and each group lists indices in input order, so the plan is
+    deterministic.
+    """
+    parent = list(range(len(keysets)))
+    owner: dict[Hashable, int] = {}
+    for i, keys in enumerate(keysets):
+        for key in keys:
+            if key in owner:
+                ra, rb = _find(parent, owner[key]), _find(parent, i)
+                if ra != rb:
+                    parent[max(ra, rb)] = min(ra, rb)
+            else:
+                owner[key] = i
+    groups: dict[int, list[int]] = {}
+    for i in range(len(keysets)):
+        groups.setdefault(_find(parent, i), []).append(i)
+    return [groups[root] for root in sorted(groups)]
+
+
+def plan_batches(
+    keysets: Sequence[frozenset[Hashable]], max_batch: int
+) -> list[list[int]]:
+    """Batch request indices for shared scans.
+
+    Sharing groups are chunked at ``max_batch`` (a chunk keeps
+    consecutive members, which union–find ordered by appearance), then
+    chunks smaller than ``max_batch`` are merged first-fit so unrelated
+    small groups ride in one scan instead of one scan each.
+    """
+    if max_batch < 1:
+        raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+    chunks: list[list[int]] = []
+    for group in sharing_groups(keysets):
+        for start in range(0, len(group), max_batch):
+            chunks.append(group[start : start + max_batch])
+    merged: list[list[int]] = []
+    for chunk in chunks:
+        for batch in merged:
+            if len(batch) + len(chunk) <= max_batch:
+                batch.extend(chunk)
+                break
+        else:
+            merged.append(chunk)
+    return merged

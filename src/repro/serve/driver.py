@@ -1,0 +1,268 @@
+"""Closed- and open-loop workload drivers for :class:`QueryService`.
+
+Two canonical load shapes:
+
+* **closed loop** — ``concurrency`` client threads each submit one
+  query, wait for its answer, then submit the next; offered load adapts
+  to service speed (no shedding unless the queue is smaller than the
+  client count).  This is the paper-style "how fast can it go" shape.
+* **open loop** — one submitter thread issues queries on a fixed
+  arrival schedule at ``rate_qps`` regardless of completions; when the
+  service falls behind, the bounded queue sheds
+  (:class:`~repro.errors.Overloaded`) and deadlines expire
+  (:class:`~repro.errors.DeadlineExceeded`) — both typed, both counted,
+  which is the point of driving past saturation.
+
+Latency percentiles come from the ``serve.latency_ms`` /
+``serve.simulated_ms`` :mod:`repro.obs` histograms via the quantile
+summaries (no post-processing of raw samples): the driver installs an
+:class:`~repro.obs.Observability` instance for the run when none is
+active.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro import obs as _obs
+from repro.errors import DeadlineExceeded, Overloaded
+from repro.queries.generator import generate_query_set, paper_query_sets
+from repro.queries.model import MembershipQuery
+from repro.serve.service import QueryService
+
+
+def paper_mix(
+    cardinality: int = 200, num_queries: int = 1000, seed: int = 0
+) -> list[MembershipQuery]:
+    """The paper's default serving mix: ``num_queries`` membership
+    queries cycling through the 8 (N_int, N_equ) query-set specs."""
+    specs = paper_query_sets()
+    per_set = -(-num_queries // len(specs))
+    queries: list[MembershipQuery] = []
+    for offset, spec in enumerate(specs):
+        queries.extend(
+            generate_query_set(spec, cardinality, per_set, seed=seed + offset)
+        )
+    # Interleave the sets so consecutive submissions mix query shapes.
+    interleaved = [
+        queries[set_index * per_set + i]
+        for i in range(per_set)
+        for set_index in range(len(specs))
+    ]
+    return interleaved[:num_queries]
+
+
+@dataclass
+class DriverReport:
+    """Outcome of one driver run."""
+
+    mode: str
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    timeouts: int = 0
+    duration_s: float = 0.0
+    pages_read: int = 0
+    read_requests: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    #: Wall-clock latency percentiles, ms (from serve.latency_ms).
+    latency_ms: dict[str, float] = field(default_factory=dict)
+    #: Simulated latency percentiles, ms (from serve.simulated_ms).
+    simulated_ms: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per wall-clock second."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed / self.duration_s
+
+    @property
+    def pages_per_query(self) -> float:
+        """Buffer-pool pages read per completed query."""
+        if not self.completed:
+            return 0.0
+        return self.pages_read / self.completed
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average shared-scan batch size."""
+        if not self.batches:
+            return 0.0
+        return self.batched_queries / self.batches
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"mode:            {self.mode}",
+            f"submitted:       {self.submitted}",
+            f"completed:       {self.completed}",
+            f"shed:            {self.shed}",
+            f"timeouts:        {self.timeouts}",
+            f"duration:        {self.duration_s:.3f} s "
+            f"({self.throughput_qps:.0f} q/s)",
+            f"pages read:      {self.pages_read} "
+            f"({self.pages_per_query:.2f} pages/query)",
+            f"cache hits:      {self.cache_hits}",
+            f"batches:         {self.batches} "
+            f"(mean size {self.mean_batch_size:.1f})",
+        ]
+        if self.latency_ms:
+            lines.append(
+                "latency ms:      p50={p50:.2f} p95={p95:.2f} p99={p99:.2f}"
+                .format(**self.latency_ms)
+            )
+        if self.simulated_ms:
+            lines.append(
+                "simulated ms:    p50={p50:.2f} p95={p95:.2f} p99={p99:.2f}"
+                .format(**self.simulated_ms)
+            )
+        return "\n".join(lines)
+
+
+def _histogram_quantiles(o, name: str) -> dict[str, float]:
+    histogram = o.metrics.find(name)
+    if histogram is None or not histogram.count:
+        return {}
+    return histogram.summary_quantiles()
+
+
+def _report(
+    service: QueryService,
+    mode: str,
+    before: dict,
+    duration_s: float,
+    shed: int,
+    timeouts: int,
+    o,
+) -> DriverReport:
+    after = service.metrics_snapshot()
+    return DriverReport(
+        mode=mode,
+        submitted=after["submitted"] - before["submitted"],
+        completed=after["completed"] - before["completed"],
+        shed=shed,
+        timeouts=timeouts,
+        duration_s=duration_s,
+        pages_read=after["pages_read"] - before["pages_read"],
+        read_requests=after["read_requests"] - before["read_requests"],
+        cache_hits=after["cache_hits"] - before["cache_hits"],
+        batches=after["batches"] - before["batches"],
+        batched_queries=after["batched_queries"] - before["batched_queries"],
+        latency_ms=_histogram_quantiles(o, "serve.latency_ms"),
+        simulated_ms=_histogram_quantiles(o, "serve.simulated_ms"),
+    )
+
+
+def run_closed_loop(
+    service: QueryService,
+    queries: list,
+    concurrency: int = 8,
+    timeout_s: float | None = None,
+) -> DriverReport:
+    """Replay ``queries`` through ``concurrency`` closed-loop clients.
+
+    The query list is split round-robin across clients; each client
+    submits its next query as soon as the previous answer (or typed
+    error) arrives.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    installed = _obs.active()
+    o = installed if installed is not None else _obs.Observability()
+    shed = 0
+    timeouts = 0
+    tally = threading.Lock()
+
+    def client(worker_queries: list) -> None:
+        nonlocal shed, timeouts
+        for query in worker_queries:
+            try:
+                service.execute(query, timeout_s=timeout_s)
+            except Overloaded:
+                with tally:
+                    shed += 1
+            except DeadlineExceeded:
+                with tally:
+                    timeouts += 1
+
+    lanes = [queries[i::concurrency] for i in range(concurrency)]
+    threads = [
+        threading.Thread(target=client, args=(lane,), daemon=True)
+        for lane in lanes
+        if lane
+    ]
+    before = service.metrics_snapshot()
+    start = time.perf_counter()
+    if installed is None:
+        with _obs.observed(o):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+    else:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    duration = time.perf_counter() - start
+    return _report(service, "closed-loop", before, duration, shed, timeouts, o)
+
+
+def run_open_loop(
+    service: QueryService,
+    queries: list,
+    rate_qps: float,
+    timeout_s: float | None = None,
+) -> DriverReport:
+    """Submit ``queries`` on a fixed schedule of ``rate_qps`` arrivals/s.
+
+    Arrival times are ``i / rate_qps`` from the start of the run; the
+    submitter never waits for completions, so a service slower than the
+    arrival rate sheds and times out (typed, counted) rather than
+    silently stretching the schedule.
+    """
+    if rate_qps <= 0:
+        raise ValueError(f"rate_qps must be > 0, got {rate_qps}")
+    installed = _obs.active()
+    o = installed if installed is not None else _obs.Observability()
+    shed = 0
+    timeouts = 0
+    tickets = []
+
+    def drive() -> None:
+        nonlocal shed
+        start = time.perf_counter()
+        for i, query in enumerate(queries):
+            due = start + i / rate_qps
+            delay = due - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                tickets.append(service.submit(query, timeout_s=timeout_s))
+            except Overloaded:
+                shed += 1
+
+    before = service.metrics_snapshot()
+    start = time.perf_counter()
+
+    def run() -> None:
+        nonlocal timeouts
+        drive()
+        for ticket in tickets:
+            try:
+                ticket.result()
+            except DeadlineExceeded:
+                timeouts += 1
+
+    if installed is None:
+        with _obs.observed(o):
+            run()
+    else:
+        run()
+    duration = time.perf_counter() - start
+    return _report(service, "open-loop", before, duration, shed, timeouts, o)

@@ -74,7 +74,9 @@ class BufferPool:
         self._store = store
         self._capacity = capacity_pages
         self._clock = clock
-        self._resident: OrderedDict[Hashable, tuple[BitVector, int]] = OrderedDict()
+        self._resident: OrderedDict[
+            Hashable, tuple[BitVector, int, int]
+        ] = OrderedDict()
         self._used_pages = 0
         self.stats = BufferStats()
 
@@ -91,26 +93,35 @@ class BufferPool:
     def fetch(self, key: Hashable) -> BitVector:
         """Return the bitmap for ``key``, reading through on a miss.
 
-        Resident bitmaps can change size in place (e.g. an append grows
-        every bitmap of an index), so each hit re-measures the entry and
-        settles the difference against the pool's page accounting,
+        A resident entry is served only while the store's per-key write
+        version is unchanged; a re-stored bitmap (an append replaces
+        every bitmap of an index) invalidates the entry, which is then
+        re-read and re-charged like any other miss.  Resident bitmaps
+        can also change size in place, so each hit re-measures the entry
+        and settles the difference against the pool's page accounting,
         evicting colder entries if the bitmap outgrew its old footprint.
         """
         entry = self._resident.get(key)
         if entry is not None:
-            vector, cached_pages = entry
-            pages = pages_for(vector.num_words * 8, self._store.page_size)
-            if pages != cached_pages:
-                self._used_pages += pages - cached_pages
-                self._resident[key] = (vector, pages)
-                if pages > cached_pages:
-                    self._evict_to_fit(0, keep=key)
-            self._resident.move_to_end(key)
-            self.stats.hits += 1
-            o = _obs.active()
-            if o is not None:
-                o.count("buffer.hits", 1, pool="decoded")
-            return vector
+            vector, cached_pages, version = entry
+            if version != self._store.version(key):
+                # Stale: the stored payload was replaced after this
+                # decode.  Drop the entry and read through below.
+                del self._resident[key]
+                self._used_pages -= cached_pages
+            else:
+                pages = pages_for(vector.num_words * 8, self._store.page_size)
+                if pages != cached_pages:
+                    self._used_pages += pages - cached_pages
+                    self._resident[key] = (vector, pages, version)
+                    if pages > cached_pages:
+                        self._evict_to_fit(0, keep=key)
+                self._resident.move_to_end(key)
+                self.stats.hits += 1
+                o = _obs.active()
+                if o is not None:
+                    o.count("buffer.hits", 1, pool="decoded")
+                return vector
 
         self.stats.misses += 1
         o = _obs.active()
@@ -125,7 +136,7 @@ class BufferPool:
 
         decoded_pages = pages_for(vector.num_words * 8, self._store.page_size)
         self._evict_to_fit(decoded_pages)
-        self._resident[key] = (vector, decoded_pages)
+        self._resident[key] = (vector, decoded_pages, self._store.version(key))
         self._used_pages += decoded_pages
         if o is not None:
             o.gauge_set("buffer.used_pages", self._used_pages, pool="decoded")
@@ -138,7 +149,7 @@ class BufferPool:
             victim = next((k for k in self._resident if k != keep), None)
             if victim is None:
                 break
-            _, pages = self._resident.pop(victim)
+            _, pages, _ = self._resident.pop(victim)
             self._used_pages -= pages
             self.stats.evictions += 1
             o = _obs.active()

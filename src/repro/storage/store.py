@@ -145,6 +145,7 @@ class BitmapStore:
         self._page_size = validate_page_size(page_size)
         self._blobs: dict[Hashable, bytes] = {}
         self._lengths: dict[Hashable, int] = {}
+        self._versions: dict[Hashable, int] = {}
 
     @property
     def codec(self) -> Codec:
@@ -185,6 +186,7 @@ class BitmapStore:
         """
         self._blobs[key] = bytes(payload)
         self._lengths[key] = int(length)
+        self._versions[key] = self._versions.get(key, 0) + 1
         return self.info(key)
 
     def _store_payload(self, key: Hashable, payload: bytes) -> None:
@@ -208,6 +210,16 @@ class BitmapStore:
             return self._blobs[key]
         except KeyError:
             raise StorageError(f"no bitmap stored under key {key!r}") from None
+
+    def version(self, key: Hashable) -> int:
+        """Monotonic per-key write counter (0 for a never-stored key).
+
+        Bumped on every :meth:`put`/:meth:`put_payload`/:meth:`attach_payload`,
+        so a cache holding a decoded copy of ``key`` can detect that the
+        stored payload was replaced (an append rewrites every bitmap)
+        and re-read instead of serving the stale object.
+        """
+        return self._versions.get(key, 0)
 
     def info(self, key: Hashable) -> StoredBitmapInfo:
         """Metadata for the bitmap stored under ``key``."""

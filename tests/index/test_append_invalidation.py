@@ -1,0 +1,125 @@
+"""Appends must invalidate derived state, not just rewrite the store.
+
+An append rewrites every stored bitmap, so anything holding a decoded
+copy — a buffer pool, a compressed-payload pool, an expression-level
+result cache — is stale the moment it returns.  These are the
+regression tests for the invalidation chain: the store's per-key write
+versions (pools re-read replaced payloads) and the index epoch counter
+(result caches compare epochs).  The serving-layer half of the chain is
+covered in ``tests/serve``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitVector
+from repro.index import BitmapIndex, IndexSpec
+from repro.index.compressed_engine import CompressedQueryEngine
+from repro.index.evaluation import QueryEngine
+from repro.index.segmented import SegmentedBitmapIndex
+from repro.queries import IntervalQuery, MembershipQuery
+from repro.storage import BitmapStore, BufferPool
+
+CARDINALITY = 20
+
+
+def queries():
+    return [
+        IntervalQuery(3, 11, CARDINALITY),
+        MembershipQuery.of({0, 5, 19}, CARDINALITY),
+    ]
+
+
+class TestStoreVersions:
+    def test_version_starts_at_zero_and_counts_writes(self):
+        store = BitmapStore("raw")
+        assert store.version("k") == 0
+        store.put("k", BitVector.ones(8))
+        assert store.version("k") == 1
+        store.put("k", BitVector.ones(16))
+        assert store.version("k") == 2
+        assert store.version("other") == 0
+
+    def test_buffer_pool_refetches_replaced_bitmap(self):
+        store = BitmapStore("raw")
+        store.put("k", BitVector.ones(64))
+        pool = BufferPool(store, capacity_pages=4)
+        assert pool.fetch("k") == BitVector.ones(64)
+        store.put("k", BitVector.zeros(64))
+        # A stale hit would return the old all-ones decode.
+        assert pool.fetch("k") == BitVector.zeros(64)
+        assert pool.stats.misses == 2
+
+    def test_unreplaced_bitmap_still_hits(self):
+        store = BitmapStore("raw")
+        store.put("k", BitVector.ones(64))
+        pool = BufferPool(store, capacity_pages=4)
+        pool.fetch("k")
+        pool.fetch("k")
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+
+class TestEpochCounter:
+    def test_bitmap_index_epoch_bumps_per_append(self, rng):
+        index = BitmapIndex.build(
+            rng.integers(0, CARDINALITY, size=100),
+            IndexSpec(cardinality=CARDINALITY, scheme="E"),
+        )
+        assert index.epoch == 0
+        index.append(np.array([3]))
+        index.append(np.array([], dtype=np.int64))  # even empty batches
+        assert index.epoch == 2
+
+    def test_segmented_index_epoch_bumps_per_append(self, rng):
+        index = SegmentedBitmapIndex.build(
+            rng.integers(0, CARDINALITY, size=100),
+            IndexSpec(cardinality=CARDINALITY, scheme="E"),
+            segment_size=64,
+        )
+        epoch = index.epoch
+        index.append(rng.integers(0, CARDINALITY, size=70))
+        assert index.epoch == epoch + 1
+
+
+class TestEnginesSurviveAppend:
+    @pytest.mark.parametrize(
+        "make_engine,codec",
+        [
+            (lambda ix: QueryEngine(ix, buffer_pages=8), "raw"),
+            (lambda ix: CompressedQueryEngine(ix, buffer_pages=8), "wah"),
+        ],
+        ids=["decoded", "compressed"],
+    )
+    def test_requery_after_append_sees_new_rows(self, rng, make_engine, codec):
+        base = rng.integers(0, CARDINALITY, size=300)
+        batch = rng.integers(0, CARDINALITY, size=120)
+        index = BitmapIndex.build(
+            base, IndexSpec(cardinality=CARDINALITY, scheme="E", codec=codec)
+        )
+        engine = make_engine(index)
+        for query in queries():  # warm the pool with pre-append decodes
+            assert engine.execute(query).bitmap == BitVector.from_bools(
+                query.matches(base)
+            )
+        index.append(batch)
+        merged = np.concatenate([base, batch])
+        for query in queries():
+            result = engine.execute(query)
+            assert len(result.bitmap) == len(merged)
+            assert result.bitmap == BitVector.from_bools(query.matches(merged))
+
+    def test_append_charges_refetch_to_the_clock(self, rng):
+        base = rng.integers(0, CARDINALITY, size=300)
+        index = BitmapIndex.build(
+            base, IndexSpec(cardinality=CARDINALITY, scheme="E", codec="raw")
+        )
+        engine = QueryEngine(index, buffer_pages=32)
+        query = IntervalQuery(3, 11, CARDINALITY)
+        engine.execute(query)
+        pages_warm = engine.clock.pages_read
+        engine.execute(query)
+        assert engine.clock.pages_read == pages_warm  # fully resident
+        index.append(np.array([5]))
+        engine.execute(query)
+        assert engine.clock.pages_read > pages_warm  # stale copies re-read

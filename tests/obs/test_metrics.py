@@ -99,6 +99,78 @@ class TestHistogram:
         assert all(2.9 < r < 3.4 for r in ratios)
 
 
+class TestHistogramQuantiles:
+    def test_uniform_distribution(self):
+        # 1000 evenly spaced values over (0, 100]: quantile estimates
+        # should track the true quantiles within one bucket's width.
+        hist = MetricsRegistry().histogram(
+            "ms", bounds=tuple(float(b) for b in range(10, 101, 10))
+        )
+        for i in range(1, 1001):
+            hist.observe(i / 10.0)
+        assert hist.quantile(0.50) == pytest.approx(50.0, abs=0.5)
+        assert hist.quantile(0.95) == pytest.approx(95.0, abs=0.5)
+        assert hist.quantile(0.99) == pytest.approx(99.0, abs=0.5)
+        assert hist.quantile(1.0) == pytest.approx(100.0, abs=0.5)
+
+    def test_point_mass_distribution(self):
+        # Every observation identical: all quantiles are that value
+        # exactly (the min/max clamp, not bucket interpolation).
+        hist = MetricsRegistry().histogram("ms", bounds=(1.0, 10.0, 100.0))
+        for _ in range(50):
+            hist.observe(7.0)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == 7.0
+
+    def test_bimodal_distribution(self):
+        # 90 fast + 10 slow observations: p50 is in the fast mode, p99
+        # in the slow mode — the shape tail-latency reporting must
+        # resolve.
+        hist = MetricsRegistry().histogram("ms", bounds=(1.0, 10.0, 100.0))
+        for _ in range(90):
+            hist.observe(0.5)
+        for _ in range(10):
+            hist.observe(50.0)
+        assert hist.quantile(0.50) <= 1.0
+        assert hist.quantile(0.99) > 10.0
+
+    def test_overflow_bucket_resolves_to_max(self):
+        hist = MetricsRegistry().histogram("ms", bounds=(1.0,))
+        hist.observe(0.5)
+        hist.observe(123.0)
+        hist.observe(456.0)
+        assert hist.quantile(0.99) == 456.0
+
+    def test_estimates_clamped_to_observed_range(self):
+        # One observation in a wide bucket: interpolation would invent
+        # a value inside (10, 100]; the clamp pins it to the data.
+        hist = MetricsRegistry().histogram("ms", bounds=(10.0, 100.0))
+        hist.observe(42.0)
+        assert hist.quantile(0.5) == 42.0
+        assert hist.quantile(0.01) == 42.0
+
+    def test_empty_histogram_is_zero(self):
+        hist = MetricsRegistry().histogram("ms")
+        assert hist.quantile(0.5) == 0.0
+        assert hist.summary_quantiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_rejects_out_of_range_quantile(self):
+        hist = MetricsRegistry().histogram("ms")
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
+    def test_summary_quantiles_exported(self):
+        hist = MetricsRegistry().histogram("ms", bounds=(1.0, 10.0))
+        for value in (0.5, 2.0, 5.0, 8.0):
+            hist.observe(value)
+        out = hist.to_dict()
+        assert out["p50"] == hist.quantile(0.50)
+        assert out["p95"] == hist.quantile(0.95)
+        assert out["p99"] == hist.quantile(0.99)
+
+
 class TestExport:
     def test_to_dict_shape(self):
         reg = MetricsRegistry()

@@ -1,0 +1,84 @@
+"""Tests for shared-scan batch planning (union-find over leaf keys)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.batcher import plan_batches, sharing_groups
+
+
+def sets(*groups):
+    return [frozenset(g) for g in groups]
+
+
+class TestSharingGroups:
+    def test_empty(self):
+        assert sharing_groups([]) == []
+
+    def test_disjoint_requests_stay_separate(self):
+        groups = sharing_groups(sets({"a"}, {"b"}, {"c"}))
+        assert groups == [[0], [1], [2]]
+
+    def test_direct_overlap_merges(self):
+        groups = sharing_groups(sets({"a", "b"}, {"b", "c"}))
+        assert groups == [[0, 1]]
+
+    def test_transitive_overlap_merges(self):
+        # 0 and 2 share nothing directly but both overlap 1.
+        groups = sharing_groups(sets({"a"}, {"a", "b"}, {"b"}))
+        assert groups == [[0, 1, 2]]
+
+    def test_first_appearance_order(self):
+        groups = sharing_groups(sets({"x"}, {"y"}, {"x", "z"}, {"y"}))
+        assert groups == [[0, 2], [1, 3]]
+
+    def test_empty_keyset_is_own_group(self):
+        groups = sharing_groups(sets(set(), {"a"}, set()))
+        assert groups == [[0], [1], [2]]
+
+    def test_deterministic(self):
+        keysets = sets({1, 2}, {3}, {2, 4}, {5, 3}, {6})
+        assert sharing_groups(keysets) == sharing_groups(keysets)
+
+
+class TestPlanBatches:
+    def test_rejects_bad_max_batch(self):
+        with pytest.raises(ValueError):
+            plan_batches([], 0)
+
+    def test_empty(self):
+        assert plan_batches([], 4) == []
+
+    def test_group_larger_than_max_batch_is_chunked(self):
+        keysets = sets(*({"shared", i} for i in range(5)))
+        batches = plan_batches(keysets, 2)
+        assert [sorted(b) for b in batches] == [[0, 1], [2, 3], [4]]
+
+    def test_small_groups_merge_first_fit(self):
+        # Three disjoint singletons ride in one scan, not three.
+        batches = plan_batches(sets({"a"}, {"b"}, {"c"}), 4)
+        assert batches == [[0, 1, 2]]
+
+    def test_merge_respects_max_batch(self):
+        batches = plan_batches(sets({"a"}, {"b"}, {"c"}), 2)
+        assert batches == [[0, 1], [2]]
+
+    def test_sharing_groups_not_split_below_cap(self):
+        # A sharing pair must land in one batch when it fits.
+        keysets = sets({"a", "b"}, {"c"}, {"b", "d"})
+        batches = plan_batches(keysets, 2)
+        shared_batch = next(b for b in batches if 0 in b)
+        assert 2 in shared_batch
+
+    @given(
+        keysets=st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=8), max_size=4),
+            max_size=12,
+        ),
+        max_batch=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_plan_is_a_partition(self, keysets, max_batch):
+        batches = plan_batches(keysets, max_batch)
+        flat = [i for batch in batches for i in batch]
+        assert sorted(flat) == list(range(len(keysets)))
+        assert all(1 <= len(batch) <= max_batch for batch in batches)

@@ -1,0 +1,101 @@
+"""Tests for the closed/open-loop workload drivers and the paper mix."""
+
+import pytest
+
+from repro.index import BitmapIndex, IndexSpec
+from repro.queries.model import MembershipQuery
+from repro.serve import (
+    QueryService,
+    ServiceConfig,
+    paper_mix,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serve.driver import DriverReport
+
+CARDINALITY = 50
+
+
+@pytest.fixture
+def service(rng):
+    values = rng.integers(0, CARDINALITY, size=300)
+    index = BitmapIndex.build(
+        values, IndexSpec(cardinality=CARDINALITY, scheme="E", codec="raw")
+    )
+    with QueryService(
+        index, ServiceConfig(workers=2, max_batch=8, buffer_pages=8)
+    ) as svc:
+        yield svc
+
+
+class TestPaperMix:
+    def test_length_and_types(self):
+        mix = paper_mix(CARDINALITY, 37, seed=1)
+        assert len(mix) == 37
+        assert all(isinstance(q, MembershipQuery) for q in mix)
+        assert all(q.cardinality == CARDINALITY for q in mix)
+
+    def test_deterministic(self):
+        assert paper_mix(CARDINALITY, 24, seed=7) == paper_mix(
+            CARDINALITY, 24, seed=7
+        )
+        assert paper_mix(CARDINALITY, 24, seed=7) != paper_mix(
+            CARDINALITY, 24, seed=8
+        )
+
+    def test_interleaves_query_shapes(self):
+        # Consecutive queries come from different (N_int, N_equ) specs,
+        # so a prefix is not all one shape.
+        mix = paper_mix(200, 16, seed=0)
+        sizes = {len(q.values) for q in mix[:8]}
+        assert len(sizes) > 1
+
+
+class TestClosedLoop:
+    def test_completes_all_queries(self, service):
+        queries = paper_mix(CARDINALITY, 40, seed=2)
+        report = run_closed_loop(service, queries, concurrency=4)
+        assert report.mode == "closed-loop"
+        assert report.submitted == len(queries)
+        assert report.completed == len(queries)
+        assert report.shed == 0 and report.timeouts == 0
+        assert report.throughput_qps > 0
+        assert report.pages_read > 0
+        assert report.batches >= 1
+        assert report.mean_batch_size >= 1.0
+        assert set(report.latency_ms) == {"p50", "p95", "p99"}
+        assert set(report.simulated_ms) == {"p50", "p95", "p99"}
+
+    def test_rejects_bad_concurrency(self, service):
+        with pytest.raises(ValueError):
+            run_closed_loop(service, [], concurrency=0)
+
+    def test_render_mentions_throughput(self, service):
+        report = run_closed_loop(
+            service, paper_mix(CARDINALITY, 8, seed=3), concurrency=2
+        )
+        text = report.render()
+        assert "closed-loop" in text
+        assert "q/s" in text
+        assert "p95" in text
+
+
+class TestOpenLoop:
+    def test_completes_at_feasible_rate(self, service):
+        queries = paper_mix(CARDINALITY, 30, seed=4)
+        report = run_open_loop(service, queries, rate_qps=10_000.0)
+        assert report.mode == "open-loop"
+        assert report.completed + report.shed + report.timeouts == len(queries)
+        assert report.completed > 0
+
+    def test_rejects_bad_rate(self, service):
+        with pytest.raises(ValueError):
+            run_open_loop(service, [], rate_qps=0.0)
+
+
+class TestDriverReport:
+    def test_zero_division_guards(self):
+        report = DriverReport(mode="closed-loop")
+        assert report.throughput_qps == 0.0
+        assert report.pages_per_query == 0.0
+        assert report.mean_batch_size == 0.0

@@ -1,0 +1,97 @@
+"""Linearizability of the serving layer under interleaved appends.
+
+The service claims a simple consistency contract: every answer reflects
+exactly one index epoch (``ServeResult.epoch``), that epoch is between
+the epoch observed at submission and the final epoch, and the answer
+equals a from-scratch oracle evaluated over the records present at that
+epoch.  Appends and shared scans serialize on the service's scan lock,
+which is what makes the history linearizable — these tests drive real
+worker threads against main-thread appends and check the contract on
+every completed request.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmap import BitVector
+from repro.index import BitmapIndex, IndexSpec
+from repro.queries import IntervalQuery, MembershipQuery
+from repro.serve import QueryService, ServiceConfig
+
+CARDINALITY = 12
+
+
+def op_strategy():
+    membership = st.frozensets(
+        st.integers(min_value=0, max_value=CARDINALITY - 1),
+        min_size=1,
+        max_size=4,
+    ).map(lambda vs: ("query", MembershipQuery(vs, CARDINALITY)))
+    interval = st.tuples(
+        st.integers(min_value=0, max_value=CARDINALITY - 1),
+        st.integers(min_value=0, max_value=CARDINALITY - 1),
+    ).map(
+        lambda lh: (
+            "query",
+            IntervalQuery(min(lh), max(lh), CARDINALITY),
+        )
+    )
+    append = st.integers(min_value=0, max_value=15).map(
+        lambda size: ("append", size)
+    )
+    return st.lists(
+        st.one_of(membership, interval, append), min_size=1, max_size=12
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1), ops=op_strategy())
+@settings(max_examples=20, deadline=None)
+def test_interleaved_appends_and_queries_linearize(seed, ops):
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, CARDINALITY, size=40)
+    index = BitmapIndex.build(
+        base, IndexSpec(cardinality=CARDINALITY, scheme="E", codec="raw")
+    )
+    # prefixes[e] = the column contents at epoch e.
+    prefixes = [np.array(base)]
+    in_flight = []  # (query, epoch_at_submit, ticket)
+
+    config = ServiceConfig(workers=2, max_batch=4, buffer_pages=8)
+    with QueryService(index, config) as service:
+        for kind, payload in ops:
+            if kind == "append":
+                batch = rng.integers(0, CARDINALITY, size=payload)
+                service.append(batch)
+                prefixes.append(np.concatenate([prefixes[-1], batch]))
+            else:
+                # Tickets are not awaited here, so these queries race
+                # with every later append in the op sequence.
+                in_flight.append(
+                    (payload, index.epoch, service.submit(payload))
+                )
+        final_epoch = index.epoch
+
+    assert final_epoch == len(prefixes) - 1
+    for query, submit_epoch, ticket in in_flight:
+        result = ticket.result(timeout=10)
+        assert submit_epoch <= result.epoch <= final_epoch
+        column = prefixes[result.epoch]
+        assert len(result.bitmap) == len(column)
+        expected = BitVector.from_bools(query.matches(column))
+        assert result.bitmap == expected, (query, result.epoch)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_oracle_agrees_with_rebuilt_index(seed):
+    """The naive-scan oracle above equals a rebuild-from-scratch index."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, CARDINALITY, size=30)
+    batch = rng.integers(0, CARDINALITY, size=10)
+    spec = IndexSpec(cardinality=CARDINALITY, scheme="E", codec="raw")
+    merged = np.concatenate([base, batch])
+    rebuilt = BitmapIndex.build(merged, spec)
+    query = MembershipQuery.of({1, 5, 9}, CARDINALITY)
+    assert rebuilt.query(query).bitmap == BitVector.from_bools(
+        query.matches(merged)
+    )
