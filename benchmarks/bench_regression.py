@@ -1,11 +1,12 @@
 #!/usr/bin/env python
 """Benchmark-regression driver: codec kernels, compressed ops, one e2e run.
 
-Times encode/decode for every codec, compressed-domain AND/OR, and one
-end-to-end figure regeneration, then writes ``BENCH_PR5.json`` at the
-repo root.  Prior recorded numbers are merged in under prefixed names —
-``seed:`` for the pre-vectorization baseline (``benchmarks/results/
-seed_baseline.json``) and ``pr1:`` through ``pr4:`` for each PR's
+Times encode/decode for every codec, compressed-domain AND/OR, the
+fused-vs-materializing expression evaluators, and one end-to-end
+figure regeneration, then writes ``BENCH_PR6.json`` at the repo root.
+Prior recorded numbers are merged in under prefixed names — ``seed:``
+for the pre-vectorization baseline (``benchmarks/results/
+seed_baseline.json``) and ``pr1:`` through ``pr5:`` for each PR's
 recorded numbers (``BENCH_PR<n>.json``) — so a single file shows
 current medians next to every baseline.
 
@@ -29,6 +30,12 @@ Three gates can fail the run (exit 1):
   configuration — the speed of per-container dispatch over matching
   chunks is the point of the roaring extension, so losing to a
   word-aligned run-length codec is a regression;
+* fused block-at-a-time evaluation slower than the materializing
+  evaluator on the large-tree workload, or the fused run allocating
+  any full-length intermediate (``expr.intermediate_allocs`` with
+  ``mode=fused`` must read 0 — counted via :mod:`repro.obs`, so the
+  allocation half of the gate is deterministic and runs in ``--quick``
+  mode too; the timing half is full-mode only);
 * installing a :class:`repro.obs.Observability` instance slows the
   codec kernel workload by more than 5% — the instrumentation must
   stay effectively free.  (The overhead is measured in ``--quick``
@@ -67,6 +74,7 @@ import numpy as np
 from repro import obs
 from repro.bitmap import BitVector
 from repro.compress import get_codec
+from repro.expr import evaluate, evaluate_fused, leaf
 from repro.compress.bbc_ops import bbc_logical
 from repro.compress.compressed_ops import ewah_logical
 from repro.compress.roaring_ops import roaring_logical
@@ -81,7 +89,8 @@ PR1_BASELINE = REPO_ROOT / "BENCH_PR1.json"
 PR2_BASELINE = REPO_ROOT / "BENCH_PR2.json"
 PR3_BASELINE = REPO_ROOT / "BENCH_PR3.json"
 PR4_BASELINE = REPO_ROOT / "BENCH_PR4.json"
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR5.json"
+PR5_BASELINE = REPO_ROOT / "BENCH_PR5.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR6.json"
 
 #: Maximum tolerated slowdown of the kernel workload with obs installed.
 OBS_OVERHEAD_LIMIT_PCT = 5.0
@@ -162,11 +171,69 @@ def run_benchmarks(
 
     results["obs_overhead"] = measure_obs_overhead(n_bits, density)
 
+    # Fused evaluation wants vectors much larger than one block, so it
+    # gets its own size: 16x the codec size keeps the materializing
+    # intermediates out of cache at the full configuration.
+    results.update(run_fused_eval_bench(n_bits * 16, density, iters))
+
     # Serving layer: counted pages, deterministic at any size.
     results["serving_shared_scan"] = run_serving_bench(
         num_records=num_records, num_queries=min(200, 10 * num_records)
     )
     return results
+
+
+def run_fused_eval_bench(n_bits: int, density: float, iters: int) -> dict[str, dict]:
+    """Fused vs. materializing evaluation of a deep tree over large vectors.
+
+    The vectors are sized well past the block size so the fused walk's
+    cache residency can pay off; the tree mixes AND/OR/XOR and interior
+    NOTs so the materializing evaluator allocates several full-length
+    intermediates that the fused path must avoid entirely.  Allocation
+    counts come from the ``expr.intermediate_allocs`` obs counter and
+    ride along in each entry for the zero-allocation gate.
+    """
+    block_words = 8192  # MAX_BLOCK_WORDS: 64 KiB blocks, the tuned size
+    rng = np.random.default_rng(4)
+    bitmaps = {
+        key: BitVector.from_bools(rng.random(n_bits) < density)
+        for key in "abcdef"
+    }
+    expr = ((~leaf("a") | leaf("b")) & ~(leaf("c") ^ leaf("d"))) ^ (
+        leaf("e") & ~leaf("f")
+    )
+    fetch = bitmaps.get
+    params = {"n_bits": n_bits, "density": density, "leaves": 6}
+
+    def fused():
+        return evaluate_fused(expr, fetch, n_bits, block_words=block_words)
+
+    def materialized():
+        return evaluate(expr, fetch, n_bits)
+
+    if not np.array_equal(fused().words, materialized().words):
+        raise AssertionError("fused/materializing evaluators disagree")
+
+    def allocs(mode: str, fn) -> int:
+        with obs.observed() as o:
+            fn()
+        metric = o.metrics.find("expr.intermediate_allocs", mode=mode)
+        return -1 if metric is None else int(metric.value)
+
+    return {
+        "materialized_eval": {
+            "median_s": timeit(materialized, iters),
+            "iterations": iters,
+            "params": params,
+            "intermediate_allocs": allocs("materialize", materialized),
+        },
+        "fused_eval": {
+            "median_s": timeit(fused, iters),
+            "iterations": iters,
+            "params": dict(params, block_words=block_words),
+            "intermediate_allocs": allocs("fused", fused),
+        },
+    }
 
 
 def measure_obs_overhead(n_bits: int, density: float, pairs: int = 15) -> dict:
@@ -259,6 +326,7 @@ def main(argv: list[str] | None = None) -> int:
     merge_baseline(results, PR2_BASELINE, "pr2")
     merge_baseline(results, PR3_BASELINE, "pr3")
     merge_baseline(results, PR4_BASELINE, "pr4")
+    merge_baseline(results, PR5_BASELINE, "pr5")
 
     output = args.output
     if output is None and not args.quick:
@@ -301,6 +369,30 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: roaring AND ({roaring_and:.6f}s) is slower than "
             f"wah AND ({wah_and:.6f}s)",
+            file=sys.stderr,
+        )
+        return 1
+
+    fused = results["fused_eval"]
+    materialized = results["materialized_eval"]
+    print(
+        f"fused vs materialized eval: "
+        f"{materialized['median_s'] / fused['median_s']:.2f}x faster, "
+        f"{fused['intermediate_allocs']} intermediate allocs "
+        f"(vs {materialized['intermediate_allocs']} materializing)"
+    )
+    if not args.quick and fused["median_s"] > materialized["median_s"]:
+        print(
+            f"FAIL: fused eval ({fused['median_s']:.6f}s) is slower than "
+            f"materializing eval ({materialized['median_s']:.6f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    if fused["intermediate_allocs"] != 0:
+        print(
+            f"FAIL: fused eval reported "
+            f"{fused['intermediate_allocs']} full-length intermediate "
+            f"allocations (expr.intermediate_allocs mode=fused must be 0)",
             file=sys.stderr,
         )
         return 1

@@ -107,9 +107,10 @@ def _parse_query(args: argparse.Namespace, cardinality: int):
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
+    index = load_index(args.index, mapped=args.mapped)
     query = _parse_query(args, index.cardinality)
-    result = index.query(query)
+    fused = {"auto": "auto", "on": True, "off": False}[args.fused]
+    result = index.query(query, fused=fused)
     print(f"query:         {query}")
     print(f"matching rows: {result.row_count}")
     print(f"bitmap scans:  {result.stats.scans}")
@@ -353,6 +354,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--show-rows", type=int, default=0, help="print up to N matching row ids"
+    )
+    p.add_argument(
+        "--mapped",
+        action="store_true",
+        help="serve payloads from read-only mmap views instead of heap "
+        "copies (v2 index directories; see docs/zero_copy.md)",
+    )
+    p.add_argument(
+        "--fused",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="physical evaluation: fused block-at-a-time kernels, "
+        "materializing, or per-constituent planning (default)",
     )
     p.set_defaults(func=_cmd_query)
 

@@ -40,6 +40,7 @@ from repro.compress.raw import RawCodec, raw_count, raw_logical, raw_not
 from repro.compress.roaring import RoaringCodec
 from repro.compress.roaring_ops import roaring_count, roaring_logical, roaring_not
 from repro.compress.stats import CompressionStats, measure_all_codecs, measure_codec
+from repro.compress.streams import BlockStream, VectorStream, decode_blockwise, open_stream
 from repro.compress.wah import WahCodec
 from repro.compress.wah_ops import wah_count, wah_logical, wah_not
 
@@ -76,4 +77,8 @@ __all__ = [
     "raw_logical",
     "raw_not",
     "raw_count",
+    "BlockStream",
+    "VectorStream",
+    "open_stream",
+    "decode_blockwise",
 ]

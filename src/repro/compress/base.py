@@ -43,6 +43,16 @@ class Codec(ABC):
     def _decode(self, payload: bytes, length: int) -> BitVector:
         """Decompress ``payload`` back into a vector of ``length`` bits."""
 
+    def _decode_view(self, payload, length: int) -> BitVector | None:
+        """Zero-copy decode over ``payload``'s buffer, or None.
+
+        Subclasses whose decoded form can alias the payload (raw)
+        return a vector whose words *view* the payload memory; the
+        default says no such form exists and :meth:`decode_view` falls
+        back to a copying decode.
+        """
+        return None
+
     def _counters(self, o):
         owner, handles = self._obs_handles
         if owner is not o:
@@ -74,6 +84,51 @@ class Codec(ABC):
     def decode(self, payload: bytes, length: int) -> BitVector:
         """Decompress ``payload``, reporting to the installed obs sink."""
         vector = self._decode(payload, length)
+        o = _obs.active()
+        if o is not None:
+            _, _, _, calls, bytes_in = self._counters(o)
+            calls.inc(1)
+            bytes_in.inc(len(payload))
+            tracer = o.tracer
+            tracer.attribute("codec.decode.calls", 1)
+            tracer.attribute("codec.decode.bytes_in", len(payload))
+        return vector
+
+    def decode_view(self, payload, length: int) -> BitVector:
+        """Like :meth:`decode`, zero-copy when the codec supports it.
+
+        ``payload`` may be any byte buffer (``bytes`` or a read-only
+        ``numpy`` view of an mmap).  When the codec has a zero-copy
+        decoded form the returned vector's words alias the payload
+        memory — treat it as read-only.  Reports the *same*
+        ``codec.decode.*`` counters as :meth:`decode`, so zero-copy and
+        copying fetch paths stay byte-for-byte identical in obs.
+        """
+        vector = self._decode_view(payload, length)
+        if vector is None:
+            vector = self._decode(payload, length)
+        o = _obs.active()
+        if o is not None:
+            _, _, _, calls, bytes_in = self._counters(o)
+            calls.inc(1)
+            bytes_in.inc(len(payload))
+            tracer = o.tracer
+            tracer.attribute("codec.decode.calls", 1)
+            tracer.attribute("codec.decode.bytes_in", len(payload))
+        return vector
+
+    def decode_blockwise(
+        self, payload, length: int, block_words: int = 2048
+    ) -> BitVector:
+        """Decode through the codec's block stream (block-sized scratch).
+
+        Identical output and ``codec.decode.*`` accounting to
+        :meth:`decode`; only the decode temporaries shrink from
+        vector-sized to block-sized.
+        """
+        from repro.compress import streams as _streams
+
+        vector = _streams.decode_blockwise(self.name, payload, length, block_words)
         o = _obs.active()
         if o is not None:
             _, _, _, calls, bytes_in = self._counters(o)

@@ -70,7 +70,9 @@ def _read_varint(payload: bytes, pos: int) -> tuple[int, int]:
     while True:
         if pos >= len(payload):
             raise CodecError("truncated varint in BBC stream")
-        byte = payload[pos]
+        # int() so numpy buffer payloads (zero-copy store views) don't
+        # poison the shift arithmetic with wrapping uint8 scalars.
+        byte = int(payload[pos])
         pos += 1
         result |= (byte & 0x7F) << shift
         if not byte & 0x80:
@@ -121,7 +123,7 @@ def runs_from_bbc(payload: bytes) -> Runs:
     at_starts: list[int] = []
     pos = 0
     while pos < n:
-        header = payload[pos]
+        header = int(payload[pos])
         pos += 1
         fill_len = (header >> 4) & 0x7
         lit_len = header & 0xF

@@ -296,3 +296,56 @@ def runs_popcount(runs: Runs, bits_per_element: int) -> int:
     if runs.values.size:
         total += int(np.bitwise_count(runs.values).sum())
     return total
+
+
+class RunSlicer:
+    """Random-access element-range slices of one :class:`Runs` sequence.
+
+    The block-streaming decoders (:mod:`repro.compress.streams`) cut a
+    leaf's run sequence into many consecutive element windows; doing
+    that through a per-call ``cumsum`` would make each window O(runs).
+    The slicer builds the run-end and dirty-value-offset prefix sums
+    once, so every :meth:`slice` is two ``searchsorted`` probes plus
+    work proportional to the runs actually overlapped.
+    """
+
+    def __init__(self, runs: Runs):
+        self.runs = runs
+        self._ends = np.cumsum(runs.lengths)
+        dirty_lens = runs.lengths * (runs.types == DIRTY)
+        self._val_off = np.cumsum(dirty_lens) - dirty_lens
+        #: Total elements covered (cached; ``Runs.total`` re-sums).
+        self.total = int(self._ends[-1]) if runs.num_runs else 0
+
+    def slice(self, start: int, stop: int) -> Runs:
+        """Elements ``[start, stop)`` as a (possibly non-canonical) Runs.
+
+        The window is clamped to ``[0, total)``; a caller asking past
+        the end (a stream that trimmed trailing zero elements) gets a
+        shorter sequence back and supplies its own padding.
+        """
+        start = max(int(start), 0)
+        stop = min(int(stop), self.total)
+        if stop <= start:
+            return empty_runs(self.runs.values.dtype)
+        runs, ends = self.runs, self._ends
+        first = int(np.searchsorted(ends, start, side="right"))
+        last = int(np.searchsorted(ends, stop, side="left"))
+        sel = slice(first, last + 1)
+        types = runs.types[sel]
+        r_ends = ends[sel]
+        r_starts = r_ends - runs.lengths[sel]
+        lo = np.maximum(r_starts, start)
+        out_lens = np.minimum(r_ends, stop) - lo
+        is_dirty = types == DIRTY
+        if is_dirty.any():
+            src = self._val_off[sel][is_dirty] + (lo[is_dirty] - r_starts[is_dirty])
+            values = runs.values[expand_ranges(src, out_lens[is_dirty])]
+        else:
+            values = runs.values[:0]
+        return Runs(types.copy(), out_lens.astype(np.int64), values)
+
+
+def slice_runs(runs: Runs, start: int, stop: int) -> Runs:
+    """One-shot element-range slice (see :class:`RunSlicer`)."""
+    return RunSlicer(runs).slice(start, stop)

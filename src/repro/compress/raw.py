@@ -70,6 +70,22 @@ class RawCodec(Codec):
     def _decode(self, payload: bytes, length: int) -> BitVector:
         return BitVector.from_bytes(length, payload)
 
+    def _decode_view(self, payload, length: int) -> BitVector | None:
+        """Zero-copy decode: the words alias the payload buffer.
+
+        Falls back (returns None) when the payload is malformed or its
+        padding bits are dirty — those cases need the copying decode's
+        error reporting and masking.
+        """
+        expected = (length + 63) // 64 * 8
+        if len(payload) != expected:
+            return None
+        words = np.frombuffer(payload, dtype=np.uint64)
+        tail = length % 64
+        if tail and words.shape[0] and int(words[-1]) >> tail:
+            return None
+        return BitVector(length, words)
+
     def encoded_size(self, vector: BitVector) -> int:
         return vector.num_words * 8
 

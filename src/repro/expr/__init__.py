@@ -21,6 +21,11 @@ from repro.expr.evaluator import (
     expression_operation_count,
     expression_scan_count,
 )
+from repro.expr.fused import (
+    DEFAULT_BLOCK_WORDS,
+    evaluate_fused,
+    evaluate_fused_streams,
+)
 from repro.expr.nodes import (
     And,
     Const,
@@ -37,7 +42,7 @@ from repro.expr.nodes import (
     xor_of,
     zero,
 )
-from repro.expr.planner import minimal_scan_cost, plan_expression
+from repro.expr.planner import minimal_scan_cost, plan_expression, plan_physical
 from repro.expr.render import to_dot, to_tree
 from repro.expr.simplify import simplify
 
@@ -58,11 +63,15 @@ __all__ = [
     "zero",
     "simplify",
     "evaluate",
+    "evaluate_fused",
+    "evaluate_fused_streams",
+    "DEFAULT_BLOCK_WORDS",
     "EvalStats",
     "expression_scan_count",
     "expression_operation_count",
     "minimal_scan_cost",
     "plan_expression",
+    "plan_physical",
     "to_tree",
     "to_dot",
 ]

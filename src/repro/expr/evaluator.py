@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections.abc import Callable, Hashable
 from dataclasses import dataclass, field
 
+from repro import obs as _obs
 from repro.bitmap import BitVector
 from repro.errors import BitmapError
 from repro.expr.nodes import And, Const, Expr, Leaf, Not, Or, Xor
@@ -104,7 +105,14 @@ def evaluate(
     if cache is None:
         cache = {}
     memo: dict[Expr, BitVector] = {}
-    return _eval(expr, fetch, length, stats, cache, memo)
+    allocs = [0]
+    result = _eval(expr, fetch, length, stats, cache, memo, allocs)
+    o = _obs.active()
+    if o is not None:
+        # Full-length intermediate vectors this evaluation allocated —
+        # the traffic the fused path (mode="fused", always 0) removes.
+        o.count("expr.intermediate_allocs", allocs[0], mode="materialize")
+    return result
 
 
 def _fetch_leaf(
@@ -134,6 +142,7 @@ def _eval(
     stats: EvalStats,
     cache: dict[Hashable, BitVector],
     memo: dict[Expr, BitVector],
+    allocs: list[int],
 ) -> BitVector:
     if expr in memo:
         return memo[expr]
@@ -142,16 +151,19 @@ def _eval(
         result = _fetch_leaf(expr.key, fetch, length, stats, cache)
     elif isinstance(expr, Const):
         result = BitVector.ones(length) if expr.value else BitVector.zeros(length)
+        allocs[0] += 1
     elif isinstance(expr, Not):
-        child = _eval(expr.child, fetch, length, stats, cache, memo)
+        child = _eval(expr.child, fetch, length, stats, cache, memo, allocs)
         result = ~child
         stats.operations += 1
+        allocs[0] += 1
     elif isinstance(expr, (And, Or, Xor)):
         operands = [
-            _eval(child, fetch, length, stats, cache, memo)
+            _eval(child, fetch, length, stats, cache, memo, allocs)
             for child in expr.children()
         ]
         result = operands[0].copy()
+        allocs[0] += 1
         for other in operands[1:]:
             if isinstance(expr, And):
                 result &= other

@@ -232,24 +232,32 @@ class BitmapIndex:
         buffer_pages: int | None = None,
         clock: CostClock | None = None,
         strategy: str = "component-wise",
+        **kwargs,
     ) -> QueryEngine:
         """A query engine over this index.
 
         ``buffer_pages`` defaults to a pool comfortably larger than the
         index (the paper notes 11 MB was adequate for its runs).
+        Additional keyword arguments (``fused``, ``block_words``) pass
+        through to :class:`~repro.index.evaluation.QueryEngine`.
         """
         return QueryEngine(
             self,
             buffer_pages=buffer_pages,
             clock=clock,
             strategy=strategy,
+            **kwargs,
         )
 
     def query(
-        self, query: IntervalQuery | MembershipQuery
+        self, query: IntervalQuery | MembershipQuery, **engine_kwargs
     ) -> EvaluationResult:
-        """One-shot convenience evaluation with a fresh default engine."""
-        return self.engine().execute(query)
+        """One-shot convenience evaluation with a fresh default engine.
+
+        Keyword arguments (``strategy``, ``fused``, ``block_words``,
+        ...) configure the throwaway engine.
+        """
+        return self.engine(**engine_kwargs).execute(query)
 
     def __repr__(self) -> str:
         return (

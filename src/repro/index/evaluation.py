@@ -35,11 +35,19 @@ from dataclasses import dataclass, field
 from repro import obs as _obs
 from repro.bitmap import BitVector, or_all
 from repro.errors import QueryError
-from repro.expr import EvalStats, Expr, evaluate
+from repro.expr import (
+    DEFAULT_BLOCK_WORDS,
+    EvalStats,
+    Expr,
+    evaluate,
+    evaluate_fused,
+    plan_physical,
+)
 from repro.queries.model import IntervalQuery, MembershipQuery
 from repro.storage import BufferPool, BufferStats, CostClock
 
 STRATEGIES = ("component-wise", "query-wise", "scheduled")
+FUSED_MODES = (True, False, "auto")
 
 
 def query_class_of(query: IntervalQuery | MembershipQuery) -> str:
@@ -117,13 +125,21 @@ class QueryEngine:
         buffer_pages: int | None = None,
         clock: CostClock | None = None,
         strategy: str = "component-wise",
+        fused: bool | str = "auto",
+        block_words: int = DEFAULT_BLOCK_WORDS,
     ):
         if strategy not in STRATEGIES:
             raise QueryError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
             )
+        if fused not in FUSED_MODES:
+            raise QueryError(
+                f"unknown fused mode {fused!r}; expected one of {FUSED_MODES}"
+            )
         self.index = index
         self.strategy = strategy
+        self.fused = fused
+        self.block_words = int(block_words)
         self.clock = clock if clock is not None else CostClock()
         if buffer_pages is None:
             # Default: the whole decoded index fits (the paper's 11 MB
@@ -194,6 +210,13 @@ class QueryEngine:
         else:
             answer = self._query_wise(constituents, length, stats)
 
+        # A bare-leaf answer can be the pool-resident vector itself,
+        # which may view read-only (store/mmap) memory — callers own
+        # their results, so hand out a writable copy instead.  Pure
+        # allocation traffic: no scans or operations to charge.
+        if not answer.words.flags.writeable:
+            answer = answer.copy()
+
         # Charge CPU for the bulk word operations and the final ORs.
         self.clock.charge_word_ops(stats.operations, words)
         return EvaluationResult(
@@ -222,17 +245,51 @@ class QueryEngine:
         words = max(1, -(-length // 64))
         before = stats.operations
         results = [
-            evaluate(expr, self.pool.fetch, length, stats, cache)
+            self._evaluate_expr(expr, length, stats, cache)
             for expr in constituents
         ]
         if len(results) > 1:
             stats.operations += len(results) - 1
         self.clock.charge_word_ops(stats.operations - before, words)
         if len(results) == 1:
-            return results[0]
+            answer = results[0]
+            if not answer.words.flags.writeable:
+                answer = answer.copy()  # same ownership rule as execute()
+            return answer
         return or_all(results)
 
     # ------------------------------------------------------------------
+
+    def _evaluate_expr(
+        self,
+        expr: Expr,
+        length: int,
+        stats: EvalStats,
+        cache: dict[Hashable, BitVector],
+    ) -> BitVector:
+        """Evaluate one constituent, fused or materializing.
+
+        Both physical plans fetch leaves through :attr:`pool` in the
+        same depth-first first-touch order against the same ``cache``
+        and charge identical scans/operations, so the choice is
+        invisible to the cost model — only wall-clock and allocation
+        traffic differ.
+        """
+        if self.fused is True:
+            return evaluate_fused(
+                expr, self.pool.fetch, length, stats, cache,
+                block_words=self.block_words,
+            )
+        if self.fused == "auto":
+            if plan_physical(expr, length, self.block_words) == "fused":
+                return evaluate_fused(
+                    expr, self.pool.fetch, length, stats, cache,
+                    block_words=self.block_words,
+                )
+            o = _obs.active()
+            if o is not None:
+                o.count("expr.fused.materialize_fallbacks", 1)
+        return evaluate(expr, self.pool.fetch, length, stats, cache)
 
     def _component_wise(
         self, constituents: list[Expr], length: int, stats: EvalStats
@@ -252,7 +309,7 @@ class QueryEngine:
                 stats.scans += 1
                 stats.fetched_keys.append(key)
         results = [
-            evaluate(expr, self.pool.fetch, length, stats, cache)
+            self._evaluate_expr(expr, length, stats, cache)
             for expr in constituents
         ]
         if len(results) == 1:
@@ -267,9 +324,12 @@ class QueryEngine:
         answer: BitVector | None = None
         for expr in constituents:
             cache: dict[Hashable, BitVector] = {}
-            result = evaluate(expr, self.pool.fetch, length, stats, cache)
+            result = self._evaluate_expr(expr, length, stats, cache)
             if answer is None:
-                answer = result
+                # A bare-leaf constituent evaluates to the pool-resident
+                # vector itself (read-only under a mapped store), so the
+                # accumulator must be a private copy before |=.
+                answer = result if len(constituents) == 1 else result.copy()
             else:
                 answer |= result
                 stats.operations += 1

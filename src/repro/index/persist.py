@@ -51,7 +51,7 @@ from repro.errors import (
 )
 from repro.index.bitmap_index import BitmapIndex, IndexSpec
 from repro.encoding import get_scheme
-from repro.storage import DirectoryStore, atomic_write_bytes
+from repro.storage import DirectoryStore, MappedDirectoryStore, atomic_write_bytes
 from repro.storage import faults as _faults
 from repro.storage.store import BLOB_SUFFIX, TMP_SUFFIX
 
@@ -250,8 +250,47 @@ def _check_blob(payload: bytes, entry: dict, key) -> None:
         )
 
 
+#: Exception type → ``persist.corruption_detected`` tag, for errors the
+#: mapped attach path raises (mirrors the kinds ``_check_blob`` counts).
+_CORRUPTION_KINDS = (
+    (TruncatedBlobError, "truncated"),
+    (ChecksumMismatchError, "checksum"),
+    (MissingBlobError, "missing"),
+    (ManifestMismatchError, "mismatch"),
+)
+
+
+def _attach_mapped_entry(
+    store: MappedDirectoryStore, path: Path, entry: dict, key
+) -> None:
+    """Map-and-verify one v2 entry, with the copying loader's counters."""
+    expected_bytes = entry.get("bytes")
+    expected_crc = entry.get("crc32")
+    if not isinstance(expected_bytes, int) or not isinstance(expected_crc, int):
+        _count("persist.corruption_detected", kind="manifest")
+        raise ManifestMismatchError(
+            f"bitmap {key!r}: v2 manifest entry lacks integer 'bytes'/"
+            f"'crc32' fields (got {expected_bytes!r}, {expected_crc!r})"
+        )
+    try:
+        store.attach_mapped(
+            key,
+            entry["length"],
+            path=path,
+            expected_bytes=expected_bytes,
+            expected_crc=expected_crc,
+        )
+    except StorageError as exc:
+        for exc_type, kind in _CORRUPTION_KINDS:
+            if isinstance(exc, exc_type):
+                _count("persist.corruption_detected", kind=kind)
+                break
+        raise
+
+
 def _load_entries(directory: Path, manifest: dict, store: DirectoryStore) -> None:
     fmt = manifest["format"]
+    mapped = isinstance(store, MappedDirectoryStore)
     for entry in manifest["bitmaps"]:
         try:
             key = (entry["component"], _decode_slot(entry["slot"]))
@@ -261,6 +300,9 @@ def _load_entries(directory: Path, manifest: dict, store: DirectoryStore) -> Non
                 f"malformed manifest bitmap entry {entry!r}: {exc}"
             ) from exc
         path = _blob_path(directory, entry, key)
+        if fmt >= 2 and mapped:
+            _attach_mapped_entry(store, path, entry, key)
+            continue
         payload = _read_blob(path, key)
         if fmt >= 2:
             _check_blob(payload, entry, key)
@@ -272,7 +314,7 @@ def _load_entries(directory: Path, manifest: dict, store: DirectoryStore) -> Non
             store.attach_payload(key, payload, len(vector))
 
 
-def load_index(directory: str | Path) -> BitmapIndex:
+def load_index(directory: str | Path, mapped: bool = False) -> BitmapIndex:
     """Load an index previously written by :func:`save_index`.
 
     Reads are verify-on-load for v2 directories: every blob's byte
@@ -280,11 +322,24 @@ def load_index(directory: str | Path) -> BitmapIndex:
     disagreement raises a typed :class:`~repro.errors.StorageError`
     subclass naming the offending key.  Loading never writes to the
     directory.
+
+    With ``mapped=True`` a v2 directory is served through a
+    :class:`~repro.storage.MappedDirectoryStore`: each blob is verified
+    against the manifest and then memory-mapped read-only, so the OS
+    page cache is the only copy of the encoded index and query-time
+    payload reads are zero-copy views.  v1 directories have no
+    checksums to verify mappings against, so they silently fall back to
+    the copying loader.
     """
     directory = Path(directory)
     manifest = _read_manifest(directory)
     try:
-        store = DirectoryStore(
+        store_cls = (
+            MappedDirectoryStore
+            if mapped and manifest["format"] >= 2
+            else DirectoryStore
+        )
+        store = store_cls(
             directory,
             codec=manifest["codec"],
             page_size=manifest["page_size"],

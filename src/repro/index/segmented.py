@@ -131,8 +131,12 @@ class SegmentedBitmapIndex:
 
     # ------------------------------------------------------------------
 
-    def query(self, query: Query) -> EvaluationResult:
-        """Evaluate over every segment and concatenate the answers."""
+    def query(self, query: Query, **engine_kwargs) -> EvaluationResult:
+        """Evaluate over every segment and concatenate the answers.
+
+        Keyword arguments (``strategy``, ``fused``, ``block_words``,
+        ...) configure each segment's throwaway engine.
+        """
         if isinstance(query, (IntervalQuery, MembershipQuery)):
             if query.cardinality != self.cardinality:
                 raise QueryError(
@@ -146,7 +150,7 @@ class SegmentedBitmapIndex:
         simulated = 0.0
         pieces: list[BitVector] = []
         for segment in self._segments:
-            result = segment.query(query)
+            result = segment.query(query, **engine_kwargs)
             stats.merge(result.stats)
             simulated += result.simulated_ms
             pieces.append(result.bitmap)

@@ -87,6 +87,10 @@ class ServiceConfig:
     #: ``"decoded"`` (BufferPool + BitVector ops) or ``"compressed"``
     #: (payload pool + compressed-domain ops).
     engine: str = "decoded"
+    #: Physical evaluation mode for the decoded engine: ``"auto"``
+    #: (planner decides per constituent), ``True`` (always fused) or
+    #: ``False`` (always materializing).  See ``docs/zero_copy.md``.
+    fused: bool | str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -239,6 +243,7 @@ class QueryService:
                 index,
                 buffer_pages=self.config.buffer_pages,
                 clock=self.clock,
+                fused=self.config.fused,
             )
         self.cache = ResultCache(self.config.cache_entries)
         self.stats = ServiceStats()

@@ -17,6 +17,7 @@ from repro.storage.iomodel import (
     DiskModel,
     get_disk_model,
 )
+from repro.storage.mmap_store import MappedDirectoryStore
 from repro.storage.pages import DEFAULT_PAGE_SIZE, pages_for, validate_page_size
 from repro.storage.store import (
     BitmapStore,
@@ -29,6 +30,7 @@ from repro.storage.store import (
 __all__ = [
     "BitmapStore",
     "DirectoryStore",
+    "MappedDirectoryStore",
     "StoredBitmapInfo",
     "BufferPool",
     "BufferStats",

@@ -128,7 +128,10 @@ class BufferPool:
         if o is not None:
             o.count("buffer.misses", 1, pool="decoded")
         info = self._store.info(key)
-        vector = self._store.get(key)
+        # Decode through the payload view: zero-copy words over a mapped
+        # store, a heap view otherwise.  Charges are measured from
+        # ``info`` either way, so the two paths account identically.
+        vector = self._store.get_view(key)
         if self._clock is not None:
             self._clock.charge_read(info.pages)
             if not isinstance(self._store.codec, RawCodec):

@@ -25,6 +25,9 @@ from collections.abc import Hashable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
+import numpy as np
+
+from repro import obs as _obs
 from repro.bitmap import BitVector
 from repro.compress import Codec, get_codec
 from repro.errors import StorageError
@@ -104,6 +107,8 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> None:
     """
     path = Path(path)
     tmp = path.parent / (path.name + TMP_SUFFIX)
+    if not isinstance(data, bytes):
+        data = bytes(data)  # memoryview/ndarray payloads (zero-copy views)
     data = faults.step("write", path.name, data=data, path=tmp)
     with open(tmp, "wb") as fh:
         fh.write(data)
@@ -196,6 +201,38 @@ class BitmapStore:
         """Decode and return the bitmap stored under ``key``."""
         payload = self._payload(key)
         return self._codec.decode(payload, self._lengths[key])
+
+    def get_view(self, key: Hashable) -> BitVector:
+        """Decode through the payload view — zero-copy when possible.
+
+        With a raw codec the returned vector's words *alias* the stored
+        payload (the mmap itself for a
+        :class:`~repro.storage.mmap_store.MappedDirectoryStore`, the
+        in-memory blob otherwise) — treat it as read-only.  Other
+        codecs decode normally.  Identical ``codec.decode.*`` obs
+        accounting to :meth:`get`.
+        """
+        return self._codec.decode_view(self.payload_view(key), self._lengths[key])
+
+    def payload_view(self, key: Hashable) -> np.ndarray:
+        """Read-only ``uint8`` view of the stored payload.
+
+        The base store serves a view over its in-memory copy and counts
+        ``storage.mmap.copy_fallbacks`` — every handout that *could*
+        have been zero-copy from a mapping but was not is visible.  The
+        mapped subclass serves the mmap and counts
+        ``storage.mmap.view_bytes`` instead.
+        """
+        payload = self._payload(key)
+        view = (
+            payload
+            if isinstance(payload, np.ndarray)
+            else np.frombuffer(payload, dtype=np.uint8)
+        )
+        o = _obs.active()
+        if o is not None:
+            o.count("storage.mmap.copy_fallbacks", 1)
+        return view
 
     def get_payload(self, key: Hashable) -> tuple[bytes, int]:
         """The stored (encoded payload, bit length) without decoding.

@@ -96,3 +96,27 @@ class TestBufferEffects:
         r1 = engine.execute(IntervalQuery(3, 3, 50))
         r2 = engine.execute(IntervalQuery(0, 44, 50))
         assert clock.total_ms == pytest.approx(r1.simulated_ms + r2.simulated_ms)
+
+
+class TestAnswerOwnership:
+    """Query answers belong to the caller: never a read-only view of
+    pool/store memory, even when a constituent is a bare leaf."""
+
+    def _single_leaf_query(self, engine_kwargs):
+        values = np.arange(120) % 4
+        idx = BitmapIndex.build(values, IndexSpec(cardinality=4, scheme="E"))
+        # Equality on an E-encoded index is a bare-leaf expression.
+        result = idx.query(IntervalQuery(2, 2, 4), **engine_kwargs)
+        return idx, result
+
+    @pytest.mark.parametrize("fused", [False, True, "auto"])
+    def test_answer_is_writable(self, fused):
+        idx, result = self._single_leaf_query({"fused": fused})
+        assert result.bitmap.words.flags.writeable
+        result.bitmap.words[0] = 0  # must not raise
+
+    def test_mutating_answer_leaves_index_intact(self):
+        idx, result = self._single_leaf_query({})
+        before = result.row_count
+        result.bitmap.words[:] = 0
+        assert idx.query(IntervalQuery(2, 2, 4)).row_count == before

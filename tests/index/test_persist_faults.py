@@ -13,6 +13,7 @@ import shutil
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.errors import (
     ChecksumMismatchError,
     ManifestMismatchError,
@@ -226,3 +227,99 @@ class TestSingleByteCorruption:
         assert (
             loaded.query(query).row_count == index.query(query).row_count
         )
+
+
+class TestMappedLoadCorruption:
+    """``load_index(mapped=True)`` must stay exactly as loud as the
+    copying loader: the CRC/size checks run before a view is registered,
+    so a poisoned mmap view can never reach a query."""
+
+    def test_every_blob_byte_flip_detected_mapped(self, tmp_path):
+        index = _build(seed=6, cardinality=4, num_records=64, codec="raw")
+        save_index(index, tmp_path / "idx")
+        blob_paths = sorted((tmp_path / "idx").glob("*.bm"))
+        assert blob_paths
+        for path in blob_paths:
+            pristine = path.read_bytes()
+            assert pristine, "test needs non-empty blobs"
+            for offset in range(len(pristine)):
+                corrupt = bytearray(pristine)
+                corrupt[offset] ^= 0xFF
+                path.write_bytes(bytes(corrupt))
+                with pytest.raises(ChecksumMismatchError):
+                    load_index(tmp_path / "idx", mapped=True)
+            path.write_bytes(pristine)
+        loaded = load_index(tmp_path / "idx", mapped=True)
+        query = IntervalQuery(1, 2, 4)
+        assert loaded.query(query).row_count == index.query(query).row_count
+
+    def test_shortened_and_extended_blobs_detected_mapped(self, tmp_path):
+        index = _build(seed=6, cardinality=4, num_records=64, codec="raw")
+        save_index(index, tmp_path / "idx")
+        path = sorted((tmp_path / "idx").glob("*.bm"))[0]
+        pristine = path.read_bytes()
+
+        path.write_bytes(pristine[:-1])
+        with pytest.raises(TruncatedBlobError):
+            load_index(tmp_path / "idx", mapped=True)
+
+        path.write_bytes(b"")
+        with pytest.raises(TruncatedBlobError):
+            load_index(tmp_path / "idx", mapped=True)
+
+        path.write_bytes(pristine + b"\x00")
+        with pytest.raises(ManifestMismatchError):
+            load_index(tmp_path / "idx", mapped=True)
+
+        path.write_bytes(pristine)
+        assert validate_index(tmp_path / "idx").ok
+
+    def test_mapped_corruption_is_counted(self, tmp_path):
+        index = _build(seed=6, cardinality=4, num_records=64, codec="raw")
+        save_index(index, tmp_path / "idx")
+        path = sorted((tmp_path / "idx").glob("*.bm"))[0]
+        corrupt = bytearray(path.read_bytes())
+        corrupt[0] ^= 0xFF
+        path.write_bytes(bytes(corrupt))
+        with obs.observed() as o:
+            with pytest.raises(ChecksumMismatchError):
+                load_index(tmp_path / "idx", mapped=True)
+        metric = o.metrics.find("persist.corruption_detected", kind="checksum")
+        assert metric is not None and metric.value == 1
+
+    def test_flip_injected_during_save_detected_mapped(self, tmp_path):
+        index = _build(seed=6, cardinality=4, num_records=64, codec="raw")
+        with injected(FaultInjector(flip=(".bm", 2))):
+            save_index(index, tmp_path / "idx")
+        with pytest.raises(ChecksumMismatchError):
+            load_index(tmp_path / "idx", mapped=True)
+
+    def test_crash_sweep_then_mapped_load(self, tmp_path):
+        old_index = _build(seed=7, cardinality=5, num_records=200, codec="raw")
+        new_index = _build(seed=8, cardinality=5, num_records=200, codec="raw")
+        query = IntervalQuery(1, 3, 5)
+        committed_counts = {
+            old_index.query(query).row_count,
+            new_index.query(query).row_count,
+        }
+        template = tmp_path / "template"
+        save_index(old_index, template)
+
+        with injected(FaultInjector()) as probe:
+            work = tmp_path / "probe"
+            shutil.copytree(template, work)
+            save_index(new_index, work)
+        loud = 0
+        for crash_at in range(len(probe.ops)):
+            work = tmp_path / f"crash{crash_at}"
+            shutil.copytree(template, work)
+            with injected(FaultInjector(crash_at=crash_at)):
+                with pytest.raises(InjectedCrash):
+                    save_index(new_index, work)
+            try:
+                loaded = load_index(work, mapped=True)
+            except StorageError:
+                loud += 1
+                continue
+            assert loaded.query(query).row_count in committed_counts
+        assert loud < len(probe.ops), "sweep never produced a loadable state"

@@ -1,0 +1,242 @@
+"""MappedDirectoryStore: zero-copy views, verification, accounting parity."""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.bitmap import BitVector
+from repro.errors import (
+    ChecksumMismatchError,
+    ManifestMismatchError,
+    MissingBlobError,
+    StorageError,
+    TruncatedBlobError,
+)
+from repro.storage import (
+    BufferPool,
+    CostClock,
+    DirectoryStore,
+    MappedDirectoryStore,
+    faults,
+)
+
+CODEC_NAMES = ("raw", "bbc", "wah", "ewah", "roaring")
+
+
+def make_vector(length=50_000, density=0.2, seed=0):
+    rng = np.random.default_rng(seed)
+    return BitVector.from_bools(rng.random(length) < density)
+
+
+@pytest.fixture
+def vec():
+    return make_vector()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("codec", CODEC_NAMES)
+    def test_put_get_view(self, tmp_path, codec, vec):
+        store = MappedDirectoryStore(tmp_path, codec=codec)
+        store.put(("c", 0), vec)
+        assert store.is_mapped(("c", 0))
+        assert store.get_view(("c", 0)) == vec
+        assert store.get(("c", 0)) == vec
+
+    def test_raw_view_aliases_the_mapping(self, tmp_path, vec):
+        store = MappedDirectoryStore(tmp_path, codec="raw")
+        store.put(("c", 0), vec)
+        view = store.payload_view(("c", 0))
+        decoded = store.get_view(("c", 0))
+        assert np.shares_memory(decoded.words, view)
+
+    def test_views_are_read_only(self, tmp_path, vec):
+        store = MappedDirectoryStore(tmp_path, codec="raw")
+        store.put(("c", 0), vec)
+        decoded = store.get_view(("c", 0))
+        assert not decoded.words.flags.writeable
+        with pytest.raises(ValueError):
+            decoded.words[0] = 1
+
+    def test_empty_bitmap(self, tmp_path):
+        store = MappedDirectoryStore(tmp_path, codec="ewah")
+        store.put(("c", 0), BitVector.zeros(0))
+        assert len(store.get_view(("c", 0))) == 0
+
+    def test_replace_keeps_old_view_valid(self, tmp_path, vec):
+        # os.replace points new readers at the new inode; a view taken
+        # before the replace keeps the old pages alive and unchanged.
+        store = MappedDirectoryStore(tmp_path, codec="raw")
+        store.put(("c", 0), vec)
+        old_words = store.get_view(("c", 0)).words
+        snapshot = old_words.copy()
+        other = make_vector(seed=9, density=0.7)
+        store.put(("c", 0), other)
+        assert (old_words == snapshot).all()
+        assert store.get_view(("c", 0)) == other
+
+    def test_close_with_outstanding_views(self, tmp_path, vec):
+        store = MappedDirectoryStore(tmp_path, codec="raw")
+        store.put(("c", 0), vec)
+        view = store.get_view(("c", 0))
+        store.close()  # must not raise despite the exported pointer
+        assert view == vec
+
+
+class TestAttachMapped:
+    def make_blob(self, tmp_path, vec):
+        writer = DirectoryStore(tmp_path, codec="raw")
+        writer.put(("x", 0), vec)
+        payload = writer.path_for(("x", 0)).read_bytes()
+        return payload, zlib.crc32(payload) & 0xFFFFFFFF
+
+    def test_verified_attach(self, tmp_path, vec):
+        payload, crc = self.make_blob(tmp_path, vec)
+        store = MappedDirectoryStore(tmp_path, codec="raw")
+        store.attach_mapped(
+            ("x", 0), len(vec), expected_bytes=len(payload), expected_crc=crc
+        )
+        assert store.get_view(("x", 0)) == vec
+
+    def test_crc_mismatch_never_registers(self, tmp_path, vec):
+        payload, _ = self.make_blob(tmp_path, vec)
+        store = MappedDirectoryStore(tmp_path, codec="raw")
+        with pytest.raises(ChecksumMismatchError):
+            store.attach_mapped(
+                ("x", 0), len(vec), expected_bytes=len(payload), expected_crc=0
+            )
+        assert ("x", 0) not in store
+
+    def test_short_file_is_truncated_error(self, tmp_path, vec):
+        payload, crc = self.make_blob(tmp_path, vec)
+        store = MappedDirectoryStore(tmp_path, codec="raw")
+        with pytest.raises(TruncatedBlobError):
+            store.attach_mapped(
+                ("x", 0),
+                len(vec),
+                expected_bytes=len(payload) + 1,
+                expected_crc=crc,
+            )
+        assert ("x", 0) not in store
+
+    def test_long_file_is_manifest_mismatch(self, tmp_path, vec):
+        payload, crc = self.make_blob(tmp_path, vec)
+        store = MappedDirectoryStore(tmp_path, codec="raw")
+        with pytest.raises(ManifestMismatchError):
+            store.attach_mapped(
+                ("x", 0),
+                len(vec),
+                expected_bytes=len(payload) - 1,
+                expected_crc=crc,
+            )
+
+    def test_missing_file(self, tmp_path, vec):
+        store = MappedDirectoryStore(tmp_path, codec="raw")
+        with pytest.raises(MissingBlobError):
+            store.attach_mapped(("nope", 0), 10)
+
+    def test_base_store_payload_view_raises_for_unknown_key(self, tmp_path):
+        store = MappedDirectoryStore(tmp_path, codec="raw")
+        with pytest.raises(StorageError):
+            store.payload_view(("nope", 0))
+
+
+class TestFaultMode:
+    def test_put_falls_back_to_copy(self, tmp_path, vec):
+        with faults.injected():
+            store = MappedDirectoryStore(tmp_path, codec="raw")
+            store.put(("c", 0), vec)
+            assert not store.is_mapped(("c", 0))
+            assert store.get_view(("c", 0)) == vec
+
+    def test_attach_mapped_falls_back_and_still_verifies(self, tmp_path, vec):
+        writer = DirectoryStore(tmp_path, codec="raw")
+        writer.put(("x", 0), vec)
+        payload = writer.path_for(("x", 0)).read_bytes()
+        with faults.injected():
+            store = MappedDirectoryStore(tmp_path, codec="raw")
+            with pytest.raises(ChecksumMismatchError):
+                store.attach_mapped(
+                    ("x", 0),
+                    len(vec),
+                    expected_bytes=len(payload),
+                    expected_crc=0,
+                )
+            store.attach_mapped(
+                ("x", 0),
+                len(vec),
+                expected_bytes=len(payload),
+                expected_crc=zlib.crc32(payload) & 0xFFFFFFFF,
+            )
+            assert not store.is_mapped(("x", 0))
+            assert store.get_view(("x", 0)) == vec
+
+
+class TestCounters:
+    def test_maps_and_view_bytes(self, tmp_path, vec):
+        with obs.observed() as o:
+            store = MappedDirectoryStore(tmp_path, codec="raw")
+            store.put(("c", 0), vec)
+            view = store.payload_view(("c", 0))
+        assert o.counter_total("storage.mmap.maps") == 1
+        assert o.counter_total("storage.mmap.view_bytes") == view.nbytes
+        assert o.counter_total("storage.mmap.copy_fallbacks") == 0
+
+    def test_copy_fallback_counted(self, tmp_path, vec):
+        store = DirectoryStore(tmp_path, codec="raw")
+        store.put(("c", 0), vec)
+        with obs.observed() as o:
+            store.payload_view(("c", 0))
+        assert o.counter_total("storage.mmap.copy_fallbacks") == 1
+        assert o.counter_total("storage.mmap.view_bytes") == 0
+
+
+class TestBufferPoolParity:
+    """The zero-copy read path must account byte-for-byte like copying.
+
+    Same stores, same fetch sequence, same page size: every buffer
+    counter, clock total and obs metric must agree exactly between a
+    DirectoryStore (heap copies) and a MappedDirectoryStore (mmap
+    views) — zero-copy changes where bytes live, never what a query
+    costs.
+    """
+
+    KEYS = [("c", slot) for slot in range(6)]
+    #: Forces evictions so LRU traffic is part of the comparison.
+    CAPACITY = 40
+
+    def run_sequence(self, store_cls, tmp_path, codec):
+        store = store_cls(tmp_path, codec=codec, page_size=4096)
+        for i, key in enumerate(self.KEYS):
+            store.put(key, make_vector(seed=i, density=0.1 + 0.1 * i))
+        clock = CostClock()
+        pool = BufferPool(store, self.CAPACITY, clock=clock)
+        with obs.observed() as o:
+            for key in (self.KEYS + self.KEYS[::2]) * 3:
+                pool.fetch(key)
+        counters = {
+            name: o.counter_total(name)
+            for name in ("buffer.hits", "buffer.misses", "buffer.evictions")
+        }
+        return (
+            pool.stats.hits,
+            pool.stats.misses,
+            pool.stats.evictions,
+            pool.used_pages,
+            clock.read_requests,
+            clock.pages_read,
+            clock.bytes_decompressed,
+            clock.total_ms,
+            counters,
+        )
+
+    @pytest.mark.parametrize("codec", ["raw", "ewah"])
+    def test_identical_accounting(self, tmp_path, codec):
+        copying = self.run_sequence(
+            DirectoryStore, tmp_path / "copy", codec
+        )
+        mapped = self.run_sequence(
+            MappedDirectoryStore, tmp_path / "mmap", codec
+        )
+        assert mapped == copying
