@@ -3,10 +3,10 @@
 
 Times encode/decode for every codec, compressed-domain AND/OR, the
 fused-vs-materializing expression evaluators, and one end-to-end
-figure regeneration, then writes ``BENCH_PR6.json`` at the repo root.
+figure regeneration, then writes ``BENCH_PR7.json`` at the repo root.
 Prior recorded numbers are merged in under prefixed names — ``seed:``
 for the pre-vectorization baseline (``benchmarks/results/
-seed_baseline.json``) and ``pr1:`` through ``pr5:`` for each PR's
+seed_baseline.json``) and ``pr1:`` through ``pr6:`` for each PR's
 recorded numbers (``BENCH_PR<n>.json``) — so a single file shows
 current medians next to every baseline.
 
@@ -16,15 +16,22 @@ full :mod:`repro.obs` export of an instrumented end-to-end figure run
 (the per-figure span tree and ``clock.*``/``buffer.*`` counters), and
 ``serving_shared_scan`` holds the counted-pages serving comparison from
 :mod:`benchmarks.bench_serving`, so the uploaded artifact doubles as an
-observability sample.
+observability sample.  ``serving_sharded_scaling`` records the sharded
+tier's 1-shard vs 4-shard closed-loop throughput and a naive-scan
+differential.
 
-Three gates can fail the run (exit 1):
+Gates that can fail the run (exit 1):
 
 * the serving layer's shared-scan batching reading as many or more
   buffer-pool pages per query than serial execution at concurrency 8
   (or its result cache reading pages on a repeated mix / surviving an
   append) — counted pages, deterministic, so this gate runs in
   ``--quick`` mode too;
+* the sharded tier returning any answer that differs from a naive
+  column scan (always enforced), or 4 shards failing to reach a 2.5x
+  closed-loop speedup over 1 shard — the scaling half enforces only on
+  runners with at least 4 CPUs (``gate_enforced`` in the recorded
+  entry says which mode applied);
 
 * roaring's compressed-domain AND slower than WAH's at the measured
   configuration — the speed of per-container dispatch over matching
@@ -82,7 +89,8 @@ from repro.compress.wah_ops import wah_logical
 from repro.experiments import ExperimentConfig, run_experiment
 
 from benchmarks.bench_serving import check_gates as serving_gates
-from benchmarks.bench_serving import run_serving_bench
+from benchmarks.bench_serving import check_sharded_gates, run_serving_bench
+from benchmarks.bench_serving import run_sharded_bench
 
 SEED_BASELINE = Path(__file__).parent / "results" / "seed_baseline.json"
 PR1_BASELINE = REPO_ROOT / "BENCH_PR1.json"
@@ -90,7 +98,8 @@ PR2_BASELINE = REPO_ROOT / "BENCH_PR2.json"
 PR3_BASELINE = REPO_ROOT / "BENCH_PR3.json"
 PR4_BASELINE = REPO_ROOT / "BENCH_PR4.json"
 PR5_BASELINE = REPO_ROOT / "BENCH_PR5.json"
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR6.json"
+PR6_BASELINE = REPO_ROOT / "BENCH_PR6.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR7.json"
 
 #: Maximum tolerated slowdown of the kernel workload with obs installed.
 OBS_OVERHEAD_LIMIT_PCT = 5.0
@@ -179,6 +188,15 @@ def run_benchmarks(
     # Serving layer: counted pages, deterministic at any size.
     results["serving_shared_scan"] = run_serving_bench(
         num_records=num_records, num_queries=min(200, 10 * num_records)
+    )
+
+    # Sharded tier: 1-shard vs 4-shard closed-loop throughput plus a
+    # naive-scan differential (the scaling half of the gate enforces
+    # itself only on runners with enough cores; the differential always
+    # enforces).
+    results["serving_sharded_scaling"] = run_sharded_bench(
+        num_records=num_records,
+        num_queries=min(200, 10 * num_records),
     )
     return results
 
@@ -327,6 +345,7 @@ def main(argv: list[str] | None = None) -> int:
     merge_baseline(results, PR3_BASELINE, "pr3")
     merge_baseline(results, PR4_BASELINE, "pr4")
     merge_baseline(results, PR5_BASELINE, "pr5")
+    merge_baseline(results, PR6_BASELINE, "pr6")
 
     output = args.output
     if output is None and not args.quick:
@@ -360,6 +379,25 @@ def main(argv: list[str] | None = None) -> int:
     for failure in serving_failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if serving_failures:
+        return 1
+
+    sharded = results["serving_sharded_scaling"]
+    qps = sharded["throughput_qps"]
+    enforced = (
+        "enforced"
+        if sharded["gate_enforced"]
+        else f"report-only: {sharded['params']['cpus']} cpu(s)"
+    )
+    print(
+        f"sharded scaling: {qps['1']:.0f} q/s at 1 shard -> "
+        f"{qps[str(sharded['params']['shards'])]:.0f} q/s at "
+        f"{sharded['params']['shards']} shards ({sharded['speedup']:.2f}x, "
+        f"gate >={sharded['scaling_factor_required']:.1f}x {enforced})"
+    )
+    sharded_failures = check_sharded_gates(sharded)
+    for failure in sharded_failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if sharded_failures:
         return 1
 
     roaring_and = results["roaring_and"]["median_s"]

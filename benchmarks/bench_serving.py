@@ -30,6 +30,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -40,12 +41,28 @@ if str(REPO_ROOT / "src") not in sys.path:
 import numpy as np
 
 from repro.index import BitmapIndex, IndexSpec
-from repro.serve import QueryService, ServiceConfig, paper_mix, run_closed_loop
+from repro.serve import (
+    QueryService,
+    ServiceConfig,
+    ShardedConfig,
+    ShardedQueryService,
+    paper_mix,
+    run_closed_loop,
+)
 from repro.workload import zipf_column
 
 #: Paper default workload (PAPER.md Section 7): C=200, Zipf z=1.
 CARDINALITY = 200
 SKEW = 1.0
+
+#: Near-linear-scaling gate: sharded throughput at SCALING_SHARDS shards
+#: must be at least this multiple of the 1-shard throughput.  Enforced
+#: only on runners with enough cores to make the claim physically
+#: meaningful (shards evaluate in separate processes; a 1-core container
+#: cannot scale no matter how good the routing is).
+SCALING_SHARDS = 4
+SCALING_FACTOR = 2.5
+SCALING_MIN_CPUS = 4
 
 
 def build_index(
@@ -171,6 +188,99 @@ def run_serving_bench(
     }
 
 
+def run_sharded_bench(
+    num_records: int = 20_000,
+    num_queries: int = 400,
+    shards: int = SCALING_SHARDS,
+    concurrency: int = 8,
+    scheme: str = "E",
+    codec: str = "raw",
+    transport: str = "process",
+    seed: int = 0,
+) -> dict:
+    """Throughput at 1 shard vs ``shards`` shards, plus a differential.
+
+    Caches are disabled so every query is evaluated, the closed loop
+    offers ``concurrency`` clients, and the same query mix replays at
+    both shard counts.  A sample of the answers is checked bit-for-bit
+    against the naive column scan at *both* shard counts — the scaling
+    number is meaningless if sharding changes answers.
+
+    The scaling gate itself is enforced only when the runner has at
+    least :data:`SCALING_MIN_CPUS` cores (``gate_enforced`` records the
+    decision); the differential is enforced everywhere.
+    """
+    values = zipf_column(num_records, CARDINALITY, SKEW, seed=seed)
+    spec = IndexSpec(cardinality=CARDINALITY, scheme=scheme, codec=codec)
+    queries = paper_mix(CARDINALITY, num_queries, seed=seed)
+    sample = queries[: min(16, len(queries))]
+    naive = [
+        np.flatnonzero(query.matches(values)).tolist() for query in sample
+    ]
+
+    throughput: dict[str, float] = {}
+    mismatches: list[str] = []
+    for n in (1, shards):
+        config = ShardedConfig(
+            shards=n,
+            transport=transport,
+            workers=2,
+            max_batch=concurrency,
+            max_queue=max(64, concurrency * 4),
+            cache_entries=0,
+        )
+        with ShardedQueryService(values, spec, config) as service:
+            report = run_closed_loop(
+                service, queries, concurrency=concurrency
+            )
+            throughput[str(n)] = report.throughput_qps
+            for query, expected in zip(sample, naive):
+                got = service.execute(query).row_ids()
+                if list(got) != expected:
+                    mismatches.append(
+                        f"{n}-shard answer for {query} disagrees with "
+                        f"the naive scan"
+                    )
+                    break
+
+    speedup = (
+        throughput[str(shards)] / throughput["1"] if throughput["1"] else 0.0
+    )
+    cpus = os.cpu_count() or 1
+    return {
+        "params": {
+            "num_records": num_records,
+            "num_queries": num_queries,
+            "shards": shards,
+            "concurrency": concurrency,
+            "scheme": scheme,
+            "codec": codec,
+            "transport": transport,
+            "cpus": cpus,
+        },
+        "throughput_qps": throughput,
+        "speedup": speedup,
+        "scaling_factor_required": SCALING_FACTOR,
+        "gate_enforced": cpus >= SCALING_MIN_CPUS,
+        "mismatches": mismatches,
+    }
+
+
+def check_sharded_gates(results: dict) -> list[str]:
+    """Sharded-tier gates; returns failure messages (empty = pass)."""
+    failures = list(results["mismatches"])
+    if results["gate_enforced"]:
+        if results["speedup"] < results["scaling_factor_required"]:
+            failures.append(
+                f"sharded throughput scaled only "
+                f"{results['speedup']:.2f}x at "
+                f"{results['params']['shards']} shards "
+                f"(gate: >= {results['scaling_factor_required']:.1f}x on a "
+                f"{results['params']['cpus']}-cpu runner)"
+            )
+    return failures
+
+
 def check_gates(results: dict) -> list[str]:
     """The serving gates; returns failure messages (empty = pass)."""
     failures = []
@@ -207,6 +317,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--engine", default="decoded",
                         choices=("decoded", "compressed"))
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-sharded",
+        action="store_true",
+        help="skip the sharded-tier scaling section",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=SCALING_SHARDS,
+        help="shard count for the sharded scaling section",
+    )
     args = parser.parse_args(argv)
 
     num_records = args.num_records or (2_000 if args.quick else 20_000)
@@ -249,6 +368,29 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     failures = check_gates(results)
+
+    if not args.no_sharded:
+        sharded = run_sharded_bench(
+            num_records=num_records,
+            num_queries=min(num_queries, 400),
+            shards=args.shards,
+            concurrency=args.concurrency,
+            scheme=args.scheme,
+            codec=args.codec,
+            seed=args.seed,
+        )
+        qps = sharded["throughput_qps"]
+        enforced = "enforced" if sharded["gate_enforced"] else (
+            f"report-only: {sharded['params']['cpus']} cpu(s)"
+        )
+        print(
+            f"sharded:  {qps['1']:.0f} q/s at 1 shard -> "
+            f"{qps[str(args.shards)]:.0f} q/s at {args.shards} shards "
+            f"({sharded['speedup']:.2f}x, gate "
+            f">={sharded['scaling_factor_required']:.1f}x {enforced})"
+        )
+        failures.extend(check_sharded_gates(sharded))
+
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

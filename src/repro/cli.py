@@ -12,7 +12,9 @@ Commands
 ``experiment`` regenerate one of the paper's tables/figures
 ``advise``     sweep the design space for a column and recommend a design
 ``serve-bench``  drive the concurrent serving layer and compare
-               shared-scan batching against serial execution
+               shared-scan batching against serial execution; with
+               ``--shards N`` it drives the sharded multi-process tier
+               (scatter-gather routing, ``--transport inline|process``)
 
 Every command is deterministic given its ``--seed``.
 """
@@ -182,8 +184,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         num_components=args.components,
         codec=args.codec,
     )
-    index = BitmapIndex.build(values, spec)
     queries = paper_mix(args.cardinality, args.num_queries, seed=args.seed)
+    if args.shards > 0:
+        return _serve_bench_sharded(args, values, spec, queries)
+    index = BitmapIndex.build(values, spec)
     print(
         f"index:    {index!r}\n"
         f"workload: {len(queries)} queries (C={args.cardinality}, "
@@ -243,6 +247,59 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             print(
                 f"repeat mix:     {repeat.cache_hits} cache hits, "
                 f"{delta} pages read"
+            )
+    return 0
+
+
+def _serve_bench_sharded(args, values, spec, queries) -> int:
+    from repro.serve import (
+        ShardedConfig,
+        ShardedQueryService,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    config = ShardedConfig(
+        shards=args.shards,
+        transport=args.transport,
+        workers=args.workers,
+        max_batch=args.concurrency,
+        max_queue=args.max_queue,
+        buffer_pages=args.buffer_pages,
+        cache_entries=0 if args.no_cache else len(queries) + 1,
+        engine=args.engine,
+    )
+    print(
+        f"sharded:  {args.shards} shards ({args.transport} transport), "
+        f"{len(values)} rows, spec {spec.label}\n"
+        f"workload: {len(queries)} queries (C={args.cardinality}, "
+        f"z={args.skew:g}), concurrency {args.concurrency}"
+    )
+    with ShardedQueryService(values, spec, config) as service:
+        for info in service.shard_info():
+            print(
+                f"  shard {info['id']}: {info['num_records']} rows "
+                f"(epoch {info['epoch']})"
+            )
+        if args.rate is not None:
+            report = run_open_loop(
+                service, queries, args.rate, timeout_s=args.timeout
+            )
+        else:
+            report = run_closed_loop(
+                service,
+                queries,
+                concurrency=args.concurrency,
+                timeout_s=args.timeout,
+            )
+        print(report.render())
+        if not args.no_cache:
+            repeat = run_closed_loop(
+                service, queries, concurrency=args.concurrency
+            )
+            print(
+                f"repeat mix:     {repeat.cache_hits} cache hits "
+                f"({repeat.throughput_qps:.0f} q/s)"
             )
     return 0
 
@@ -460,6 +517,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--no-cache", action="store_true",
                    help="disable the result cache in the threaded replay")
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run the sharded tier with this many row-range shards "
+        "(0 = single-process QueryService)",
+    )
+    p.add_argument(
+        "--transport",
+        choices=("inline", "process"),
+        default="process",
+        help="sharded tier only: host shard engines inline "
+        "(deterministic) or one worker process per shard (parallel)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_serve_bench)
 

@@ -83,6 +83,32 @@ class ServiceClosed(ServeError):
     :class:`~repro.serve.QueryService`."""
 
 
+class ParallelError(ReproError):
+    """Base class for process-pool / worker-process failures
+    (:mod:`repro.parallel`)."""
+
+
+class WorkerCrashed(ParallelError):
+    """Raised when a worker process died (was killed, segfaulted, or
+    exited) before answering.  The pool never hangs on a dead worker:
+    the crash is always surfaced as this typed error."""
+
+
+class WorkerUnresponsive(ParallelError):
+    """Raised when a worker process failed to answer within its call
+    timeout — a hang, distinct from death.  Callers typically kill the
+    worker (making further calls raise :class:`WorkerCrashed`) and
+    rebuild it."""
+
+
+class ShardFailed(ServeError):
+    """Raised when a shard of a sharded service could not produce its
+    partial answer — its worker process died or hung mid-query, or the
+    shard is awaiting recovery.  A scatter-gather query fails as a whole
+    with this error; the service never returns a partial or wrong
+    answer."""
+
+
 class PlanningError(ReproError):
     """Raised when the expression planner cannot produce a plan."""
 

@@ -131,6 +131,42 @@ class SegmentedBitmapIndex:
 
     # ------------------------------------------------------------------
 
+    def split_at(
+        self, row: int
+    ) -> tuple["SegmentedBitmapIndex", "SegmentedBitmapIndex"]:
+        """Split into two indexes at a *segment-boundary* row.
+
+        Returns ``(left, right)`` where ``left`` holds rows
+        ``[0, row)`` and ``right`` holds rows ``[row, num_records)``.
+        Sealed segments are shared by reference — no bitmap is decoded
+        or re-encoded, which is what makes shard splits cheap — so
+        ``row`` must fall on a segment boundary (``k * segment_size``
+        within range).  Callers that need an arbitrary split point
+        rebuild from rows instead.
+
+        Both halves start at epoch 0 (they are new indexes with new
+        update histories); ``self`` is not mutated and must simply be
+        discarded by callers that treat the split as a move.
+        """
+        if row < 0 or row > self.num_records:
+            raise ReproError(
+                f"split row {row} outside [0, {self.num_records}]"
+            )
+        if row % self.segment_size:
+            raise ReproError(
+                f"split row {row} is not a multiple of the segment "
+                f"size {self.segment_size}; rebuild from rows for "
+                f"arbitrary split points"
+            )
+        boundary = row // self.segment_size
+        left = SegmentedBitmapIndex(self.spec, self.segment_size)
+        left._segments = self._segments[:boundary]
+        right = SegmentedBitmapIndex(self.spec, self.segment_size)
+        right._segments = self._segments[boundary:]
+        return left, right
+
+    # ------------------------------------------------------------------
+
     def query(self, query: Query, **engine_kwargs) -> EvaluationResult:
         """Evaluate over every segment and concatenate the answers.
 

@@ -1,29 +1,54 @@
-"""Process-based parallel mapping for independent experiment points.
+"""Process-based parallelism: experiment fan-out and persistent workers.
 
-Every figure/table in :mod:`repro.experiments` is a collection of
-independent data points (one per scheme x component count x skew ...),
-so regeneration parallelizes trivially.  This module provides the one
-primitive they share: :func:`parallel_map`, an order-preserving map
-that fans out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-when ``workers > 1`` and degrades to a plain serial loop otherwise —
-the serial path stays allocation- and dependency-free so ``workers=1``
-(the default everywhere) behaves exactly like the pre-parallel code.
+Two primitives live here:
 
-Worker functions must be module-level (picklable) and take a single
-task argument; per-process state (datasets, query sets) is recreated
-inside the worker and memoized with ``functools.lru_cache`` so a pool
-worker pays the regeneration cost once, not once per task.
+* :func:`parallel_map` — an order-preserving map that fans independent
+  tasks (experiment data points) out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` when ``workers > 1``
+  and degrades to a plain serial loop otherwise.  A worker process that
+  dies mid-map surfaces as a typed
+  :class:`~repro.errors.WorkerCrashed`, never a hang or a bare
+  ``BrokenProcessPool``.
+* :class:`ProcessWorker` — a *persistent* single worker process hosting
+  long-lived state (a shard engine, in the serving tier) behind a
+  request/response pipe.  Calls are serialized per worker; a dead
+  worker raises :class:`~repro.errors.WorkerCrashed` and a hung worker
+  raises :class:`~repro.errors.WorkerUnresponsive` after the call
+  timeout — both typed, both prompt, so a supervisor can kill and
+  rebuild.
+
+Worker functions and handler factories must be module-level
+(picklable); per-process state (datasets, indexes) is created inside
+the worker.
+
+Deterministic fault injection (mirroring :mod:`repro.storage.faults`):
+a :class:`WorkerFault` plan shipped to the child at spawn time can kill
+(``os._exit``) or hang the worker immediately before its Nth task, so
+crash paths are tested at exact, reproducible points instead of with
+racy signals.  :func:`injected_map_fault` installs the same plan for
+:func:`parallel_map`.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from typing import TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from repro.errors import ParallelError, WorkerCrashed, WorkerUnresponsive
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: How long a worker is given to exit voluntarily at close before it is
+#: terminated.
+_CLOSE_GRACE_S = 5.0
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -39,6 +64,74 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
+# ----------------------------------------------------------------------
+# Deterministic worker faults
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """A deterministic fault plan executed *inside* a worker process.
+
+    Immediately before the worker handles its ``at_task``-th task
+    (0-based), it either dies without a word (``kind="crash"``, via
+    ``os._exit`` — undetectable by the child's own exception handling,
+    exactly like ``SIGKILL``) or stops answering (``kind="hang"``).
+    The plan is picklable so it ships to the child at spawn time.
+    """
+
+    kind: str = "crash"
+    at_task: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "hang"):
+            raise ValueError(f"fault kind must be crash|hang, got {self.kind!r}")
+        if self.at_task < 0:
+            raise ValueError(f"at_task must be >= 0, got {self.at_task}")
+
+    def trip(self, task_index: int) -> None:
+        """Die or hang if ``task_index`` is the planned fault point."""
+        if task_index != self.at_task:
+            return
+        if self.kind == "crash":
+            os._exit(23)
+        while True:  # hang: stop answering but stay alive
+            time.sleep(60.0)
+
+
+_map_fault: WorkerFault | None = None
+
+
+@contextmanager
+def injected_map_fault(fault: WorkerFault):
+    """Install ``fault`` for :func:`parallel_map` calls in this block.
+
+    The fault trips in whichever pool worker draws the Nth *task*
+    (counted across the whole map, 0-based), making the crash point a
+    property of the workload, not of scheduling.
+    """
+    global _map_fault
+    previous = _map_fault
+    _map_fault = fault
+    try:
+        yield fault
+    finally:
+        _map_fault = previous
+
+
+class _FaultedTask:
+    """Picklable wrapper running ``fn`` with a fault plan at task N."""
+
+    def __init__(self, fn: Callable, fault: WorkerFault):
+        self.fn = fn
+        self.fault = fault
+
+    def __call__(self, indexed_task: tuple[int, Any]):
+        index, task = indexed_task
+        self.fault.trip(index)
+        return self.fn(task)
+
+
 def parallel_map(
     fn: Callable[[T], R], tasks: Sequence[T], workers: int = 1
 ) -> list[R]:
@@ -47,11 +140,196 @@ def parallel_map(
     Serial when ``workers <= 1`` or there is at most one task;
     otherwise fans out over a process pool capped at ``len(tasks)``
     workers.  ``fn`` must be picklable (module-level) for the pool
-    path.
+    path.  A worker process dying mid-map raises
+    :class:`~repro.errors.WorkerCrashed` (the pool's untyped
+    ``BrokenProcessPool`` never escapes).
     """
     tasks = list(tasks)
     workers = resolve_workers(workers)
     if workers <= 1 or len(tasks) <= 1:
+        if _map_fault is not None:
+            faulted = _FaultedTask(fn, _map_fault)
+            return [faulted(item) for item in enumerate(tasks)]
         return [fn(task) for task in tasks]
     with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-        return list(pool.map(fn, tasks))
+        try:
+            if _map_fault is not None:
+                faulted = _FaultedTask(fn, _map_fault)
+                return list(pool.map(faulted, list(enumerate(tasks))))
+            return list(pool.map(fn, tasks))
+        except BrokenProcessPool as exc:
+            raise WorkerCrashed(
+                f"a pool worker died while mapping {len(tasks)} tasks "
+                f"(over {workers} workers); partial results discarded"
+            ) from exc
+
+
+# ----------------------------------------------------------------------
+# Persistent workers
+# ----------------------------------------------------------------------
+
+
+_CLOSE = "__close__"
+_PING = "__ping__"
+
+
+def _worker_main(conn, factory, args, kwargs, fault: WorkerFault | None) -> None:
+    """Child entry point: build the handler, answer calls until close.
+
+    Protocol: parent sends ``(method, args, kwargs)``; child answers
+    ``("ok", value)`` or ``("error", exception)``.  Exceptions raised by
+    handler methods are pickled back and re-raised in the parent —
+    *typed* library errors cross the process boundary intact.
+    """
+    try:
+        handler = factory(*args, **kwargs)
+    except BaseException as exc:  # surface build failures as an answer
+        try:
+            conn.send(("error", exc))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", "ready"))
+    task_index = 0
+    while True:
+        try:
+            method, call_args, call_kwargs = conn.recv()
+        except EOFError:  # parent went away
+            break
+        if method == _CLOSE:
+            close = getattr(handler, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:
+                    pass
+            conn.send(("ok", None))
+            break
+        if fault is not None and method != _PING:
+            fault.trip(task_index)
+        task_index += method != _PING
+        try:
+            if method == _PING:
+                result: Any = "pong"
+            else:
+                result = getattr(handler, method)(*call_args, **call_kwargs)
+            conn.send(("ok", result))
+        except Exception as exc:
+            conn.send(("error", exc))
+    conn.close()
+
+
+class ProcessWorker:
+    """One long-lived worker process behind a request/response pipe.
+
+    ``factory(*args, **kwargs)`` runs *in the child* and returns the
+    handler object whose methods :meth:`call` invokes; it must be
+    picklable (module-level).  Calls are strictly serialized — one
+    outstanding request per worker — which is what makes the reply
+    stream unambiguous.  The spawn blocks until the handler is built,
+    so a factory that raises surfaces the error at construction time.
+
+    ``fault`` ships a deterministic :class:`WorkerFault` to the child
+    for chaos testing.
+    """
+
+    def __init__(
+        self,
+        factory: Callable,
+        args: tuple = (),
+        kwargs: dict | None = None,
+        name: str = "worker",
+        fault: WorkerFault | None = None,
+        build_timeout_s: float = 60.0,
+    ):
+        self.name = name
+        ctx = multiprocessing.get_context()
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self._process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, factory, args, kwargs or {}, fault),
+            name=name,
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()  # the child owns its end now
+        self._closed = False
+        self._receive(build_timeout_s)  # wait for "ready" / build error
+
+    @property
+    def alive(self) -> bool:
+        """True while the worker process is running."""
+        return self._process.is_alive()
+
+    @property
+    def pid(self) -> int | None:
+        """The worker's OS pid (for tests that kill it externally)."""
+        return self._process.pid
+
+    def call(self, method: str, *args, timeout: float | None = None, **kwargs):
+        """Invoke ``handler.method(*args, **kwargs)`` in the worker.
+
+        Raises :class:`~repro.errors.WorkerCrashed` if the worker is (or
+        dies) mid-call, :class:`~repro.errors.WorkerUnresponsive` if no
+        answer arrives within ``timeout`` seconds, and re-raises any
+        exception the handler method raised.
+        """
+        if self._closed:
+            raise ParallelError(f"worker {self.name!r} is closed")
+        if not self._process.is_alive():
+            raise WorkerCrashed(
+                f"worker {self.name!r} (pid {self.pid}) is dead"
+            )
+        try:
+            self._conn.send((method, args, kwargs))
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashed(
+                f"worker {self.name!r} (pid {self.pid}) died before "
+                f"accepting {method!r}"
+            ) from exc
+        return self._receive(timeout, method)
+
+    def ping(self, timeout: float | None = 5.0) -> bool:
+        """Round-trip liveness probe (never counts as a task)."""
+        return self.call(_PING, timeout=timeout) == "pong"
+
+    def _receive(self, timeout: float | None, method: str = "spawn"):
+        if timeout is not None and not self._conn.poll(timeout):
+            raise WorkerUnresponsive(
+                f"worker {self.name!r} (pid {self.pid}) gave no answer to "
+                f"{method!r} within {timeout:g}s"
+            )
+        try:
+            status, value = self._conn.recv()
+        except (EOFError, ConnectionResetError, OSError) as exc:
+            raise WorkerCrashed(
+                f"worker {self.name!r} (pid {self.pid}) died during "
+                f"{method!r}"
+            ) from exc
+        if status == "error":
+            raise value
+        return value
+
+    def kill(self) -> None:
+        """Terminate the worker immediately (chaos / hang recovery)."""
+        if self._process.is_alive():
+            self._process.kill()
+        self._process.join(_CLOSE_GRACE_S)
+
+    def close(self) -> None:
+        """Shut the worker down; idempotent, terminates on a hang."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._process.is_alive():
+            try:
+                self._conn.send((_CLOSE, (), {}))
+                if self._conn.poll(_CLOSE_GRACE_S):
+                    self._conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        self._process.join(_CLOSE_GRACE_S)
+        if self._process.is_alive():
+            self._process.kill()
+            self._process.join(_CLOSE_GRACE_S)
+        self._conn.close()

@@ -15,7 +15,13 @@ the in-process serving layer that closes that gap:
   canonical expression)``, invalidated when an append bumps the epoch;
 * :mod:`~repro.serve.driver` — closed- and open-loop workload replay
   with throughput and p50/p95/p99 latency reporting from
-  :mod:`repro.obs` histograms.
+  :mod:`repro.obs` histograms;
+* :mod:`~repro.serve.sharded` — the multi-process tier:
+  :class:`~repro.serve.sharded.ShardedQueryService` partitions rows
+  into shards (one :class:`~repro.serve.shard_worker.ShardEngine` per
+  shard, inline or behind a :class:`~repro.parallel.ProcessWorker`),
+  scatter-gathers queries, routes appends to the tail shard, and
+  splits shards online.
 
 See ``docs/serving.md`` for the architecture and the ``serve.*``
 metric catalog; ``repro serve-bench`` is the CLI entry point.
@@ -26,6 +32,7 @@ from repro.errors import (
     Overloaded,
     ServeError,
     ServiceClosed,
+    ShardFailed,
 )
 from repro.serve.batcher import plan_batches, sharing_groups
 from repro.serve.cache import CacheStats, ResultCache
@@ -43,6 +50,16 @@ from repro.serve.service import (
     ServiceStats,
     Ticket,
 )
+from repro.serve.shard_worker import ShardAnswer, ShardEngine
+from repro.serve.sharded import (
+    TRANSPORTS,
+    ShardAppend,
+    ShardSplit,
+    ShardedConfig,
+    ShardedQueryService,
+    ShardedResult,
+    ShardedStats,
+)
 
 __all__ = [
     "QueryService",
@@ -51,6 +68,16 @@ __all__ = [
     "ServeResult",
     "Ticket",
     "ENGINES",
+    "ShardedQueryService",
+    "ShardedConfig",
+    "ShardedResult",
+    "ShardedStats",
+    "ShardAppend",
+    "ShardSplit",
+    "ShardAnswer",
+    "ShardEngine",
+    "TRANSPORTS",
+    "ShardFailed",
     "ResultCache",
     "CacheStats",
     "plan_batches",

@@ -62,13 +62,26 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, epoch: int, expression: tuple) -> BitVector | None:
-        """The cached answer for ``expression`` at ``epoch``, or None."""
+    def get(
+        self, epoch: int, expression: tuple, record_miss: bool = True
+    ) -> BitVector | None:
+        """The cached answer for ``expression`` at ``epoch``, or None.
+
+        ``record_miss=False`` makes an unsuccessful probe silent: the
+        submit fast-path probes the cache opportunistically and, on a
+        miss, the *same* request is probed again when a worker picks it
+        up — only that second probe is the request's real miss.
+        Counting both would double-book misses, breaking the
+        ``hits + misses == completed`` invariant the bench reports rely
+        on.  Hits are always recorded (a hit ends the request, so it is
+        seen exactly once).
+        """
         key = (epoch, expression)
         with self._lock:
             answer = self._entries.get(key)
             if answer is None:
-                self.stats.misses += 1
+                if record_miss:
+                    self.stats.misses += 1
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1

@@ -321,8 +321,11 @@ class QueryService:
             self.stats.submitted += 1
         self._emit_count("serve.submitted")
 
+        # Opportunistic probe: a miss here is re-probed (and counted,
+        # once) when a worker picks the request up, so this probe must
+        # not record it — see ResultCache.get(record_miss=...).
         epoch = self.index.epoch
-        cached = self.cache.get(epoch, request.expression)
+        cached = self.cache.get(epoch, request.expression, record_miss=False)
         if cached is not None:
             self._finish(
                 request,
@@ -337,7 +340,6 @@ class QueryService:
             )
             self._emit_count("serve.cache.hits")
             return Ticket(request)
-        self._emit_count("serve.cache.misses")
 
         with self._not_empty:
             if self._closed:
@@ -481,6 +483,11 @@ class QueryService:
                 pending.append(request)
             if not pending:
                 return
+            # These requests are this scan's real cache misses (the
+            # submit-path probe was silent); one emission per request
+            # keeps obs `serve.cache.hits + serve.cache.misses` equal
+            # to completed non-failed requests.
+            self._emit_count("serve.cache.misses", float(len(pending)))
 
             with self._lock:
                 self.stats.batches += 1

@@ -1,0 +1,315 @@
+"""Per-shard engine for the sharded serving tier.
+
+A :class:`ShardEngine` owns one shard's rows as a
+:class:`~repro.index.segmented.SegmentedBitmapIndex` plus the serving
+machinery the single-process :class:`~repro.serve.QueryService` keeps
+per index: a persistent query engine per segment, an
+``(epoch, expression)`` result cache, and shared-scan batch planning.
+It is deliberately *transport-agnostic*: the router calls the same
+methods whether the engine lives in the router process (``"inline"``
+transport) or behind a :class:`~repro.parallel.ProcessWorker` pipe
+(``"process"`` transport) — which is why every argument and return
+value is picklable (queries, numpy rows, :class:`ShardAnswer`).
+
+The engine is single-threaded by contract: the router serializes all
+calls to one shard through that shard's dispatcher, so no locking
+happens here.  It also emits no :mod:`repro.obs` metrics — in a worker
+process there is no registry to emit into, and keeping the inline and
+process transports observationally identical means all ``serve.shard.*``
+accounting lives in the router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitmap import BitVector, concatenate
+from repro.encoding import get_scheme
+from repro.errors import QueryError
+from repro.expr import EvalStats, Expr
+from repro.index.bitmap_index import IndexSpec
+from repro.index.compressed_engine import CompressedQueryEngine
+from repro.index.evaluation import QueryEngine
+from repro.index.rewrite import QueryRewriter
+from repro.index.segmented import SegmentedBitmapIndex
+from repro.queries.model import IntervalQuery, MembershipQuery
+from repro.serve.batcher import plan_batches
+from repro.serve.cache import ResultCache
+from repro.storage import CostClock
+
+Query = IntervalQuery | MembershipQuery
+
+#: Default rows per segment inside one shard (small relative to shard
+#: size so appends seal segments regularly and splits find boundaries).
+DEFAULT_SEGMENT_SIZE = 4096
+
+
+@dataclass
+class ShardAnswer:
+    """One shard's partial answer to one query.
+
+    ``bitmap`` covers the shard's local row range; the router
+    concatenates partial bitmaps in shard order to recover global row
+    ids.  ``epoch`` is the shard's index epoch at evaluation time — the
+    per-shard linearization point.
+    """
+
+    bitmap: BitVector
+    epoch: int
+    cached: bool
+    simulated_ms: float
+    scans: int
+    operations: int
+
+
+class ShardEngine:
+    """Serving engine for one row-range shard.
+
+    ``values`` are the shard's rows; ``index`` (inline transport only)
+    injects a prebuilt :class:`SegmentedBitmapIndex` instead — the
+    shard-split path hands the left child its sealed segments by
+    reference via :meth:`SegmentedBitmapIndex.split_at`, skipping the
+    rebuild.
+    """
+
+    def __init__(
+        self,
+        values,
+        spec: IndexSpec,
+        engine: str = "decoded",
+        fused: bool | str = "auto",
+        cache_entries: int = 256,
+        buffer_pages: int | None = None,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+        max_batch: int = 16,
+        index: SegmentedBitmapIndex | None = None,
+    ):
+        self.spec = spec
+        self.engine_kind = engine
+        self.fused = fused
+        self.buffer_pages = buffer_pages
+        self.max_batch = max_batch
+        if index is not None:
+            self.index = index
+        else:
+            self.index = SegmentedBitmapIndex(spec, segment_size)
+            rows = np.asarray(values)
+            if rows.size:
+                self.index.append(rows)
+        self.cache = ResultCache(cache_entries)
+        self.clock = CostClock()
+        self.rewriter = QueryRewriter(
+            spec.cardinality, spec.resolved_bases(), get_scheme(spec.scheme)
+        )
+        self._engines: list = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_records(self) -> int:
+        """Rows in this shard."""
+        return self.index.num_records
+
+    @property
+    def epoch(self) -> int:
+        """The shard's index epoch (bumped by every append)."""
+        return self.index.epoch
+
+    def set_epoch(self, epoch: int) -> int:
+        """Fast-forward the epoch counter (never backwards).
+
+        Used after a crash recovery rebuilds the engine from the
+        router's authoritative rows: the fresh index restarts at a small
+        epoch, but per-shard epochs must stay monotonic across rebuilds
+        so the ``(epoch, expression)`` cache key and the linearizability
+        oracle never see an epoch reused for different rows.
+        """
+        if epoch > self.index.epoch:
+            self.index.epoch = epoch
+        return self.index.epoch
+
+    def status(self) -> dict:
+        """Picklable counters for the router's metrics snapshot."""
+        return {
+            "num_records": self.index.num_records,
+            "num_segments": self.index.num_segments,
+            "epoch": self.index.epoch,
+            "cache_hits": self.cache.stats.hits,
+            "cache_misses": self.cache.stats.misses,
+            "cache_invalidated": self.cache.stats.invalidated,
+            "pages_read": self.clock.pages_read,
+            "read_requests": self.clock.read_requests,
+            "simulated_ms": self.clock.total_ms,
+        }
+
+    # ------------------------------------------------------------------
+
+    def append(self, values) -> dict:
+        """Append rows to this shard, bumping only this shard's epoch."""
+        rows = np.asarray(values)
+        report = self.index.append(rows)
+        self.cache.invalidate_below(self.index.epoch)
+        return {
+            "epoch": self.index.epoch,
+            "num_records": self.index.num_records,
+            "records_appended": report.records_appended,
+            "bitmaps_extended": report.bitmaps_extended,
+            "bitmaps_touched": report.bitmaps_touched,
+        }
+
+    def split_left(self, row: int) -> SegmentedBitmapIndex:
+        """The left half of a segment-boundary split, segments shared.
+
+        Only meaningful on the inline transport (the returned index is a
+        live object, not a picklable snapshot).  ``self`` keeps serving
+        its full row range unchanged — :meth:`SegmentedBitmapIndex.split_at`
+        does not mutate — and the shared segments are all sealed (full),
+        so nothing the left child ever does can rewrite them.
+        """
+        left, _ = self.index.split_at(row)
+        return left
+
+    def close(self) -> None:
+        """Drop per-segment engines (buffer pools)."""
+        self._engines = []
+
+    # ------------------------------------------------------------------
+
+    def evaluate_batch(self, queries: list[Query]) -> list[ShardAnswer]:
+        """Answer ``queries`` over this shard's rows, batching scans.
+
+        The batch is planned exactly as the single-process service plans
+        its worker batches (:func:`~repro.serve.batcher.plan_batches`
+        over leaf-key sharing, capped at ``max_batch``), each planned
+        batch fetches the union of its bitmaps once per segment, and
+        answers land in the shard's ``(epoch, expression)`` cache.
+        """
+        epoch = self.index.epoch
+        answers: list[ShardAnswer | None] = [None] * len(queries)
+        expressions: list[tuple] = []
+        keysets: list[frozenset] = []
+        for query in queries:
+            constituents = self._rewrite(query)
+            expressions.append(tuple(constituents))
+            keysets.append(
+                frozenset(
+                    key for expr in constituents for key in expr.leaf_keys()
+                )
+            )
+        pending: list[int] = []
+        for i, expression in enumerate(expressions):
+            cached = self.cache.get(epoch, expression)
+            if cached is not None:
+                answers[i] = ShardAnswer(
+                    bitmap=cached,
+                    epoch=epoch,
+                    cached=True,
+                    simulated_ms=0.0,
+                    scans=0,
+                    operations=0,
+                )
+            else:
+                pending.append(i)
+        for batch in plan_batches(
+            [keysets[i] for i in pending], self.max_batch
+        ):
+            self._shared_scan(
+                [pending[j] for j in batch],
+                expressions,
+                keysets,
+                epoch,
+                answers,
+            )
+        return answers  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+
+    def _rewrite(self, query: Query) -> list[Expr]:
+        if isinstance(query, IntervalQuery):
+            return [self.rewriter.rewrite_interval(query)]
+        if isinstance(query, MembershipQuery):
+            return list(self.rewriter.rewrite_membership(query))
+        raise QueryError(f"unsupported query type {type(query).__name__}")
+
+    def _segment_engines(self) -> list:
+        """Persistent per-segment engines, extended as segments appear.
+
+        Segments are only ever appended (the tail fills in place and its
+        store versions make existing buffer pools re-read), so engine
+        ``i`` always serves segment ``i``.
+        """
+        segments = self.index.segments()
+        while len(self._engines) < len(segments):
+            segment = segments[len(self._engines)]
+            if self.engine_kind == "compressed":
+                engine = CompressedQueryEngine(
+                    segment,
+                    buffer_pages=self.buffer_pages,
+                    clock=self.clock,
+                )
+            else:
+                engine = QueryEngine(
+                    segment,
+                    buffer_pages=self.buffer_pages,
+                    clock=self.clock,
+                    fused=self.fused,
+                )
+            self._engines.append(engine)
+        return self._engines
+
+    def _shared_scan(
+        self,
+        batch: list[int],
+        expressions: list[tuple],
+        keysets: list[frozenset],
+        epoch: int,
+        answers: list,
+    ) -> None:
+        """One shared fetch of the batch's bitmaps, per segment."""
+        engines = self._segment_engines()
+        keys = sorted(
+            {key for i in batch for key in keysets[i]},
+            key=lambda key: (key[0], repr(key[1])),
+        )
+        fetch_start = self.clock.total_ms
+        shared: list[dict] = []
+        for engine in engines:
+            cache: dict = {}
+            for key in keys:
+                cache[key] = engine.pool.fetch(key)
+            shared.append(cache)
+        fetch_share = (self.clock.total_ms - fetch_start) / len(batch)
+        for i in batch:
+            eval_start = self.clock.total_ms
+            stats = EvalStats()
+            pieces = [
+                engine.evaluate_shared(
+                    list(expressions[i]), shared[k], stats
+                )
+                for k, engine in enumerate(engines)
+            ]
+            bitmap = (
+                concatenate(pieces) if pieces else BitVector.zeros(0)
+            )
+            self.cache.put(epoch, expressions[i], bitmap)
+            answers[i] = ShardAnswer(
+                bitmap=bitmap,
+                epoch=epoch,
+                cached=False,
+                simulated_ms=(self.clock.total_ms - eval_start) + fetch_share,
+                scans=len(keysets[i]),
+                operations=stats.operations,
+            )
+
+
+def build_shard_engine(values, spec: IndexSpec, options: dict) -> ShardEngine:
+    """Module-level :class:`ShardEngine` factory.
+
+    This is the picklable constructor handed to
+    :class:`~repro.parallel.ProcessWorker` — the engine (index, buffer
+    pools, cache) is built *inside* the worker process, so only the raw
+    rows and the spec cross the pipe.
+    """
+    return ShardEngine(values, spec, **options)

@@ -116,6 +116,77 @@ class TestAppend:
         assert index.num_records == 100
 
 
+class TestSplitAt:
+    def build(self, rng, size=300, segment_size=100):
+        values = rng.integers(0, 20, size=size)
+        index = SegmentedBitmapIndex.build(values, SPEC, segment_size)
+        return values, index
+
+    def test_halves_answer_like_slices(self, rng):
+        values, index = self.build(rng)
+        left, right = index.split_at(100)
+        query = IntervalQuery(4, 16, 20)
+        assert left.num_records == 100
+        assert right.num_records == 200
+        assert left.query(query).bitmap == BitVector.from_bools(
+            query.matches(values[:100])
+        )
+        assert right.query(query).bitmap == BitVector.from_bools(
+            query.matches(values[100:])
+        )
+
+    def test_parent_not_mutated(self, rng):
+        values, index = self.build(rng)
+        index.split_at(200)
+        assert index.num_records == 300
+        query = IntervalQuery(2, 9, 20)
+        assert index.query(query).bitmap == BitVector.from_bools(
+            query.matches(values)
+        )
+
+    def test_segments_shared_by_reference(self, rng):
+        _, index = self.build(rng)
+        left, right = index.split_at(100)
+        assert left.segments()[0] is index.segments()[0]
+        assert right.segments() == index.segments()[1:]
+
+    def test_edge_splits(self, rng):
+        values, index = self.build(rng)
+        left, right = index.split_at(0)
+        assert left.num_records == 0
+        assert right.num_records == 300
+        left, right = index.split_at(300)
+        assert left.num_records == 300
+        assert right.num_records == 0
+
+    def test_non_boundary_row_rejected(self, rng):
+        _, index = self.build(rng)
+        with pytest.raises(ReproError, match="not a multiple"):
+            index.split_at(150)
+
+    def test_out_of_range_rejected(self, rng):
+        _, index = self.build(rng)
+        with pytest.raises(ReproError, match="outside"):
+            index.split_at(-100)
+        with pytest.raises(ReproError, match="outside"):
+            index.split_at(400)
+
+    def test_halves_start_fresh_epochs_and_append_independently(self, rng):
+        values, index = self.build(rng)
+        index.epoch = 7
+        left, right = index.split_at(100)
+        assert left.epoch == 0 and right.epoch == 0
+        extra = rng.integers(0, 20, size=40)
+        right.append(extra)
+        assert right.epoch == 1
+        assert left.num_records == 100  # untouched by the sibling
+        query = IntervalQuery(0, 19, 20)
+        combined = np.concatenate([values[100:], extra])
+        assert right.query(query).bitmap == BitVector.from_bools(
+            query.matches(combined)
+        )
+
+
 @given(
     seed=st.integers(min_value=0, max_value=2**31 - 1),
     segment_size=st.integers(min_value=1, max_value=400),

@@ -196,6 +196,61 @@ class TestAdmissionControl:
             service.close()
 
 
+class TestCacheAccounting:
+    """One hit or one miss per completed request — never both, never two.
+
+    Regression for the double-count bug: the submit-path fast probe and
+    the worker's re-probe both touched the cache, so a queued request
+    that missed at submit and hit (or missed) again at evaluation was
+    counted twice.  The fast probe no longer records misses.
+    """
+
+    def test_hits_plus_misses_equals_completed(self, values):
+        queries = sample_queries() * 4  # repeats guarantee hits
+        with QueryService(make_index(values)) as service:
+            for query in queries:
+                service.execute(query)
+            snapshot = service.metrics_snapshot()
+        assert (
+            snapshot["cache_hits"] + snapshot["cache_misses"]
+            == snapshot["completed"]
+            == len(queries)
+        )
+        assert snapshot["cache_hits"] > 0
+
+    def test_queued_duplicate_counts_one_miss_one_hit(self, values):
+        # Wedge the worker so both submissions miss the fast probe and
+        # queue; at evaluation the first misses, the second re-probes
+        # and hits.  Exactly one miss + one hit, not two misses.
+        query = IntervalQuery(3, 11, CARDINALITY)
+        service = QueryService(
+            make_index(values), ServiceConfig(workers=1, max_batch=1)
+        )
+        try:
+            with service._scan_lock:
+                first = service.submit(query)
+                second = service.submit(query)
+            first.result(timeout=10)
+            result = second.result(timeout=10)
+            assert result.cached
+            assert service.cache.stats.misses == 1
+            assert service.cache.stats.hits == 1
+        finally:
+            service.close()
+
+    def test_obs_mirror_matches_completed(self, values):
+        queries = sample_queries() * 3
+        with obs.observed() as o:
+            with QueryService(make_index(values)) as service:
+                for query in queries:
+                    service.execute(query)
+        metrics = o.metrics
+        hits = metrics.find("serve.cache.hits")
+        misses = metrics.find("serve.cache.misses")
+        total = (hits.value if hits else 0) + (misses.value if misses else 0)
+        assert total == metrics.find("serve.completed").value == len(queries)
+
+
 class TestClose:
     def test_submit_after_close_raises(self, values):
         service = QueryService(make_index(values))
@@ -210,6 +265,26 @@ class TestClose:
         service.close()
         service.close()
         assert service.closed
+
+    def test_concurrent_close_while_queued(self, values):
+        """Racing closers against a wedged queue: one drain, no hang."""
+        service = QueryService(make_index(values), ServiceConfig(workers=1))
+        queries = sample_queries()
+        with service._scan_lock:
+            tickets = [service.submit(q) for q in queries]
+            closers = [
+                threading.Thread(target=service.close) for _ in range(3)
+            ]
+            for closer in closers:
+                closer.start()
+        for closer in closers:
+            closer.join(10.0)
+            assert not closer.is_alive()
+        assert service.closed
+        for query, ticket in zip(queries, tickets):
+            assert ticket.result(timeout=10).bitmap == BitVector.from_bools(
+                query.matches(values)
+            )
 
     def test_close_drains_queued_requests(self, values):
         service = QueryService(make_index(values), ServiceConfig(workers=1))

@@ -1,15 +1,55 @@
-"""Tests for the process-pool helper and parallel experiment equality."""
+"""Tests for the process-pool helper and parallel experiment equality.
+
+The worker-crash paths are driven by deterministic
+:class:`~repro.parallel.WorkerFault` plans (mirroring
+``repro.storage.faults``): the plan ships to the child at spawn and
+kills or hangs it immediately before its Nth task, so every crash test
+fires at an exact, reproducible point.
+"""
 
 import os
 
 import pytest
 
+from repro.errors import ParallelError, WorkerCrashed, WorkerUnresponsive
 from repro.experiments import ExperimentConfig, run_experiment
-from repro.parallel import parallel_map, resolve_workers
+from repro.parallel import (
+    ProcessWorker,
+    WorkerFault,
+    injected_map_fault,
+    parallel_map,
+    resolve_workers,
+)
 
 
 def square(x: int) -> int:
     return x * x
+
+
+class Calculator:
+    """Module-level (picklable) ProcessWorker handler for the tests."""
+
+    def __init__(self, base: int = 0):
+        self.base = base
+        self.calls = 0
+
+    def add(self, x: int) -> int:
+        self.calls += 1
+        return self.base + x
+
+    def count(self) -> int:
+        return self.calls
+
+    def boom(self):
+        raise ValueError("typed error from the worker")
+
+    def close(self) -> None:
+        pass
+
+
+class ExplodingFactory:
+    def __init__(self):
+        raise RuntimeError("factory failed in the child")
 
 
 class TestResolveWorkers:
@@ -40,6 +80,119 @@ class TestParallelMap:
 
     def test_single_task_stays_serial(self):
         assert parallel_map(square, [5], workers=8) == [25]
+
+
+class TestWorkerFaultPlans:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerFault(kind="vanish")
+        with pytest.raises(ValueError):
+            WorkerFault(at_task=-1)
+
+    def test_map_fault_kills_nth_task_in_pool(self):
+        # The Nth task (counted across the map, 0-based) dies via
+        # os._exit — a pool worker vanishes and the typed WorkerCrashed
+        # surfaces, never a bare BrokenProcessPool.
+        tasks = list(range(8))
+        with injected_map_fault(WorkerFault(kind="crash", at_task=5)):
+            with pytest.raises(WorkerCrashed):
+                parallel_map(square, tasks, workers=2)
+
+    def test_map_fault_wraps_serial_path_without_changing_results(self):
+        # The serial fallback routes through the same _FaultedTask
+        # wrapper (an armed fault at an index past the workload proves
+        # the wrapping without os._exit-ing the test process itself).
+        with injected_map_fault(WorkerFault(kind="crash", at_task=99)):
+            assert parallel_map(square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_map_fault_uninstalls_on_exit(self):
+        with injected_map_fault(WorkerFault(kind="crash", at_task=0)):
+            pass
+        assert parallel_map(square, list(range(6)), workers=2) == [
+            x * x for x in range(6)
+        ]
+
+
+class TestProcessWorker:
+    def test_call_round_trip_and_state_persistence(self):
+        worker = ProcessWorker(Calculator, args=(10,), name="calc")
+        try:
+            assert worker.call("add", 5) == 15
+            assert worker.call("add", x=7) == 17
+            assert worker.call("count") == 2  # state lives in the child
+            assert worker.ping()
+            assert worker.call("count") == 2  # ping is not a task
+            assert worker.alive
+            assert isinstance(worker.pid, int)
+        finally:
+            worker.close()
+
+    def test_handler_exception_reraised_typed(self):
+        worker = ProcessWorker(Calculator)
+        try:
+            with pytest.raises(ValueError, match="typed error"):
+                worker.call("boom")
+            assert worker.call("add", 1) == 1  # worker survives the error
+        finally:
+            worker.close()
+
+    def test_factory_failure_surfaces_at_construction(self):
+        with pytest.raises(RuntimeError, match="factory failed"):
+            ProcessWorker(ExplodingFactory)
+
+    def test_close_is_idempotent_and_call_after_close_raises(self):
+        worker = ProcessWorker(Calculator)
+        worker.close()
+        worker.close()
+        with pytest.raises(ParallelError):
+            worker.call("add", 1)
+
+    def test_kill_then_call_raises_worker_crashed(self):
+        worker = ProcessWorker(Calculator)
+        try:
+            worker.kill()
+            assert not worker.alive
+            with pytest.raises(WorkerCrashed):
+                worker.call("add", 1)
+        finally:
+            worker.close()
+
+    def test_crash_fault_at_nth_task(self):
+        # Tasks 0 and 1 answer; the worker dies before task 2.
+        worker = ProcessWorker(
+            Calculator, fault=WorkerFault(kind="crash", at_task=2)
+        )
+        try:
+            assert worker.call("add", 1) == 1
+            assert worker.call("add", 2) == 2
+            with pytest.raises(WorkerCrashed):
+                worker.call("add", 3)
+        finally:
+            worker.close()
+        assert not worker.alive
+
+    def test_hang_fault_raises_unresponsive_after_timeout(self):
+        worker = ProcessWorker(
+            Calculator, fault=WorkerFault(kind="hang", at_task=0)
+        )
+        try:
+            with pytest.raises(WorkerUnresponsive):
+                worker.call("add", 1, timeout=0.5)
+            assert worker.alive  # hung, not dead — close must kill it
+        finally:
+            worker.close()
+        assert not worker.alive
+
+    def test_ping_survives_fault_armed_for_first_task(self):
+        worker = ProcessWorker(
+            Calculator, fault=WorkerFault(kind="crash", at_task=0)
+        )
+        try:
+            assert worker.ping()  # pings never trip the task counter
+            with pytest.raises(WorkerCrashed):
+                worker.call("add", 1)
+        finally:
+            worker.close()
 
 
 class TestParallelExperimentsMatchSerial:
