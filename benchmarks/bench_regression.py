@@ -3,10 +3,10 @@
 
 Times encode/decode for every codec, compressed-domain AND/OR, the
 fused-vs-materializing expression evaluators, and one end-to-end
-figure regeneration, then writes ``BENCH_PR7.json`` at the repo root.
+figure regeneration, then writes ``BENCH_PR8.json`` at the repo root.
 Prior recorded numbers are merged in under prefixed names — ``seed:``
 for the pre-vectorization baseline (``benchmarks/results/
-seed_baseline.json``) and ``pr1:`` through ``pr6:`` for each PR's
+seed_baseline.json``) and ``pr1:`` through ``pr7:`` for each PR's
 recorded numbers (``BENCH_PR<n>.json``) — so a single file shows
 current medians next to every baseline.
 
@@ -33,6 +33,11 @@ Gates that can fail the run (exit 1):
   runners with at least 4 CPUs (``gate_enforced`` in the recorded
   entry says which mode applied);
 
+* the 1-of-16 threshold plan disagreeing with the expanded OR-chain
+  bit-for-bit, or failing to operate strictly fewer words than the
+  chain's pairwise fold on the compressed engine — one counting pass
+  over the N payloads is the point of the threshold algebra (counted
+  words, deterministic, so this gate runs in ``--quick`` mode too);
 * roaring's compressed-domain AND slower than WAH's at the measured
   configuration — the speed of per-container dispatch over matching
   chunks is the point of the roaring extension, so losing to a
@@ -99,7 +104,8 @@ PR3_BASELINE = REPO_ROOT / "BENCH_PR3.json"
 PR4_BASELINE = REPO_ROOT / "BENCH_PR4.json"
 PR5_BASELINE = REPO_ROOT / "BENCH_PR5.json"
 PR6_BASELINE = REPO_ROOT / "BENCH_PR6.json"
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR7.json"
+PR7_BASELINE = REPO_ROOT / "BENCH_PR7.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR8.json"
 
 #: Maximum tolerated slowdown of the kernel workload with obs installed.
 OBS_OVERHEAD_LIMIT_PCT = 5.0
@@ -198,7 +204,64 @@ def run_benchmarks(
         num_records=num_records,
         num_queries=min(200, 10 * num_records),
     )
+
+    # Threshold algebra: k-of-N as one counting pass vs the expanded
+    # OR-chain.  Counted words, deterministic at any size.
+    results["threshold_vs_or_chain"] = run_threshold_bench(num_records)
     return results
+
+
+def run_threshold_bench(num_records: int, fanin: int = 16) -> dict:
+    """1-of-N threshold vs the equivalent pairwise OR-chain, in words.
+
+    Both plans evaluate the same N = 16 equality bitmaps on the
+    compressed engine.  The chain folds them through binary ORs, paying
+    for every materialized intermediate; the threshold plan streams all
+    N payloads through the bit-sliced counter once, so its
+    ``words_operated`` must be strictly lower and the answers must be
+    bit-identical.  Counted via :class:`~repro.storage.CostClock`, so
+    the gate is deterministic and runs in ``--quick`` mode too.
+    """
+    from functools import reduce
+
+    from repro.expr import EvalStats, Threshold
+    from repro.index import BitmapIndex, CompressedQueryEngine, IndexSpec
+    from repro.queries import IntervalQuery
+    from repro.storage import CostClock
+    from repro.workload import zipf_column
+
+    cardinality = fanin + 4
+    values = zipf_column(num_records, cardinality, 1.2, seed=8)
+    index = BitmapIndex.build(
+        values, IndexSpec(cardinality=cardinality, scheme="E", codec="bbc")
+    )
+    leaves = [
+        index.rewriter.rewrite_interval(IntervalQuery(v, v, cardinality))
+        for v in range(fanin)
+    ]
+    clock = CostClock()
+    engine = CompressedQueryEngine(index, clock=clock)
+
+    def run(expr):
+        start = clock.words_operated
+        bitmap = engine.evaluate_shared([expr], {}, EvalStats())
+        return bitmap, clock.words_operated - start
+
+    chain_bitmap, chain_words = run(reduce(lambda a, b: a | b, leaves))
+    threshold_bitmap, threshold_words = run(Threshold(1, tuple(leaves)))
+    return {
+        "params": {
+            "num_records": num_records,
+            "fanin": fanin,
+            "cardinality": cardinality,
+            "codec": "bbc",
+            "scheme": "E",
+        },
+        "or_chain_words_operated": chain_words,
+        "threshold_words_operated": threshold_words,
+        "words_saved_pct": (1.0 - threshold_words / chain_words) * 100.0,
+        "bit_identical": bool(chain_bitmap == threshold_bitmap),
+    }
 
 
 def run_fused_eval_bench(n_bits: int, density: float, iters: int) -> dict[str, dict]:
@@ -346,6 +409,7 @@ def main(argv: list[str] | None = None) -> int:
     merge_baseline(results, PR4_BASELINE, "pr4")
     merge_baseline(results, PR5_BASELINE, "pr5")
     merge_baseline(results, PR6_BASELINE, "pr6")
+    merge_baseline(results, PR7_BASELINE, "pr7")
 
     output = args.output
     if output is None and not args.quick:
@@ -398,6 +462,29 @@ def main(argv: list[str] | None = None) -> int:
     for failure in sharded_failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if sharded_failures:
+        return 1
+
+    threshold = results["threshold_vs_or_chain"]
+    print(
+        f"threshold 1-of-{threshold['params']['fanin']} vs OR-chain: "
+        f"{threshold['threshold_words_operated']} vs "
+        f"{threshold['or_chain_words_operated']} words operated "
+        f"({threshold['words_saved_pct']:.1f}% fewer)"
+    )
+    if not threshold["bit_identical"]:
+        print(
+            "FAIL: threshold plan and expanded OR-chain disagree bit-for-bit",
+            file=sys.stderr,
+        )
+        return 1
+    if threshold["threshold_words_operated"] >= threshold["or_chain_words_operated"]:
+        print(
+            f"FAIL: threshold plan operated "
+            f"{threshold['threshold_words_operated']} words, not strictly "
+            f"fewer than the OR-chain's "
+            f"{threshold['or_chain_words_operated']}",
+            file=sys.stderr,
+        )
         return 1
 
     roaring_and = results["roaring_and"]["median_s"]

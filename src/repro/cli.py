@@ -6,7 +6,7 @@ Commands
 ``generate``   write a synthetic Zipf column to a ``.npy`` file
 ``build``      build a bitmap index over a column and save it to a directory
 ``info``       print a saved index's layout and space statistics
-``query``      run an interval or membership query against a saved index
+``query``      run an interval, membership, or k-of-N threshold query
 ``append``     append a batch of records from a column file to a saved index
 ``verify-index``  check a saved index for corruption (checksums, lengths)
 ``experiment`` regenerate one of the paper's tables/figures
@@ -29,10 +29,10 @@ import numpy as np
 
 from repro import obs
 from repro.encoding import ALL_SCHEME_NAMES
-from repro.errors import ReproError
+from repro.errors import QueryError, ReproError
 from repro.index import BitmapIndex, IndexSpec
 from repro.index.persist import load_index, save_index, validate_index
-from repro.queries import IntervalQuery, MembershipQuery
+from repro.queries import IntervalQuery, MembershipQuery, ThresholdQuery
 from repro.workload import zipf_column
 
 
@@ -99,7 +99,27 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_predicate(spec: str, cardinality: int):
+    """One ``--predicates`` item: ``lo:hi`` interval or a single value."""
+    if ":" in spec:
+        low, high = spec.split(":", 1)
+        return IntervalQuery(int(low), int(high), cardinality)
+    return MembershipQuery.of({int(spec)}, cardinality)
+
+
 def _parse_query(args: argparse.Namespace, cardinality: int):
+    if getattr(args, "threshold_k", None) is not None:
+        specs = args.predicates or args.values
+        if not specs:
+            raise QueryError(
+                "--threshold-k needs --predicates (or --values) listing the "
+                "N predicates to count"
+            )
+        predicates = [
+            _parse_predicate(part.strip(), cardinality)
+            for part in specs.split(",")
+        ]
+        return ThresholdQuery.of(args.threshold_k, predicates)
     if args.values:
         members = {int(v) for v in args.values.split(",")}
         return MembershipQuery.of(members, cardinality)
@@ -408,6 +428,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--high", type=int, default=None, help="interval upper bound")
     p.add_argument(
         "--values", default=None, help="comma-separated membership values"
+    )
+    p.add_argument(
+        "--threshold-k",
+        type=int,
+        default=None,
+        help="k-of-N threshold query: match rows satisfying at least K of "
+        "the --predicates (see docs/threshold.md)",
+    )
+    p.add_argument(
+        "--predicates",
+        default=None,
+        help="comma-separated threshold predicates, each 'lo:hi' (interval) "
+        "or a single value (membership), e.g. '0:3,7,12:15'",
     )
     p.add_argument(
         "--show-rows", type=int, default=0, help="print up to N matching row ids"

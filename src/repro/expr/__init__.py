@@ -45,6 +45,16 @@ from repro.expr.nodes import (
 from repro.expr.planner import minimal_scan_cost, plan_expression, plan_physical
 from repro.expr.render import to_dot, to_tree
 from repro.expr.simplify import simplify
+from repro.expr.threshold import (
+    AtLeast,
+    Exactly,
+    Majority,
+    Threshold,
+    at_least,
+    exactly,
+    lower_wide_ors,
+    majority,
+)
 
 __all__ = [
     "Expr",
@@ -54,6 +64,14 @@ __all__ = [
     "Or",
     "Xor",
     "Const",
+    "Threshold",
+    "AtLeast",
+    "Exactly",
+    "Majority",
+    "at_least",
+    "exactly",
+    "majority",
+    "lower_wide_ors",
     "leaf",
     "not_of",
     "and_of",

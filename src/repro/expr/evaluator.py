@@ -18,8 +18,10 @@ from dataclasses import dataclass, field
 
 from repro import obs as _obs
 from repro.bitmap import BitVector
+from repro.compress.multiway import threshold_vectors
 from repro.errors import BitmapError
 from repro.expr.nodes import And, Const, Expr, Leaf, Not, Or, Xor
+from repro.expr.threshold import Threshold
 
 FetchFn = Callable[[Hashable], BitVector]
 
@@ -54,9 +56,11 @@ def expression_operation_count(expr: Expr) -> int:
     Mirrors ``_eval`` exactly, including its memoization: a subtree that
     appears several times (by node equality) is evaluated once, so its
     operations are counted once.  ``Not`` costs 1, an n-ary node costs
-    ``n - 1``, leaves and constants cost 0.  This is the CPU side of the
-    analytic cost model — the engine charges exactly this many bulk ops
-    (times the words per operation) to its clock.
+    ``n - 1``, a ``Threshold`` over ``n`` children costs ``n`` (one
+    counter addition per child; the compare rides the last), leaves and
+    constants cost 0.  This is the CPU side of the analytic cost model —
+    the engine charges exactly this many bulk ops (times the words per
+    operation) to its clock.
     """
     seen: set[Expr] = set()
 
@@ -69,6 +73,9 @@ def expression_operation_count(expr: Expr) -> int:
         elif isinstance(node, (And, Or, Xor)):
             children = node.children()
             ops = sum(walk(child) for child in children) + len(children) - 1
+        elif isinstance(node, Threshold):
+            children = node.children()
+            ops = sum(walk(child) for child in children) + len(children)
         seen.add(node)
         return ops
 
@@ -172,6 +179,14 @@ def _eval(
             else:
                 result ^= other
             stats.operations += 1
+    elif isinstance(expr, Threshold):
+        operands = [
+            _eval(child, fetch, length, stats, cache, memo, allocs)
+            for child in expr.children()
+        ]
+        result = threshold_vectors(expr.k, operands)
+        stats.operations += len(operands)
+        allocs[0] += 1
     else:
         raise TypeError(f"unknown expression node {type(expr).__name__}")
 

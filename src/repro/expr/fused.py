@@ -42,6 +42,7 @@ import numpy as np
 
 from repro import obs as _obs
 from repro.bitmap import BitVector
+from repro.compress.multiway import ThresholdCounter
 from repro.compress.streams import BlockStream, VectorStream
 from repro.errors import BitmapError
 from repro.expr.evaluator import (
@@ -51,6 +52,7 @@ from repro.expr.evaluator import (
     expression_operation_count,
 )
 from repro.expr.nodes import And, Const, Expr, Leaf, Not, Or, Xor
+from repro.expr.threshold import Threshold
 
 #: Default block size in 64-bit words (16 KiB per block).
 DEFAULT_BLOCK_WORDS = 2048
@@ -98,30 +100,61 @@ class _OpPlan:
         self.invert = invert
 
 
+class _ThresholdPlan:
+    """Block-at-a-time k-of-N: children counted, never materialized.
+
+    Each block evaluates every child into the counter (leaf children
+    straight off their streams), then extracts ``count >= k`` into the
+    output.  A parent ``Not`` folds into :attr:`invert` exactly like an
+    :class:`_OpPlan`; child ``Not`` nodes fold into the child plans.
+    The bit-sliced counter scratch is per-plan and block-sized, reused
+    across blocks.
+    """
+
+    __slots__ = ("k", "children", "invert", "counter")
+
+    def __init__(self, k: int, children: list, invert: bool):
+        self.k = k
+        self.children = children
+        self.invert = invert
+        self.counter: ThresholdCounter | None = None
+
+
 def _compile(
     expr: Expr,
     open_leaf: Callable[[Hashable], BlockStream],
     invert: bool,
-    folds: list[int],
+    counters: list[int],
 ):
     """Lower ``expr`` to a physical plan, folding Not nodes away.
 
-    Leaves are opened in depth-first first-touch order — the same order
-    the materializing evaluator fetches them, so buffer-pool LRU state
-    evolves identically under either physical plan.
+    ``counters`` accumulates ``[not_folds, threshold_nodes,
+    threshold_children]`` for the obs layer.  Leaves are opened in
+    depth-first first-touch order — the same order the materializing
+    evaluator fetches them, so buffer-pool LRU state evolves identically
+    under either physical plan.
     """
     if isinstance(expr, Not):
-        folds[0] += 1
-        return _compile(expr.child, open_leaf, not invert, folds)
+        counters[0] += 1
+        return _compile(expr.child, open_leaf, not invert, counters)
     if isinstance(expr, Leaf):
         return _LeafPlan(open_leaf(expr.key), invert)
     if isinstance(expr, Const):
         return _ConstPlan(expr.value != invert)
     if isinstance(expr, (And, Or, Xor)):
         children = [
-            _compile(child, open_leaf, False, folds) for child in expr.children()
+            _compile(child, open_leaf, False, counters)
+            for child in expr.children()
         ]
         return _OpPlan(_OPS[type(expr)], children, invert)
+    if isinstance(expr, Threshold):
+        children = [
+            _compile(child, open_leaf, False, counters)
+            for child in expr.children()
+        ]
+        counters[1] += 1
+        counters[2] += len(children)
+        return _ThresholdPlan(expr.k, children, invert)
     raise TypeError(f"unknown expression node {type(expr).__name__}")
 
 
@@ -139,6 +172,32 @@ def _exec_block(plan, lo: int, hi: int, out: np.ndarray, buffers: list, depth: i
     if isinstance(plan, _ConstPlan):
         out[:n] = plan.fill
         return
+    if isinstance(plan, _ThresholdPlan):
+        if plan.k > len(plan.children):
+            out[:n] = 0
+        else:
+            counter = plan.counter
+            if counter is None:
+                counter = plan.counter = ThresholdCounter(
+                    len(plan.children), block_words
+                )
+            counter.reset(n)
+            for child in plan.children:
+                if isinstance(child, _LeafPlan) and not child.invert:
+                    # Count straight off the stream block — no staging.
+                    counter.add(child.stream.block(lo, hi))
+                    continue
+                if len(buffers) <= depth:
+                    buffers.append(np.empty(block_words, dtype=np.uint64))
+                scratch = buffers[depth]
+                _exec_block(
+                    child, lo, hi, scratch, buffers, depth + 1, block_words
+                )
+                counter.add(scratch[:n])
+            counter.compare_ge(plan.k, out[:n])
+        if plan.invert:
+            np.bitwise_not(out[:n], out=out[:n])
+        return
     _exec_block(plan.children[0], lo, hi, out, buffers, depth, block_words)
     acc = out[:n]
     for child in plan.children[1:]:
@@ -155,7 +214,7 @@ def _exec_block(plan, lo: int, hi: int, out: np.ndarray, buffers: list, depth: i
         np.bitwise_not(acc, out=acc)
 
 
-def _run(plan, length: int, block_words: int, folds: int) -> BitVector:
+def _run(plan, length: int, block_words: int, counters: list[int]) -> BitVector:
     num_words = (length + 63) // 64
     out_words = np.empty(num_words, dtype=np.uint64)
     buffers: list[np.ndarray] = []
@@ -170,7 +229,10 @@ def _run(plan, length: int, block_words: int, folds: int) -> BitVector:
     o = _obs.active()
     if o is not None:
         o.count("expr.fused.blocks", blocks)
-        o.count("expr.fused.not_folds", folds)
+        o.count("expr.fused.not_folds", counters[0])
+        if counters[1]:
+            o.count("expr.threshold.evals", counters[1])
+            o.count("expr.threshold.children", counters[2])
         # Register the fused-mode allocation counter even when zero, so
         # the bench allocation gate can read "0" rather than "absent".
         o.count("expr.intermediate_allocs", 0, mode="fused")
@@ -207,10 +269,10 @@ def evaluate_fused(
             streams[key] = stream
         return stream
 
-    folds = [0]
-    plan = _compile(expr, open_leaf, False, folds)
+    counters = [0, 0, 0]
+    plan = _compile(expr, open_leaf, False, counters)
     stats.operations += expression_operation_count(expr)
-    return _run(plan, length, block_words, folds[0])
+    return _run(plan, length, block_words, counters)
 
 
 def evaluate_fused_streams(
@@ -251,7 +313,7 @@ def evaluate_fused_streams(
             stats.fetched_keys.append(key)
         return stream
 
-    folds = [0]
-    plan = _compile(expr, cached_open, False, folds)
+    counters = [0, 0, 0]
+    plan = _compile(expr, cached_open, False, counters)
     stats.operations += expression_operation_count(expr)
-    return _run(plan, length, block_words, folds[0])
+    return _run(plan, length, block_words, counters)

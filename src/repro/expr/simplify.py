@@ -10,10 +10,24 @@ duplicate operands, nested same-operator chains and double negations.
 * idempotence for ``And``/``Or`` (duplicate operands dropped) and
   pair-cancellation for ``Xor``;
 * annihilation (``x AND NOT x -> ZERO``, ``x OR NOT x -> ONE``);
-* double negation elimination.
+* double negation elimination;
+* threshold folding (constant children absorbed into ``k``, degenerate
+  ``k`` bounds collapsed to constants).
 
 Simplification never increases the number of distinct leaves, so the
 scan-count accounting of an expression can only improve.
+
+Two deliberate non-rewrites under :class:`~repro.expr.threshold.Threshold`:
+
+* children are **never deduplicated** — threshold operands are a
+  multiset, and a duplicated child legitimately counts twice;
+* a child containing a ``Not`` anywhere is left **untouched** (not even
+  recursively simplified).  Rewriting under a threshold changes which
+  NOT nodes the fused evaluator folds into counter inputs, and the
+  equivalence of folded complements under counting (rather than
+  boolean) combination is guaranteed only for the tree the differential
+  suite verified — the conservative rule keeps simplification inside
+  that envelope.  See ``tests/expr/test_threshold.py``.
 """
 
 from __future__ import annotations
@@ -21,6 +35,7 @@ from __future__ import annotations
 from collections import Counter, deque
 
 from repro.expr.nodes import And, Const, Expr, Leaf, Not, Or, Xor, not_of
+from repro.expr.threshold import Threshold
 
 
 def simplify(expr: Expr) -> Expr:
@@ -35,6 +50,8 @@ def simplify(expr: Expr) -> Expr:
         return _simplify_and_or(expr, is_and=False)
     if isinstance(expr, Xor):
         return _simplify_xor(expr)
+    if isinstance(expr, Threshold):
+        return _simplify_threshold(expr)
     raise TypeError(f"unknown expression node {type(expr).__name__}")
 
 
@@ -77,6 +94,37 @@ def _simplify_and_or(expr: Expr, is_and: bool) -> Expr:
     if len(seen) == 1:
         return seen[0]
     return cls(tuple(seen))
+
+
+def _simplify_threshold(expr: Threshold) -> Expr:
+    """Fold constants into ``k``; keep duplicates and negated children.
+
+    A ``Const(True)`` child always counts, so it drops out and ``k``
+    decreases; a ``Const(False)`` child never counts and just drops.
+    ``k <= 0`` after folding is always satisfied, ``k`` above the
+    surviving arity never.  Children containing a ``Not`` are kept
+    verbatim (see the module docstring), and duplicates are preserved
+    because threshold counting is multiset semantics.
+    """
+    k = expr.k
+    kept: list[Expr] = []
+    for child in expr.operands:
+        if any(isinstance(node, Not) for node in child.walk()):
+            simplified = child
+        else:
+            simplified = simplify(child)
+        if isinstance(simplified, Const):
+            if simplified.value:
+                k -= 1
+            continue
+        kept.append(simplified)
+    if k <= 0:
+        return Const(True)
+    if k > len(kept):
+        return Const(False)
+    if len(kept) == 1:
+        return kept[0]
+    return Threshold(k, tuple(kept))
 
 
 def _simplify_xor(expr: Expr) -> Expr:

@@ -26,11 +26,13 @@ from collections.abc import Hashable
 
 from repro import obs as _obs
 from repro.compress import COMPRESSED_DOMAIN_CODECS, CompressedBitmap
+from repro.compress.multiway import multiway_logical, multiway_threshold
 from repro.errors import QueryError
 from repro.expr import EvalStats, Expr
 from repro.expr.nodes import And, Const, Leaf, Not, Or, Xor
+from repro.expr.threshold import Threshold
 from repro.index.evaluation import EvaluationResult, query_class_of
-from repro.queries.model import IntervalQuery, MembershipQuery
+from repro.queries.model import IntervalQuery, MembershipQuery, ThresholdQuery
 from repro.storage import BufferStats, CostClock
 from repro.storage.pages import pages_for
 
@@ -133,7 +135,9 @@ class CompressedQueryEngine:
         """Hit/miss/eviction counters of the payload pool."""
         return self.pool.stats
 
-    def execute(self, query: IntervalQuery | MembershipQuery) -> EvaluationResult:
+    def execute(
+        self, query: IntervalQuery | MembershipQuery | ThresholdQuery
+    ) -> EvaluationResult:
         """Rewrite and evaluate ``query`` in the compressed domain.
 
         Traced like the decoded engine (``engine="compressed"`` spans
@@ -159,12 +163,14 @@ class CompressedQueryEngine:
         return result
 
     def _do_execute(
-        self, query: IntervalQuery | MembershipQuery
+        self, query: IntervalQuery | MembershipQuery | ThresholdQuery
     ) -> EvaluationResult:
         if isinstance(query, IntervalQuery):
             constituents = [self.index.rewriter.rewrite_interval(query)]
         elif isinstance(query, MembershipQuery):
             constituents = self.index.rewriter.rewrite_membership(query)
+        elif isinstance(query, ThresholdQuery):
+            constituents = [self.index.rewriter.rewrite_threshold(query)]
         else:
             raise QueryError(f"unsupported query type {type(query).__name__}")
 
@@ -175,9 +181,7 @@ class CompressedQueryEngine:
         results = [
             self._eval(expr, stats, cache, memo) for expr in constituents
         ]
-        answer = results[0]
-        for other in results[1:]:
-            answer = self._charged_op(answer, other, "or", stats)
+        answer = self._combine_constituents(results, stats)
         return EvaluationResult(
             bitmap=self._decode_answer(answer),
             stats=stats,
@@ -204,12 +208,21 @@ class CompressedQueryEngine:
         results = [
             self._eval(expr, stats, cache, memo) for expr in constituents
         ]
-        answer = results[0]
-        for other in results[1:]:
-            answer = self._charged_op(answer, other, "or", stats)
+        answer = self._combine_constituents(results, stats)
         return self._decode_answer(answer)
 
     # ------------------------------------------------------------------
+
+    def _combine_constituents(
+        self, results: list[CompressedBitmap], stats: EvalStats
+    ) -> CompressedBitmap:
+        """OR the constituent answers (multi-way when three or more)."""
+        if len(results) >= 3:
+            return self._multiway_op("or", results, stats)
+        answer = results[0]
+        for other in results[1:]:
+            answer = self._charged_op(answer, other, "or", stats)
+        return answer
 
     def _decode_answer(self, answer: CompressedBitmap):
         """Decode the final answer once, charged as decompression.
@@ -278,10 +291,73 @@ class CompressedQueryEngine:
                 self._eval(child, stats, cache, memo)
                 for child in expr.children()
             ]
-            result = operands[0]
-            for other in operands[1:]:
-                result = self._charged_op(result, other, op, stats)
+            if len(operands) >= 3:
+                result = self._multiway_op(op, operands, stats)
+            else:
+                result = operands[0]
+                for other in operands[1:]:
+                    result = self._charged_op(result, other, op, stats)
+        elif isinstance(expr, Threshold):
+            operands = [
+                self._eval(child, stats, cache, memo)
+                for child in expr.children()
+            ]
+            result = self._threshold_op(expr.k, operands, stats)
         else:
             raise TypeError(f"unknown expression node {type(expr).__name__}")
         memo[expr] = result
         return result
+
+    def _multiway_op(
+        self,
+        op: str,
+        operands: list[CompressedBitmap],
+        stats: EvalStats,
+    ) -> CompressedBitmap:
+        """N-way logical op in one pass over the compressed payloads.
+
+        Charged by the compressed bytes actually streamed — the sum of
+        the input payload sizes — where the pairwise fold would also
+        re-charge every intermediate it materializes; for N >= 3 the
+        multi-way pass is therefore strictly cheaper in words operated.
+        ``stats.operations`` still counts the logical ``n - 1`` ops of
+        the n-ary node, so expression-level accounting is unchanged.
+        """
+        length = self.index.num_records
+        vector = multiway_logical(
+            op,
+            self._codec_name,
+            [operand.payload for operand in operands],
+            length,
+            self.block_words,
+        )
+        stats.operations += len(operands) - 1
+        touched = sum(o.compressed_size() for o in operands) // 8
+        self.clock.charge_word_ops(1, max(1, touched))
+        return CompressedBitmap.from_vector(vector, self._codec_name)
+
+    def _threshold_op(
+        self,
+        k: int,
+        operands: list[CompressedBitmap],
+        stats: EvalStats,
+    ) -> CompressedBitmap:
+        """k-of-N counting pass over the compressed payloads.
+
+        One lockstep stream of the N payloads through the bit-sliced
+        counter; charged like :meth:`_multiway_op` by the compressed
+        bytes streamed, with ``stats.operations`` counting the node's
+        ``n`` counter additions (the evaluator's convention).
+        """
+        length = self.index.num_records
+        vector = multiway_threshold(
+            k,
+            self._codec_name,
+            [operand.payload for operand in operands],
+            length,
+            self.block_words,
+        )
+        stats.operations += len(operands)
+        touched = sum(o.compressed_size() for o in operands) // 8
+        self.clock.charge_word_ops(1, max(1, touched))
+        return CompressedBitmap.from_vector(vector, self._codec_name)

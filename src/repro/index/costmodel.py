@@ -24,7 +24,7 @@ from repro.errors import DecompositionError
 from repro.expr import expression_operation_count, expression_scan_count
 from repro.index.decompose import validate_bases
 from repro.index.rewrite import QueryRewriter
-from repro.queries.model import IntervalQuery, MembershipQuery
+from repro.queries.model import IntervalQuery, MembershipQuery, ThresholdQuery
 
 
 def index_expected_scans(
@@ -84,7 +84,7 @@ class PredictedQueryCost:
 
 def predict_query_cost(
     index,
-    query: IntervalQuery | MembershipQuery,
+    query: IntervalQuery | MembershipQuery | ThresholdQuery,
     strategy: str = "component-wise",
 ) -> PredictedQueryCost:
     """Predict the exact simulator charges of one query, analytically.
@@ -104,6 +104,11 @@ def predict_query_cost(
         constituents = [index.rewriter.rewrite_interval(query)]
     elif isinstance(query, MembershipQuery):
         constituents = index.rewriter.rewrite_membership(query)
+    elif isinstance(query, ThresholdQuery):
+        # One constituent: the k-of-N node over the rewritten
+        # predicates; a Threshold over n children charges n bulk ops,
+        # which expression_operation_count already accounts for.
+        constituents = [index.rewriter.rewrite_threshold(query)]
     else:
         raise TypeError(f"unsupported query type {type(query).__name__}")
 

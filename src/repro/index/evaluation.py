@@ -43,16 +43,18 @@ from repro.expr import (
     evaluate_fused,
     plan_physical,
 )
-from repro.queries.model import IntervalQuery, MembershipQuery
+from repro.queries.model import IntervalQuery, MembershipQuery, ThresholdQuery
 from repro.storage import BufferPool, BufferStats, CostClock
 
 STRATEGIES = ("component-wise", "query-wise", "scheduled")
 FUSED_MODES = (True, False, "auto")
 
 
-def query_class_of(query: IntervalQuery | MembershipQuery) -> str:
-    """Observability label for a query: its paper class, or ``"MQ"``."""
-    if isinstance(query, IntervalQuery):
+def query_class_of(
+    query: IntervalQuery | MembershipQuery | ThresholdQuery,
+) -> str:
+    """Observability label: the paper class, ``"MQ"``, or ``"TH"``."""
+    if isinstance(query, (IntervalQuery, ThresholdQuery)):
         return query.query_class
     return "MQ"
 
@@ -158,7 +160,9 @@ class QueryEngine:
 
     # ------------------------------------------------------------------
 
-    def execute(self, query: IntervalQuery | MembershipQuery) -> EvaluationResult:
+    def execute(
+        self, query: IntervalQuery | MembershipQuery | ThresholdQuery
+    ) -> EvaluationResult:
         """Rewrite and evaluate ``query``, charging the engine's clock.
 
         When a :mod:`repro.obs` instance is installed, the rewrite and
@@ -191,6 +195,8 @@ class QueryEngine:
             constituents = [self.index.rewriter.rewrite_interval(query)]
         elif isinstance(query, MembershipQuery):
             constituents = self.index.rewriter.rewrite_membership(query)
+        elif isinstance(query, ThresholdQuery):
+            constituents = [self.index.rewriter.rewrite_threshold(query)]
         else:
             raise QueryError(f"unsupported query type {type(query).__name__}")
         return self._execute_constituents(constituents)

@@ -32,8 +32,9 @@ from repro.encoding.base import EncodingScheme
 from repro.errors import QueryError
 from repro.expr import Expr, and_of, not_of, one, or_of, simplify, zero
 from repro.expr.nodes import And, Const, Leaf, Not, Or, Xor
+from repro.expr.threshold import Threshold
 from repro.index.decompose import decompose_value, validate_bases
-from repro.queries.model import IntervalQuery, MembershipQuery
+from repro.queries.model import IntervalQuery, MembershipQuery, ThresholdQuery
 from repro.queries.rewrite import minimal_intervals
 
 
@@ -280,8 +281,49 @@ class QueryRewriter:
             for interval in minimal_intervals(query)
         ]
 
-    def rewrite(self, query: IntervalQuery | MembershipQuery) -> Expr:
+    def rewrite_membership_threshold(self, query: MembershipQuery) -> Expr:
+        """Membership as one threshold op instead of an OR of constituents.
+
+        The constituents of a membership query are disjoint intervals,
+        so "in any of them" is exactly "at least one of them":
+        ``Threshold(1, constituents)`` — a single multi-way counting
+        pass over the union of the constituents' bitmaps, with no
+        pairwise OR intermediates.  This is the hybrid-encoding path
+        the compressed engine and the fused evaluator collapse into one
+        scan of each input.
+        """
+        constituents = self.rewrite_membership(query)
+        if len(constituents) == 1:
+            return constituents[0]
+        return simplify(Threshold(1, tuple(constituents)))
+
+    # ------------------------------------------------------------------
+    # Threshold rewrite
+    # ------------------------------------------------------------------
+
+    def rewrite_threshold(self, query: ThresholdQuery) -> Expr:
+        """Bitmap expression for a k-of-N threshold query.
+
+        Each predicate rewrites through the ordinary pipeline into its
+        combined expression; the k-of-N count then sits directly above
+        them as a single :class:`~repro.expr.threshold.Threshold` node —
+        one constituent, evaluated as one multi-way counting pass by
+        every engine.
+        """
+        if query.cardinality != self.cardinality:
+            raise QueryError(
+                f"query domain C={query.cardinality} does not match index "
+                f"domain C={self.cardinality}"
+            )
+        children = tuple(self.rewrite(p) for p in query.predicates)
+        return simplify(Threshold(query.k, children))
+
+    def rewrite(
+        self, query: IntervalQuery | MembershipQuery | ThresholdQuery
+    ) -> Expr:
         """Single combined expression for any supported query."""
         if isinstance(query, IntervalQuery):
             return self.rewrite_interval(query)
+        if isinstance(query, ThresholdQuery):
+            return self.rewrite_threshold(query)
         return simplify(or_of(self.rewrite_membership(query)))

@@ -1,17 +1,20 @@
-"""Query model: interval and membership queries, and their generators.
+"""Query model: interval, membership and threshold queries + generators.
 
 An *interval query* is ``x <= A <= y`` (Section 1); a *membership
 query* is ``A IN {v1, ..., vk}`` (Section 5), which rewrites uniquely
-into a minimal disjunction of interval queries.
+into a minimal disjunction of interval queries; a *threshold query*
+(k-of-N over interval/membership predicates) is the symmetric-function
+extension of Kaser & Lemire — see ``docs/threshold.md``.
 """
 
 from repro.queries.generator import QuerySetSpec, generate_query_set, paper_query_sets
-from repro.queries.model import IntervalQuery, MembershipQuery
+from repro.queries.model import IntervalQuery, MembershipQuery, ThresholdQuery
 from repro.queries.rewrite import minimal_intervals
 
 __all__ = [
     "IntervalQuery",
     "MembershipQuery",
+    "ThresholdQuery",
     "minimal_intervals",
     "QuerySetSpec",
     "generate_query_set",

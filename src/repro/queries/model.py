@@ -8,6 +8,7 @@ taxonomy.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -131,3 +132,78 @@ class MembershipQuery:
     def __str__(self) -> str:
         inner = ", ".join(str(v) for v in sorted(self.values))
         return f"A IN {{{inner}}}"
+
+
+@dataclass(frozen=True)
+class ThresholdQuery:
+    """The k-of-N query: at least ``k`` of ``predicates`` hold per record.
+
+    Predicates are interval or membership queries over the same
+    attribute domain and form a *multiset* — a predicate listed twice
+    counts twice.  ``k == 1`` degenerates to the disjunction of the
+    predicates and ``k == N`` to their conjunction; intermediate ``k``
+    is the symmetric-function query class (fraud rules, k-of-N audience
+    segmentation) the OR/AND algebra cannot express compactly.
+    """
+
+    k: int
+    predicates: tuple["IntervalQuery | MembershipQuery", ...]
+
+    def __post_init__(self) -> None:
+        if not self.predicates:
+            raise QueryError("threshold query needs at least one predicate")
+        for predicate in self.predicates:
+            if not isinstance(predicate, (IntervalQuery, MembershipQuery)):
+                raise QueryError(
+                    f"unsupported threshold predicate type "
+                    f"{type(predicate).__name__}"
+                )
+        if not 1 <= self.k <= len(self.predicates):
+            raise QueryError(
+                f"threshold k must be in [1, {len(self.predicates)}], "
+                f"got {self.k}"
+            )
+        domains = {p.cardinality for p in self.predicates}
+        if len(domains) != 1:
+            raise QueryError(
+                f"threshold predicates span several domains {sorted(domains)}"
+            )
+
+    @classmethod
+    def of(cls, k: int, predicates) -> "ThresholdQuery":
+        """Build from any iterable of predicates."""
+        return cls(int(k), tuple(predicates))
+
+    @property
+    def cardinality(self) -> int:
+        """The shared attribute domain size C."""
+        return self.predicates[0].cardinality
+
+    @property
+    def query_class(self) -> str:
+        """``"TH"`` — thresholds are their own observability class."""
+        return "TH"
+
+    def value_set(self) -> frozenset[int]:
+        """Attribute values satisfied by at least ``k`` predicates.
+
+        Well defined because every predicate constrains the same
+        attribute: a record with value ``v`` satisfies exactly the
+        predicates whose value sets contain ``v``.
+        """
+        counts: Counter = Counter()
+        for predicate in self.predicates:
+            for value in predicate.value_set():
+                counts[value] += 1
+        return frozenset(v for v, c in counts.items() if c >= self.k)
+
+    def matches(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of records satisfying the query (naive scan)."""
+        counts = np.zeros(len(values), dtype=np.int64)
+        for predicate in self.predicates:
+            counts += predicate.matches(values)
+        return counts >= self.k
+
+    def __str__(self) -> str:
+        inner = "; ".join(str(p) for p in self.predicates)
+        return f"AT-LEAST-{self.k} OF ({inner})"

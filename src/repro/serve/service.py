@@ -54,12 +54,12 @@ from repro.errors import (
 from repro.expr import EvalStats, Expr
 from repro.index.compressed_engine import CompressedQueryEngine
 from repro.index.evaluation import QueryEngine
-from repro.queries.model import IntervalQuery, MembershipQuery
+from repro.queries.model import IntervalQuery, MembershipQuery, ThresholdQuery
 from repro.serve.batcher import plan_batches
 from repro.serve.cache import ResultCache
 from repro.storage import CostClock
 
-Query = IntervalQuery | MembershipQuery
+Query = IntervalQuery | MembershipQuery | ThresholdQuery
 
 #: Evaluation engines the service can run on.
 ENGINES = ("decoded", "compressed")
@@ -415,6 +415,8 @@ class QueryService:
             constituents = [self.index.rewriter.rewrite_interval(query)]
         elif isinstance(query, MembershipQuery):
             constituents = self.index.rewriter.rewrite_membership(query)
+        elif isinstance(query, ThresholdQuery):
+            constituents = [self.index.rewriter.rewrite_threshold(query)]
         else:
             raise QueryError(f"unsupported query type {type(query).__name__}")
         timeout = (

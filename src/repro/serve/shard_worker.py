@@ -34,12 +34,12 @@ from repro.index.compressed_engine import CompressedQueryEngine
 from repro.index.evaluation import QueryEngine
 from repro.index.rewrite import QueryRewriter
 from repro.index.segmented import SegmentedBitmapIndex
-from repro.queries.model import IntervalQuery, MembershipQuery
+from repro.queries.model import IntervalQuery, MembershipQuery, ThresholdQuery
 from repro.serve.batcher import plan_batches
 from repro.serve.cache import ResultCache
 from repro.storage import CostClock
 
-Query = IntervalQuery | MembershipQuery
+Query = IntervalQuery | MembershipQuery | ThresholdQuery
 
 #: Default rows per segment inside one shard (small relative to shard
 #: size so appends seal segments regularly and splits find boundaries).
@@ -231,6 +231,11 @@ class ShardEngine:
             return [self.rewriter.rewrite_interval(query)]
         if isinstance(query, MembershipQuery):
             return list(self.rewriter.rewrite_membership(query))
+        if isinstance(query, ThresholdQuery):
+            # Threshold counting is per row, and shards are row-disjoint:
+            # evaluating k-of-N inside each shard and concatenating the
+            # partial bitmaps in shard order is exact.
+            return [self.rewriter.rewrite_threshold(query)]
         raise QueryError(f"unsupported query type {type(query).__name__}")
 
     def _segment_engines(self) -> list:

@@ -74,7 +74,7 @@ from repro.errors import (
 )
 from repro.index.bitmap_index import IndexSpec
 from repro.parallel import ProcessWorker, WorkerFault
-from repro.queries.model import IntervalQuery, MembershipQuery
+from repro.queries.model import IntervalQuery, MembershipQuery, ThresholdQuery
 from repro.serve.service import Ticket
 from repro.serve.shard_worker import (
     DEFAULT_SEGMENT_SIZE,
@@ -82,7 +82,7 @@ from repro.serve.shard_worker import (
     build_shard_engine,
 )
 
-Query = IntervalQuery | MembershipQuery
+Query = IntervalQuery | MembershipQuery | ThresholdQuery
 
 TRANSPORTS = ("inline", "process")
 
@@ -762,7 +762,9 @@ class ShardedQueryService:
     def _make_request(
         self, query: Query, timeout_s: float | None
     ) -> _Request:
-        if not isinstance(query, (IntervalQuery, MembershipQuery)):
+        if not isinstance(
+            query, (IntervalQuery, MembershipQuery, ThresholdQuery)
+        ):
             raise QueryError(f"unsupported query type {type(query).__name__}")
         if query.cardinality != self.spec.cardinality:
             raise QueryError(

@@ -32,7 +32,7 @@ from hypothesis import strategies as st
 from repro import obs
 from repro.encoding import ALL_SCHEME_NAMES
 from repro.index import BitmapIndex, IndexSpec, QueryEngine, predict_query_cost
-from repro.queries import IntervalQuery, MembershipQuery
+from repro.queries import IntervalQuery, MembershipQuery, ThresholdQuery
 from repro.storage import CostClock
 from repro.workload import zipf_column
 
@@ -64,6 +64,36 @@ def random_draw(rng: random.Random, scheme: str):
         members = set(rng.sample(range(cardinality), size))
         query = MembershipQuery.of(members, cardinality)
     return index, query
+
+
+def random_threshold_draw(rng: random.Random, scheme: str):
+    """One random (index, ThresholdQuery) pair: 2-4 predicates, any k."""
+    num_records = rng.randint(10, 200)
+    cardinality = rng.randint(4, 30)
+    num_components = rng.randint(1, 2)
+    values = zipf_column(
+        num_records, cardinality, rng.choice([0.0, 0.86, 1.5]),
+        seed=rng.randint(0, 2**31),
+    )
+    spec = IndexSpec(
+        cardinality=cardinality,
+        scheme=scheme,
+        num_components=num_components,
+        codec="raw",
+    )
+    index = BitmapIndex.build(values, spec)
+    predicates = []
+    for _ in range(rng.randint(2, 4)):
+        if rng.random() < 0.5:
+            low = rng.randint(0, cardinality - 1)
+            high = rng.randint(low, cardinality - 1)
+            predicates.append(IntervalQuery(low, high, cardinality))
+        else:
+            size = rng.randint(1, min(4, cardinality))
+            members = set(rng.sample(range(cardinality), size))
+            predicates.append(MembershipQuery.of(members, cardinality))
+    k = rng.randint(1, len(predicates))
+    return index, ThresholdQuery.of(k, predicates)
 
 
 def assert_prediction_matches(index, query, strategy: str) -> None:
@@ -103,6 +133,28 @@ def test_predicted_cost_matches_observed(scheme):
     for _ in range(DRAWS_PER_SCHEME):
         index, query = random_draw(rng, scheme)
         assert_prediction_matches(index, query, "component-wise")
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEME_NAMES)
+def test_threshold_predicted_cost_matches_observed(scheme):
+    """Threshold plans: n-op charging convention holds exactly."""
+    rng = random.Random(f"crossval-threshold-{scheme}")
+    for _ in range(15):
+        index, query = random_threshold_draw(rng, scheme)
+        assert_prediction_matches(index, query, "component-wise")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    scheme=st.sampled_from(ALL_SCHEME_NAMES),
+    strategy=st.sampled_from(["component-wise", "query-wise", "scheduled"]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_threshold_predicted_cost_property(scheme, strategy, seed):
+    """Hypothesis sweep over threshold (scheme, strategy, draw) space."""
+    rng = random.Random(seed)
+    index, query = random_threshold_draw(rng, scheme)
+    assert_prediction_matches(index, query, strategy)
 
 
 @pytest.mark.parametrize("strategy", ["query-wise", "scheduled"])

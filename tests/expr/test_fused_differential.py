@@ -23,7 +23,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.bitmap import BitVector
 from repro.compress import get_codec, open_stream
-from repro.expr import evaluate, evaluate_fused, evaluate_fused_streams
+from repro.expr import Threshold, evaluate, evaluate_fused, evaluate_fused_streams
 from repro.expr.fused import MIN_BLOCK_WORDS
 from repro.expr.nodes import And, Const, Leaf, Not, Or, Xor, leaf, one, zero
 from repro.index import BitmapIndex, IndexSpec
@@ -55,8 +55,35 @@ def expression_trees():
             st.tuples(child, child).map(lambda ab: ab[0] & ab[1]),
             st.tuples(child, child).map(lambda ab: ab[0] | ab[1]),
             st.tuples(child, child).map(lambda ab: ab[0] ^ ab[1]),
+            st.lists(child, min_size=1, max_size=4).flatmap(
+                lambda cs: st.integers(1, len(cs)).map(
+                    lambda k: Threshold(k, tuple(cs))
+                )
+            ),
         ),
         max_leaves=8,
+    )
+
+
+def negated_child_thresholds():
+    """Thresholds whose children mix plain and NOT-wrapped leaves.
+
+    Guaranteed at least one negated child — the fused path folds the
+    NOT into the child's invert flag, and :mod:`repro.expr.simplify`
+    deliberately refuses to touch these nodes, so the differential
+    suite is their only equivalence check.
+    """
+    children = st.lists(
+        st.sampled_from(
+            [leaf(k) for k in KEYS] + [~leaf(k) for k in KEYS]
+        ),
+        min_size=2,
+        max_size=6,
+    ).filter(lambda cs: any(isinstance(c, Not) for c in cs))
+    return children.flatmap(
+        lambda cs: st.integers(1, len(cs)).map(
+            lambda k: Threshold(k, tuple(cs))
+        )
     )
 
 
@@ -76,6 +103,11 @@ def naive(expr, bitmaps, length) -> np.ndarray:
         return np.full(length, bool(expr.value))
     if isinstance(expr, Not):
         return ~naive(expr.child, bitmaps, length)
+    if isinstance(expr, Threshold):
+        counts = np.zeros(length, dtype=np.int64)
+        for child in expr.children():
+            counts += naive(child, bitmaps, length)
+        return counts >= expr.k
     op = {And: np.logical_and, Or: np.logical_or, Xor: np.logical_xor}[
         type(expr)
     ]
@@ -113,6 +145,53 @@ def test_fused_matches_materializing_and_naive(expr, length, density, seed):
 )
 @settings(max_examples=25, deadline=None)
 def test_streamed_leaves_match_all_codecs(codec, expr, length, density, seed):
+    bitmaps = random_bitmaps(length, density, seed)
+    payloads = {
+        key: get_codec(codec).encode(vec) for key, vec in bitmaps.items()
+    }
+    reference = evaluate(expr, bitmaps.get, length)
+    fused = evaluate_fused_streams(
+        expr,
+        lambda key: open_stream(codec, payloads[key], length),
+        length,
+        block_words=MIN_BLOCK_WORDS,
+    )
+    assert fused == reference
+
+
+@given(
+    expr=negated_child_thresholds(),
+    length=lengths,
+    density=densities,
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@settings(max_examples=60, deadline=None)
+def test_fused_threshold_with_negated_children(expr, length, density, seed):
+    """NOT-folding under Threshold: fused invert flags ≡ materializing.
+
+    These are exactly the nodes ``simplify`` refuses to rewrite; the
+    fused path still folds each child's NOT into its invert flag, and
+    this suite is the equivalence proof for that folding.
+    """
+    bitmaps = random_bitmaps(length, density, seed)
+    oracle = naive(expr, bitmaps, length)
+    materialized = evaluate(expr, bitmaps.get, length)
+    fused = evaluate_fused(
+        expr, bitmaps.get, length, block_words=MIN_BLOCK_WORDS
+    )
+    assert materialized.to_bools().tolist() == oracle.tolist()
+    assert fused == materialized
+
+
+@pytest.mark.parametrize("codec", CODEC_NAMES)
+@given(
+    expr=negated_child_thresholds(),
+    length=lengths,
+    density=densities,
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@settings(max_examples=15, deadline=None)
+def test_streamed_threshold_negated_children(codec, expr, length, density, seed):
     bitmaps = random_bitmaps(length, density, seed)
     payloads = {
         key: get_codec(codec).encode(vec) for key, vec in bitmaps.items()
