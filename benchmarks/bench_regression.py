@@ -3,10 +3,10 @@
 
 Times encode/decode for every codec, compressed-domain AND/OR, the
 fused-vs-materializing expression evaluators, and one end-to-end
-figure regeneration, then writes ``BENCH_PR8.json`` at the repo root.
+figure regeneration, then writes ``BENCH_PR9.json`` at the repo root.
 Prior recorded numbers are merged in under prefixed names — ``seed:``
 for the pre-vectorization baseline (``benchmarks/results/
-seed_baseline.json``) and ``pr1:`` through ``pr7:`` for each PR's
+seed_baseline.json``) and ``pr1:`` through ``pr8:`` for each PR's
 recorded numbers (``BENCH_PR<n>.json``) — so a single file shows
 current medians next to every baseline.
 
@@ -38,6 +38,14 @@ Gates that can fail the run (exit 1):
   chain's pairwise fold on the compressed engine — one counting pass
   over the N payloads is the point of the threshold algebra (counted
   words, deterministic, so this gate runs in ``--quick`` mode too);
+* a ``reorder="lexicographic"`` build failing to come out strictly
+  smaller than the unordered build for WAH/EWAH/BBC at any measured
+  Zipf skew z >= 1, or any reordered query answer differing from the
+  unordered build after permutation mapping — shrinking every
+  word-aligned codec with bit-identical answers is the point of the
+  row-reordering pass (sizes and answers are deterministic, so this
+  gate runs in ``--quick`` mode too; the ``reorder_skew_benefit``
+  entry carries the full skew-vs-benefit curve per codec);
 * roaring's compressed-domain AND slower than WAH's at the measured
   configuration — the speed of per-container dispatch over matching
   chunks is the point of the roaring extension, so losing to a
@@ -105,7 +113,8 @@ PR4_BASELINE = REPO_ROOT / "BENCH_PR4.json"
 PR5_BASELINE = REPO_ROOT / "BENCH_PR5.json"
 PR6_BASELINE = REPO_ROOT / "BENCH_PR6.json"
 PR7_BASELINE = REPO_ROOT / "BENCH_PR7.json"
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR8.json"
+PR8_BASELINE = REPO_ROOT / "BENCH_PR8.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR9.json"
 
 #: Maximum tolerated slowdown of the kernel workload with obs installed.
 OBS_OVERHEAD_LIMIT_PCT = 5.0
@@ -208,7 +217,132 @@ def run_benchmarks(
     # Threshold algebra: k-of-N as one counting pass vs the expanded
     # OR-chain.  Counted words, deterministic at any size.
     results["threshold_vs_or_chain"] = run_threshold_bench(num_records)
+
+    # Row reordering: size and AND/OR throughput before/after the
+    # build-time sort, per codec, over the Zipf skew sweep (the
+    # skew-vs-benefit curve).  Sizes and answers are deterministic, so
+    # the shrink + bit-identical gate runs in --quick mode too.
+    results["reorder_skew_benefit"] = run_reorder_bench(num_records, iters)
     return results
+
+
+REORDER_CODECS = ("wah", "ewah", "bbc", "roaring")
+#: Codecs the shrink gate enforces: the word-aligned run-length family,
+#: where sorting must pay off at every z >= 1 (roaring is recorded but
+#: not gated — its array containers are already order-insensitive at
+#: low density).
+REORDER_GATED_CODECS = ("wah", "ewah", "bbc")
+
+
+def run_reorder_bench(
+    num_records: int,
+    iters: int,
+    cardinality: int = 64,
+    skews: tuple[float, ...] = (0.0, 1.0, 2.0),
+) -> dict:
+    """Index size and compressed AND/OR time, unordered vs reordered.
+
+    For every codec and Zipf skew the same column is indexed twice —
+    arrival order and `reorder="lexicographic"` — and the entry records
+    both stored sizes, the shrink factor, median compressed-domain
+    AND/OR wall time over the two largest equality bitmaps, and whether
+    a mixed query workload answered bit-identically after permutation
+    mapping.  The skew axis is the Kaser/Lemire skew-vs-benefit curve.
+    """
+    from repro.compress import CompressedBitmap
+    from repro.index import BitmapIndex, IndexSpec
+    from repro.queries import IntervalQuery, MembershipQuery
+    from repro.workload import zipf_column
+
+    curves: dict[str, dict] = {}
+    identical = True
+    for codec in REORDER_CODECS:
+        curve = []
+        for skew in skews:
+            values = zipf_column(num_records, cardinality, skew, seed=9)
+            spec = IndexSpec(cardinality=cardinality, scheme="E", codec=codec)
+            plain = BitmapIndex.build(values, spec)
+            sorted_ = BitmapIndex.build(
+                values,
+                IndexSpec(
+                    cardinality=cardinality,
+                    scheme="E",
+                    codec=codec,
+                    reorder="lexicographic",
+                ),
+            )
+            queries = [
+                IntervalQuery(4, cardinality // 2, cardinality),
+                MembershipQuery.of({1, 5, cardinality - 2}, cardinality),
+            ]
+            for query in queries:
+                if plain.query(query).bitmap != sorted_.query(query).bitmap:
+                    identical = False
+
+            def op_time(index: BitmapIndex) -> dict[str, float]:
+                # The two heaviest equality bitmaps: most frequent values.
+                counts = np.bincount(values, minlength=cardinality)
+                a, b = np.argsort(counts)[-2:]
+                left = CompressedBitmap(
+                    *index.store.get_payload((0, int(a))), codec
+                )
+                right = CompressedBitmap(
+                    *index.store.get_payload((0, int(b))), codec
+                )
+                return {
+                    "and_s": timeit(lambda: left & right, max(iters, 3)),
+                    "or_s": timeit(lambda: left | right, max(iters, 3)),
+                }
+
+            curve.append(
+                {
+                    "skew": skew,
+                    "unordered_bytes": plain.size_bytes(),
+                    "reordered_bytes": sorted_.size_bytes(),
+                    "shrink_factor": plain.size_bytes()
+                    / max(1, sorted_.size_bytes()),
+                    "unordered": op_time(plain),
+                    "reordered": op_time(sorted_),
+                }
+            )
+        curves[codec] = {"curve": curve}
+    return {
+        "params": {
+            "num_records": num_records,
+            "cardinality": cardinality,
+            "scheme": "E",
+            "skews": list(skews),
+        },
+        "bit_identical": identical,
+        "codecs": curves,
+    }
+
+
+def check_reorder_gates(entry: dict) -> list[str]:
+    """Failures of the reorder gate: shrink at z >= 1, identical answers.
+
+    The reordered build must be strictly smaller than the unordered one
+    for every word-aligned codec at every measured skew >= 1, and the
+    query answers must match bit-for-bit after permutation mapping —
+    a smaller index with different answers would be worse than useless.
+    """
+    failures = []
+    if not entry["bit_identical"]:
+        failures.append(
+            "reordered index answered a query differently from the "
+            "unordered build after permutation mapping"
+        )
+    for codec in REORDER_GATED_CODECS:
+        for point in entry["codecs"][codec]["curve"]:
+            if point["skew"] < 1.0:
+                continue
+            if point["reordered_bytes"] >= point["unordered_bytes"]:
+                failures.append(
+                    f"reordered {codec} index is not smaller at "
+                    f"z={point['skew']:g}: {point['reordered_bytes']} vs "
+                    f"{point['unordered_bytes']} bytes unordered"
+                )
+    return failures
 
 
 def run_threshold_bench(num_records: int, fanin: int = 16) -> dict:
@@ -410,6 +544,7 @@ def main(argv: list[str] | None = None) -> int:
     merge_baseline(results, PR5_BASELINE, "pr5")
     merge_baseline(results, PR6_BASELINE, "pr6")
     merge_baseline(results, PR7_BASELINE, "pr7")
+    merge_baseline(results, PR8_BASELINE, "pr8")
 
     output = args.output
     if output is None and not args.quick:
@@ -485,6 +620,19 @@ def main(argv: list[str] | None = None) -> int:
             f"{threshold['or_chain_words_operated']}",
             file=sys.stderr,
         )
+        return 1
+
+    reorder = results["reorder_skew_benefit"]
+    for codec in REORDER_GATED_CODECS:
+        points = [
+            f"z={p['skew']:g}: {p['shrink_factor']:.1f}x"
+            for p in reorder["codecs"][codec]["curve"]
+        ]
+        print(f"reorder shrink {codec}: {', '.join(points)}")
+    reorder_failures = check_reorder_gates(reorder)
+    for failure in reorder_failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if reorder_failures:
         return 1
 
     roaring_and = results["roaring_and"]["median_s"]

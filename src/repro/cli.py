@@ -33,6 +33,7 @@ from repro.errors import QueryError, ReproError
 from repro.index import BitmapIndex, IndexSpec
 from repro.index.persist import load_index, save_index, validate_index
 from repro.queries import IntervalQuery, MembershipQuery, ThresholdQuery
+from repro.table.reorder import REORDER_STRATEGIES
 from repro.workload import zipf_column
 
 
@@ -75,6 +76,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         scheme=args.scheme,
         num_components=args.components,
         codec=args.codec,
+        reorder=args.reorder,
     )
     index = BitmapIndex.build(values, spec)
     save_index(index, args.output)
@@ -92,6 +94,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"components:   {index.num_components} (bases "
           f"<{','.join(map(str, index.bases))}>)")
     print(f"records:      {index.num_records}")
+    if index.reordering is not None:
+        print(
+            f"reorder:      {index.reordering.strategy} "
+            f"({index.reordering.num_sorted} sorted, "
+            f"{index.num_records - index.reordering.num_sorted} appended)"
+        )
     print(f"bitmaps:      {index.num_bitmaps()}")
     print(f"stored size:  {index.size_bytes() / 1024:.1f} KB "
           f"({index.size_pages()} pages)")
@@ -415,6 +423,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="attribute cardinality (default: max value + 1)",
+    )
+    p.add_argument(
+        "--reorder",
+        choices=REORDER_STRATEGIES,
+        default="none",
+        help="sort rows at build time so run-length codecs compress "
+        "better; query answers still report original row ids "
+        "(see docs/reordering.md)",
     )
     p.set_defaults(func=_cmd_build)
 

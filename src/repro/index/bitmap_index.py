@@ -48,6 +48,11 @@ class IndexSpec:
     ``bases`` may be given explicitly (most significant first) or left
     None with ``num_components`` set, in which case the near-uniform
     decomposition is used.
+
+    ``reorder`` opts into the build-time row-reordering preprocessing
+    pass (:mod:`repro.table.reorder`): ``"lexicographic"`` sorts the
+    column before building, storing the row permutation so answers map
+    back to original record ids at the result boundary.
     """
 
     cardinality: int
@@ -55,6 +60,7 @@ class IndexSpec:
     num_components: int = 1
     bases: tuple[int, ...] | None = None
     codec: str = "raw"
+    reorder: str = "none"
 
     def resolved_bases(self) -> tuple[int, ...]:
         """The concrete base sequence of this spec."""
@@ -79,6 +85,7 @@ class BitmapIndex:
         num_records: int,
         scheme: EncodingScheme,
         bases: tuple[int, ...],
+        reordering=None,
     ):
         self.spec = spec
         self.store = store
@@ -86,6 +93,12 @@ class BitmapIndex:
         self.scheme = scheme
         self.bases = bases
         self.rewriter = QueryRewriter(spec.cardinality, bases, scheme)
+        #: Build-time row reordering
+        #: (:class:`~repro.table.reorder.RowReordering`) or None.  The
+        #: stored bitmaps are laid out in sorted row order; engines call
+        #: :meth:`restore_row_order` on final answers so every consumer
+        #: past the result boundary sees original record ids.
+        self.reordering = reordering
         #: Monotonic update counter: bumped by every :meth:`append`.
         #: Caches keyed by ``(epoch, expression)`` — the serving layer's
         #: result cache — are invalidated wholesale by a bump.
@@ -102,17 +115,33 @@ class BitmapIndex:
         spec: IndexSpec,
         store: BitmapStore | None = None,
         page_size: int = DEFAULT_PAGE_SIZE,
+        reordering=None,
     ) -> "BitmapIndex":
         """Build an index over ``values`` according to ``spec``.
 
         ``values`` must lie in ``[0, spec.cardinality)``.  When ``store``
         is None an in-memory store with the spec's codec is created.
+
+        Row reordering: an explicit ``reordering``
+        (:class:`~repro.table.reorder.RowReordering`, e.g. a table-level
+        joint sort shared across columns) is applied to ``values``
+        before decomposition; otherwise ``spec.reorder`` other than
+        ``"none"`` sorts the single column.  Either way the stored
+        bitmaps live in sorted row order and answers are mapped back at
+        the result boundary (:meth:`restore_row_order`).
         """
+        from repro.table.reorder import RowReordering, validate_strategy
+
         vals = np.asarray(values)
         if vals.size and (vals.min() < 0 or vals.max() >= spec.cardinality):
             raise EncodingSchemeError(
                 f"column values outside domain [0, {spec.cardinality})"
             )
+        if reordering is not None:
+            vals = reordering.apply(vals)
+        elif validate_strategy(spec.reorder) != "none":
+            reordering = RowReordering.from_sort(vals, spec.reorder)
+            vals = reordering.apply(vals)
         scheme = get_scheme(spec.scheme)
         bases = spec.resolved_bases()
         if store is None:
@@ -128,7 +157,9 @@ class BitmapIndex:
         for component, (base, column) in enumerate(zip(bases, digit_columns)):
             for slot, vector in scheme.build(column, base).items():
                 store.put((component, slot), vector)
-        return cls(spec, store, int(vals.size), scheme, bases)
+        return cls(
+            spec, store, int(vals.size), scheme, bases, reordering=reordering
+        )
 
     # ------------------------------------------------------------------
     # Batch updates (§4.2's batched-update setting)
@@ -146,13 +177,23 @@ class BitmapIndex:
         replaced payloads through the store's per-key write versions and
         re-read them, so existing engines stay usable; the index
         :attr:`epoch` is bumped so expression-level result caches can
-        invalidate.
+        invalidate.  An *empty* batch changes nothing and therefore must
+        not bump the epoch — a bump would needlessly sweep every serving
+        result cache keyed on it.
+
+        On a reordered index the new rows land past the sorted prefix in
+        arrival order (the permutation gains identity entries), so
+        appends never trigger a re-sort.
         """
         from repro.bitmap import concatenate
         from repro.index.decompose import decompose_column
 
         vals = np.asarray(values)
-        if vals.size and (vals.min() < 0 or vals.max() >= self.cardinality):
+        if vals.size == 0:
+            return UpdateReport(
+                records_appended=0, bitmaps_extended=0, bitmaps_touched=0
+            )
+        if vals.min() < 0 or vals.max() >= self.cardinality:
             raise EncodingSchemeError(
                 f"batch values outside domain [0, {self.cardinality})"
             )
@@ -169,6 +210,8 @@ class BitmapIndex:
                 if extension.any():
                     touched += 1
         self.num_records += int(vals.size)
+        if self.reordering is not None:
+            self.reordering.extend(int(vals.size))
         self.epoch += 1
         return UpdateReport(
             records_appended=int(vals.size),
@@ -213,6 +256,19 @@ class BitmapIndex:
     # ------------------------------------------------------------------
     # Querying
     # ------------------------------------------------------------------
+
+    def restore_row_order(self, bitmap):
+        """Translate an answer from stored (sorted) to original row order.
+
+        The single place the build-time permutation re-enters query
+        evaluation: both engines call it on their *final* answer, so
+        everything upstream — compressed-domain ops, fused evaluation,
+        thresholds, shared-scan batching — runs untouched in sorted
+        space.  A no-op (the same object) for unreordered indexes.
+        """
+        if self.reordering is None or self.reordering.is_identity:
+            return bitmap
+        return self.reordering.restore_bitmap(bitmap)
 
     def use_cost_based_rewriter(self) -> None:
         """Swap in a rewriter that prices expression choices by the

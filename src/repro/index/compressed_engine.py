@@ -230,12 +230,17 @@ class CompressedQueryEngine:
         The blockwise path streams the payload through the codec's
         block kernel (decode scratch stays ~16 KiB instead of scaling
         with the run count); result, clock charge and ``codec.decode.*``
-        counters are identical to the whole-vector decode.
+        counters are identical to the whole-vector decode.  On a
+        reordered index the decoded answer is translated back to
+        original row order here — the result boundary — so every
+        compressed-domain operation above ran in sorted space.
         """
         self.clock.charge_decompress(answer.compressed_size())
         if self.blockwise_decode:
-            return answer.decode_blockwise(self.block_words)
-        return answer.decode()
+            decoded = answer.decode_blockwise(self.block_words)
+        else:
+            decoded = answer.decode()
+        return self.index.restore_row_order(decoded)
 
     def _charged_op(
         self,

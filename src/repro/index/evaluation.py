@@ -226,7 +226,7 @@ class QueryEngine:
         # Charge CPU for the bulk word operations and the final ORs.
         self.clock.charge_word_ops(stats.operations, words)
         return EvaluationResult(
-            bitmap=answer,
+            bitmap=self.index.restore_row_order(answer),
             stats=stats,
             simulated_ms=self.clock.total_ms - start_ms,
             strategy=self.strategy,
@@ -261,8 +261,9 @@ class QueryEngine:
             answer = results[0]
             if not answer.words.flags.writeable:
                 answer = answer.copy()  # same ownership rule as execute()
-            return answer
-        return or_all(results)
+        else:
+            answer = or_all(results)
+        return self.index.restore_row_order(answer)
 
     # ------------------------------------------------------------------
 

@@ -60,6 +60,14 @@ MANIFEST_NAME = "manifest.json"
 FORMAT_VERSION = 2
 #: Formats :func:`load_index` can read.
 SUPPORTED_FORMATS = (1, 2)
+#: Blob holding the build-time row permutation of a reordered index
+#: (little-endian int64 positions; see :mod:`repro.table.reorder`).
+#: The ``.perm`` suffix keeps it clear of the ``.bm`` stale-blob sweep.
+PERMUTATION_NAME = "permutation.perm"
+#: Version of the manifest's optional ``reorder`` entry.  Manifests
+#: without the entry — every index written before reordering existed —
+#: load as identity, so the format number did not need to change.
+REORDER_FORMAT = 1
 
 
 def _encode_slot(slot) -> list | int | str:
@@ -136,11 +144,29 @@ def save_index(index: BitmapIndex, directory: str | Path) -> Path:
         "num_records": index.num_records,
         "bitmaps": entries,
     }
+    reordering = getattr(index, "reordering", None)
+    if reordering is not None:
+        payload = reordering.permutation.astype("<i8").tobytes()
+        atomic_write_bytes(directory / PERMUTATION_NAME, payload)
+        manifest["reorder"] = {
+            "version": REORDER_FORMAT,
+            "strategy": reordering.strategy,
+            "num_sorted": int(reordering.num_sorted),
+            "file": PERMUTATION_NAME,
+            "bytes": len(payload),
+            "crc32": _crc32(payload),
+        }
+        _count("persist.blobs_written")
+        _count("persist.bytes_written", len(payload))
     manifest_path = directory / MANIFEST_NAME
     atomic_write_bytes(
         manifest_path, (json.dumps(manifest, indent=2) + "\n").encode()
     )
     _sweep_unreferenced(directory, {entry["file"] for entry in entries})
+    if reordering is None:
+        # A previous index in this directory may have been reordered;
+        # its permutation is unreferenced by the committed manifest.
+        (directory / PERMUTATION_NAME).unlink(missing_ok=True)
     return manifest_path
 
 
@@ -314,6 +340,59 @@ def _load_entries(directory: Path, manifest: dict, store: DirectoryStore) -> Non
             store.attach_payload(key, payload, len(vector))
 
 
+def _load_reordering(directory: Path, manifest: dict):
+    """The manifest's row reordering, or None (identity) when absent.
+
+    The permutation blob is checked like any bitmap blob — byte length
+    and CRC32 against the manifest — and then validated as a true
+    bijection over the record count: a corrupt permutation would
+    silently misattribute every query answer, the worst possible
+    failure mode for a checksummed format.
+    """
+    import numpy as np
+
+    from repro.errors import ReproError
+    from repro.table.reorder import RowReordering
+
+    entry = manifest.get("reorder")
+    if entry is None:
+        return None
+    key = "reorder"
+    if not isinstance(entry, dict):
+        _count("persist.corruption_detected", kind="manifest")
+        raise ManifestMismatchError(
+            f"reorder entry is not an object: {entry!r}"
+        )
+    num_sorted = entry.get("num_sorted")
+    if not isinstance(num_sorted, int):
+        _count("persist.corruption_detected", kind="manifest")
+        raise ManifestMismatchError(
+            f"reorder entry lacks integer 'num_sorted' (got {num_sorted!r})"
+        )
+    path = _blob_path(directory, entry, key)
+    payload = _read_blob(path, key)
+    _check_blob(payload, entry, key)
+    if len(payload) % 8:
+        _count("persist.corruption_detected", kind="mismatch")
+        raise ManifestMismatchError(
+            f"reorder permutation in {path.name} holds {len(payload)} "
+            f"bytes, not a whole number of int64 entries"
+        )
+    permutation = np.frombuffer(payload, dtype="<i8")
+    try:
+        return RowReordering.validated(
+            permutation,
+            num_sorted,
+            str(entry.get("strategy", "lexicographic")),
+            manifest["num_records"],
+        )
+    except ReproError as exc:
+        _count("persist.corruption_detected", kind="mismatch")
+        raise ManifestMismatchError(
+            f"reorder permutation in {path.name} is invalid: {exc}"
+        ) from exc
+
+
 def load_index(directory: str | Path, mapped: bool = False) -> BitmapIndex:
     """Load an index previously written by :func:`save_index`.
 
@@ -346,11 +425,13 @@ def load_index(directory: str | Path, mapped: bool = False) -> BitmapIndex:
         )
         num_records = manifest["num_records"]
         _load_entries(directory, manifest, store)
+        reordering = _load_reordering(directory, manifest)
         spec = IndexSpec(
             cardinality=manifest["cardinality"],
             scheme=manifest["scheme"],
             bases=tuple(manifest["bases"]),
             codec=manifest["codec"],
+            reorder="none" if reordering is None else reordering.strategy,
         )
         scheme = get_scheme(manifest["scheme"])
         bases = tuple(manifest["bases"])
@@ -365,6 +446,7 @@ def load_index(directory: str | Path, mapped: bool = False) -> BitmapIndex:
         num_records=num_records,
         scheme=scheme,
         bases=bases,
+        reordering=reordering,
     )
 
 
@@ -442,8 +524,18 @@ def validate_index(directory: str | Path) -> IndexValidationReport:
                 ) from exc
         except StorageError as exc:
             report.errors.append(exc)
+    if manifest.get("reorder") is not None:
+        report.checked += 1
+        try:
+            _load_reordering(directory, manifest)
+        except StorageError as exc:
+            report.errors.append(exc)
+        else:
+            referenced.add(manifest["reorder"].get("file", PERMUTATION_NAME))
     for path in sorted(directory.iterdir()):
         if path.suffix == BLOB_SUFFIX and path.name not in referenced:
+            report.orphans.append(path.name)
+        elif path.suffix == ".perm" and path.name not in referenced:
             report.orphans.append(path.name)
         elif path.name.endswith(TMP_SUFFIX):
             report.orphans.append(path.name)

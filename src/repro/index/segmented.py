@@ -90,10 +90,16 @@ class SegmentedBitmapIndex:
 
         Only the tail segment's bitmaps are ever rewritten; sealed
         segments are immutable — the property that makes segmented
-        layouts append-friendly.
+        layouts append-friendly.  An empty batch changes nothing and
+        must not bump the epoch (a bump would sweep every serving
+        result cache keyed on it for no reason).
         """
         vals = np.asarray(values)
-        if vals.size and (vals.min() < 0 or vals.max() >= self.cardinality):
+        if vals.size == 0:
+            return UpdateReport(
+                records_appended=0, bitmaps_extended=0, bitmaps_touched=0
+            )
+        if vals.min() < 0 or vals.max() >= self.cardinality:
             raise EncodingSchemeError(
                 f"batch values outside domain [0, {self.cardinality})"
             )

@@ -8,6 +8,12 @@ per indexed column and evaluates multi-attribute selections.
 """
 
 from repro.table.advisor import TableRecommendation, recommend_table
+from repro.table.reorder import (
+    REORDER_STRATEGIES,
+    RowReordering,
+    choose_column_order,
+    reorder_rows,
+)
 from repro.table.table import (
     ColumnConfig,
     IsNotNull,
@@ -24,4 +30,8 @@ __all__ = [
     "IsNotNull",
     "recommend_table",
     "TableRecommendation",
+    "RowReordering",
+    "reorder_rows",
+    "choose_column_order",
+    "REORDER_STRATEGIES",
 ]

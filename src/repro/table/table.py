@@ -37,12 +37,20 @@ Query = IntervalQuery | MembershipQuery | IsNull | IsNotNull
 
 @dataclass(frozen=True)
 class ColumnConfig:
-    """Index configuration for one table column."""
+    """Index configuration for one table column.
+
+    ``reorder`` opts this column's index into the build-time
+    row-reordering pass (:mod:`repro.table.reorder`) when the column is
+    indexed standalone; a table-level ``reorder=`` on
+    :meth:`Table.from_columns` supersedes it with one joint sort shared
+    by every column.
+    """
 
     cardinality: int
     scheme: str = "I"
     num_components: int = 1
     codec: str = "raw"
+    reorder: str = "none"
 
     def to_spec(self) -> IndexSpec:
         """The equivalent :class:`~repro.index.IndexSpec`."""
@@ -51,12 +59,21 @@ class ColumnConfig:
             scheme=self.scheme,
             num_components=self.num_components,
             codec=self.codec,
+            reorder=self.reorder,
         )
 
 
 @dataclass
 class SelectionResult:
-    """Answer of a multi-attribute selection."""
+    """Answer of a multi-attribute selection.
+
+    ``bitmap`` is always in *original* row order: on a reordered build
+    each engine translates its answer back through the stored
+    permutation at the result boundary, before negation, validity
+    masking and cross-column combination happen here — so
+    :meth:`row_ids` returns the record ids the caller loaded, never
+    sorted-layout positions.
+    """
 
     bitmap: BitVector
     #: Per-attribute scan/operation statistics.
@@ -70,7 +87,7 @@ class SelectionResult:
         return self.bitmap.count()
 
     def row_ids(self) -> np.ndarray:
-        """Sorted qualifying record ids."""
+        """Sorted qualifying record ids (original row numbering)."""
         return self.bitmap.to_indices()
 
     @property
@@ -90,6 +107,12 @@ class Table:
         self._engines: dict[str, QueryEngine] = {}
         #: Per-column validity bitmap; None means every record is valid.
         self._validity: dict[str, BitVector | None] = {}
+        #: Table-level joint row reordering applied at build time, or
+        #: None.  Kept in *original* row space alongside validity — the
+        #: per-column indexes own (independent copies of) the
+        #: permutation and map their answers back before this layer
+        #: combines them.
+        self._reordering = None
 
     @classmethod
     def from_columns(
@@ -97,22 +120,43 @@ class Table:
         columns: Mapping[str, np.ndarray],
         configs: Mapping[str, ColumnConfig],
         valid_masks: Mapping[str, np.ndarray] | None = None,
+        reorder: str = "none",
     ) -> "Table":
         """Build a table from column arrays and per-column configs.
 
         ``valid_masks`` optionally maps column names to boolean arrays
         marking non-NULL records.
+
+        ``reorder="lexicographic"`` runs the build-time row-reordering
+        pass (:mod:`repro.table.reorder`): one joint sort — column order
+        chosen histogram-aware, lowest cardinality / most skewed first —
+        shared by every column's index, so all of them compress better
+        at once.  Query results still report original record ids; the
+        permutation is applied inside each engine at the result
+        boundary.
         """
+        from repro.table.reorder import reorder_rows
+
         lengths = {name: np.asarray(col).size for name, col in columns.items()}
         if len(set(lengths.values())) > 1:
             raise ReproError(f"column lengths differ: {lengths}")
         num_records = next(iter(lengths.values()), 0)
         table = cls(num_records)
+        _, reordering = reorder_rows(columns, strategy=reorder)
+        if reordering.is_identity:
+            reordering = None
+        table._reordering = reordering
         for name, values in columns.items():
             if name not in configs:
                 raise ReproError(f"no ColumnConfig for column {name!r}")
             mask = None if valid_masks is None else valid_masks.get(name)
-            table.add_column(name, values, configs[name], valid_mask=mask)
+            table.add_column(
+                name,
+                values,
+                configs[name],
+                valid_mask=mask,
+                reordering=None if reordering is None else reordering.copy(),
+            )
         return table
 
     # ------------------------------------------------------------------
@@ -127,12 +171,18 @@ class Table:
         """Indexed column names, in insertion order."""
         return list(self._indexes)
 
+    @property
+    def reordering(self):
+        """The table-level joint row reordering, or None when unsorted."""
+        return self._reordering
+
     def add_column(
         self,
         name: str,
         values: np.ndarray,
         config: ColumnConfig,
         valid_mask: np.ndarray | None = None,
+        reordering=None,
     ) -> BitmapIndex:
         """Index a new column; all columns share the record count.
 
@@ -140,6 +190,12 @@ class Table:
         ignored (they are indexed under value 0 but masked out of every
         answer, per SQL semantics: a NULL matches no predicate and no
         negated predicate).
+
+        ``reordering`` hands the index a precomputed row permutation
+        (the table-level joint sort); ``values`` and ``valid_mask`` stay
+        in original row order — the index applies the permutation
+        itself, and validity stays original-space because engine answers
+        are mapped back before this layer touches them.
         """
         vals = np.asarray(values)
         if vals.size != self._num_records:
@@ -162,7 +218,9 @@ class Table:
                 validity = BitVector.from_bools(mask)
                 vals = np.where(mask, vals, 0)
 
-        index = BitmapIndex.build(vals, config.to_spec())
+        index = BitmapIndex.build(
+            vals, config.to_spec(), reordering=reordering
+        )
         self._indexes[name] = index
         self._engines[name] = index.engine()
         self._validity[name] = validity
@@ -240,6 +298,11 @@ class Table:
             else:
                 result = engine.execute(query)
                 answer = result.bitmap
+                # ``answer`` is already in original row order: on a
+                # reordered index the engine negates/combines in sorted
+                # (permuted) space and maps back before returning, so
+                # complementing here — and the validity AND below, which
+                # is original-space — never mixes row spaces.
                 # SQL three-valued logic: NULLs satisfy neither the
                 # predicate nor its negation.
                 if name in negate:

@@ -16,14 +16,27 @@ from repro.errors import ReproError
 
 
 def zipf_probabilities(cardinality: int, skew: float) -> np.ndarray:
-    """Zipf rank probabilities ``p_r ∝ 1 / r^skew`` for r = 1..C."""
+    """Zipf rank probabilities ``p_r ∝ 1 / r^skew`` for r = 1..C.
+
+    Computed in log space: the direct ``ranks**-skew`` underflows into
+    denormals (and then exact zeros) once ``skew * log10(C)`` passes
+    ~308, and normalizing those denormals loses further precision —
+    enough for ``weights / weights.sum()`` to fail
+    ``rng.choice``'s probability-sum check at high skew × large
+    cardinality.  ``exp(-skew*log(ranks) - logsumexp)`` keeps full
+    relative precision for every representable rank, and the final
+    renormalization pins the sum to exactly 1.0.
+    """
     if cardinality < 1:
         raise ReproError(f"cardinality must be >= 1, got {cardinality}")
     if skew < 0:
         raise ReproError(f"skew must be >= 0, got {skew}")
-    ranks = np.arange(1, cardinality + 1, dtype=np.float64)
-    weights = ranks**-skew
-    return weights / weights.sum()
+    log_weights = -skew * np.log(np.arange(1, cardinality + 1, dtype=np.float64))
+    # logsumexp with the max (always rank 1's 0.0 here) factored out.
+    shifted = np.exp(log_weights - log_weights.max())
+    log_total = log_weights.max() + np.log(shifted.sum())
+    probabilities = np.exp(log_weights - log_total)
+    return probabilities / probabilities.sum()
 
 
 def zipf_column(

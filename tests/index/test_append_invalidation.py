@@ -68,7 +68,7 @@ class TestEpochCounter:
         )
         assert index.epoch == 0
         index.append(np.array([3]))
-        index.append(np.array([], dtype=np.int64))  # even empty batches
+        index.append(np.array([7, 7]))
         assert index.epoch == 2
 
     def test_segmented_index_epoch_bumps_per_append(self, rng):
@@ -80,6 +80,52 @@ class TestEpochCounter:
         epoch = index.epoch
         index.append(rng.integers(0, CARDINALITY, size=70))
         assert index.epoch == epoch + 1
+
+
+class TestEmptyAppend:
+    """A zero-row batch is a no-op and must not invalidate anything.
+
+    Regression: empty appends used to bump the epoch, which swept every
+    epoch-keyed result cache (local and serving) even though no stored
+    bitmap changed.
+    """
+
+    def test_bitmap_index_empty_append_keeps_epoch(self, rng):
+        index = BitmapIndex.build(
+            rng.integers(0, CARDINALITY, size=100),
+            IndexSpec(cardinality=CARDINALITY, scheme="E"),
+        )
+        index.append(np.array([3]))
+        report = index.append(np.array([], dtype=np.int64))
+        assert index.epoch == 1
+        assert report.records_appended == 0
+        assert report.bitmaps_extended == 0
+        assert report.bitmaps_touched == 0
+        assert index.num_records == 101
+
+    def test_segmented_index_empty_append_keeps_epoch(self, rng):
+        index = SegmentedBitmapIndex.build(
+            rng.integers(0, CARDINALITY, size=100),
+            IndexSpec(cardinality=CARDINALITY, scheme="E"),
+            segment_size=64,
+        )
+        epoch = index.epoch
+        report = index.append(np.array([], dtype=np.int64))
+        assert index.epoch == epoch
+        assert report.records_appended == 0
+        assert index.num_records == 100
+
+    def test_empty_append_leaves_store_versions_alone(self, rng):
+        index = BitmapIndex.build(
+            rng.integers(0, CARDINALITY, size=100),
+            IndexSpec(cardinality=CARDINALITY, scheme="E"),
+        )
+        versions = {
+            key: index.store.version(key) for key in index.store.keys()
+        }
+        index.append(np.array([], dtype=np.int64))
+        for key, version in versions.items():
+            assert index.store.version(key) == version
 
 
 class TestEnginesSurviveAppend:

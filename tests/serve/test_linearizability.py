@@ -62,7 +62,10 @@ def test_interleaved_appends_and_queries_linearize(seed, ops):
             if kind == "append":
                 batch = rng.integers(0, CARDINALITY, size=payload)
                 service.append(batch)
-                prefixes.append(np.concatenate([prefixes[-1], batch]))
+                if batch.size:
+                    # Zero-row appends are no-ops: no new epoch, no
+                    # cache sweep, nothing for the oracle to model.
+                    prefixes.append(np.concatenate([prefixes[-1], batch]))
             else:
                 # Tickets are not awaited here, so these queries race
                 # with every later append in the op sequence.

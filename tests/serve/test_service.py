@@ -143,6 +143,25 @@ class TestResultCache:
             assert after.bitmap == BitVector.from_bools(query.matches(merged))
             assert service.cache.stats.invalidated >= 1
 
+    def test_empty_append_preserves_cache(self, values):
+        """A zero-row append changes nothing — cached answers survive.
+
+        Regression: an unconditional epoch bump on empty batches swept
+        every cached entry (the cache is keyed on the epoch) without a
+        single bitmap having changed.
+        """
+        query = IntervalQuery(2, 9, CARDINALITY)
+        with QueryService(make_index(values)) as service:
+            epoch_before = service.index.epoch
+            first = service.execute(query)
+            report = service.append(np.array([], dtype=np.int64))
+            assert report.records_appended == 0
+            assert service.index.epoch == epoch_before
+            assert service.cache.stats.invalidated == 0
+            second = service.execute(query)
+            assert second.cached
+            assert second.bitmap == first.bitmap
+
     def test_cache_disabled(self, values):
         query = IntervalQuery(2, 9, CARDINALITY)
         config = ServiceConfig(cache_entries=0)

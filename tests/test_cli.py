@@ -99,6 +99,37 @@ class TestBuildInfoQuery:
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_reordered_build(self, tmp_path, column_file, capsys):
+        path, values = column_file
+        index_dir = tmp_path / "idx"
+        assert main(
+            [
+                "build",
+                str(path),
+                str(index_dir),
+                "--scheme",
+                "E",
+                "--codec",
+                "wah",
+                "--reorder",
+                "lexicographic",
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["info", str(index_dir)]) == 0
+        info = capsys.readouterr().out
+        assert "reorder:" in info
+        assert "lexicographic" in info
+
+        # Answers stay in original row order despite the sorted layout.
+        assert main(
+            ["query", str(index_dir), "--low", "3", "--high", "11"]
+        ) == 0
+        out = capsys.readouterr().out
+        expected = int(((values >= 3) & (values <= 11)).sum())
+        assert f"matching rows: {expected}" in out
+
 
 class TestAppend:
     def test_append_updates_index(self, tmp_path, column_file, capsys):

@@ -29,6 +29,44 @@ class TestProbabilities:
             zipf_probabilities(10, -0.5)
 
 
+class TestHighSkewPrecision:
+    """Regressions for the log-space computation.
+
+    The direct ``ranks ** -skew`` form underflows into denormals and
+    then exact zeros once ``skew * log10(C)`` approaches ~308, and the
+    denormal normalization drifted enough to trip ``rng.choice``'s
+    probability-sum check at high skew × large cardinality.
+    """
+
+    def test_paper_extreme_corner(self):
+        # The paper's largest skew on a large domain: C=10_000, z=3.
+        probs = zipf_probabilities(10_000, 3.0)
+        assert np.isfinite(probs).all()
+        assert (probs > 0).all()
+        assert probs.sum() == 1.0
+        # Exact rank ratios survive: p_1 / p_r == r**3.
+        assert probs[0] / probs[9] == pytest.approx(1000.0)
+
+    def test_column_generation_at_paper_extreme(self):
+        values = zipf_column(5_000, 10_000, 3.0, seed=11)
+        assert values.min() >= 0
+        assert values.max() < 10_000
+
+    def test_beyond_float_underflow_range(self):
+        # skew * log10(C) = 80 * 4 = 320 > 308: the direct power
+        # computation returns exact zeros for the tail here.
+        probs = zipf_probabilities(10_000, 80.0)
+        assert (probs > 0).all()
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[0] > probs[1] > probs[-1]
+        # rng.choice revalidates the sum; it must accept these.
+        np.random.default_rng(0).choice(10_000, size=10, p=probs)
+
+    def test_monotone_nonincreasing(self):
+        probs = zipf_probabilities(1000, 2.5)
+        assert (np.diff(probs) <= 0).all()
+
+
 class TestColumn:
     def test_domain_respected(self):
         values = zipf_column(10_000, 50, 2.0, seed=1)
