@@ -3,10 +3,10 @@
 
 Times encode/decode for every codec, compressed-domain AND/OR, the
 fused-vs-materializing expression evaluators, and one end-to-end
-figure regeneration, then writes ``BENCH_PR9.json`` at the repo root.
+figure regeneration, then writes ``BENCH_PR10.json`` at the repo root.
 Prior recorded numbers are merged in under prefixed names — ``seed:``
 for the pre-vectorization baseline (``benchmarks/results/
-seed_baseline.json``) and ``pr1:`` through ``pr8:`` for each PR's
+seed_baseline.json``) and ``pr1:`` through ``pr9:`` for each PR's
 recorded numbers (``BENCH_PR<n>.json``) — so a single file shows
 current medians next to every baseline.
 
@@ -61,6 +61,14 @@ Gates that can fail the run (exit 1):
   stay effectively free.  (The overhead is measured in ``--quick``
   mode too but only reported there: one-iteration timings are too
   noisy to gate on.)
+* the ``auto`` meta-codec losing its reason to exist on the Markov
+  (density x clustering) grid: in any cell ``auto`` coming out more
+  than 5% larger than the best fixed codec, any fixed codec beating
+  ``auto``'s summed total across the grid, or fewer than 3 distinct
+  fixed codecs winning cells (if one codec won everywhere, per-bitmap
+  selection would be pointless).  Sizes are deterministic but the
+  grid shrinks with ``--quick``, so the gate enforces in full mode
+  and reports only in ``--quick``.
 
 Usage::
 
@@ -114,7 +122,8 @@ PR5_BASELINE = REPO_ROOT / "BENCH_PR5.json"
 PR6_BASELINE = REPO_ROOT / "BENCH_PR6.json"
 PR7_BASELINE = REPO_ROOT / "BENCH_PR7.json"
 PR8_BASELINE = REPO_ROOT / "BENCH_PR8.json"
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR9.json"
+PR9_BASELINE = REPO_ROOT / "BENCH_PR9.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR10.json"
 
 #: Maximum tolerated slowdown of the kernel workload with obs installed.
 OBS_OVERHEAD_LIMIT_PCT = 5.0
@@ -223,6 +232,11 @@ def run_benchmarks(
     # skew-vs-benefit curve).  Sizes and answers are deterministic, so
     # the shrink + bit-identical gate runs in --quick mode too.
     results["reorder_skew_benefit"] = run_reorder_bench(num_records, iters)
+
+    # Adaptive selection: auto vs every fixed codec over the Markov
+    # (density x clustering) grid.  Sized like the fused bench so the
+    # sparse cells still hold thousands of set bits.
+    results["adaptive_codec_selection"] = run_adaptive_bench(n_bits * 16)
     return results
 
 
@@ -342,6 +356,111 @@ def check_reorder_gates(entry: dict) -> list[str]:
                     f"z={point['skew']:g}: {point['reordered_bytes']} vs "
                     f"{point['unordered_bytes']} bytes unordered"
                 )
+    return failures
+
+
+ADAPTIVE_DENSITIES = (0.0001, 0.001, 0.01, 0.1, 0.5)
+ADAPTIVE_CLUSTERINGS = (1.0, 8.0, 64.0)
+#: Per-cell slack for ``auto`` over the best fixed codec (the one-byte
+#: dispatch tag plus selection misses on borderline shapes).
+ADAPTIVE_SLACK = 1.05
+#: Cells whose best fixed payload is smaller than this are excluded from
+#: the per-cell ratio gate — a one-byte tag on a 10-byte payload is 10%
+#: by arithmetic, not by regression.
+ADAPTIVE_MIN_GATED_BYTES = 20
+ADAPTIVE_MIN_DISTINCT_WINNERS = 3
+
+
+def run_adaptive_bench(n_bits: int) -> dict:
+    """``auto`` vs every fixed codec over the Markov (d, f) grid.
+
+    Each cell draws one clustered bitmap, records every concrete
+    codec's encoded size plus ``auto``'s actual payload (tag byte
+    included), and names the winner.  Everything is a deterministic
+    function of the seed, so re-runs are exactly reproducible; the
+    encode wall time for the full ``auto`` pass rides along for the
+    record but is not gated.
+    """
+    from repro.compress import available_codecs
+    from repro.workload import markov_bitmap
+
+    fixed = [name for name in available_codecs() if name != "auto"]
+    auto = get_codec("auto")
+    cells = []
+    totals = dict.fromkeys(fixed, 0)
+    auto_total = 0
+    t0 = time.perf_counter()
+    for density in ADAPTIVE_DENSITIES:
+        for clustering in ADAPTIVE_CLUSTERINGS:
+            if density < 1.0 and clustering < density / (1.0 - density):
+                continue
+            vector = markov_bitmap(n_bits, density, clustering, seed=7)
+            sizes = {
+                name: get_codec(name).encoded_size(vector) for name in fixed
+            }
+            auto_bytes = len(auto.encode(vector))
+            winner = min(sorted(sizes), key=sizes.get)
+            for name in fixed:
+                totals[name] += sizes[name]
+            auto_total += auto_bytes
+            cells.append(
+                {
+                    "density": density,
+                    "clustering": clustering,
+                    "sizes": sizes,
+                    "auto_bytes": auto_bytes,
+                    "winner": winner,
+                    "winner_bytes": sizes[winner],
+                }
+            )
+    return {
+        "params": {
+            "n_bits": n_bits,
+            "densities": list(ADAPTIVE_DENSITIES),
+            "clusterings": list(ADAPTIVE_CLUSTERINGS),
+            "seed": 7,
+        },
+        "encode_wall_s": time.perf_counter() - t0,
+        "cells": cells,
+        "fixed_totals": totals,
+        "auto_total": auto_total,
+        "distinct_winners": sorted({cell["winner"] for cell in cells}),
+    }
+
+
+def check_adaptive_gates(entry: dict) -> list[str]:
+    """Failures of the adaptive gate: per-cell ratio, totals, diversity.
+
+    ``auto`` must stay within :data:`ADAPTIVE_SLACK` of the best fixed
+    codec in every (gated) cell, beat every fixed codec's summed total
+    across the grid, and the grid must crown at least
+    :data:`ADAPTIVE_MIN_DISTINCT_WINNERS` distinct fixed codecs —
+    otherwise per-bitmap selection adds a dispatch byte for nothing.
+    """
+    failures = []
+    for cell in entry["cells"]:
+        best = cell["winner_bytes"]
+        if best < ADAPTIVE_MIN_GATED_BYTES:
+            continue
+        if cell["auto_bytes"] > ADAPTIVE_SLACK * best:
+            failures.append(
+                f"auto payload {cell['auto_bytes']} B exceeds "
+                f"{ADAPTIVE_SLACK:.2f}x the best fixed codec "
+                f"({cell['winner']}, {best} B) at d={cell['density']:g}, "
+                f"f={cell['clustering']:g}"
+            )
+    for name, total in entry["fixed_totals"].items():
+        if entry["auto_total"] >= total:
+            failures.append(
+                f"auto grid total {entry['auto_total']} B does not beat "
+                f"fixed codec {name} ({total} B)"
+            )
+    if len(entry["distinct_winners"]) < ADAPTIVE_MIN_DISTINCT_WINNERS:
+        failures.append(
+            f"only {entry['distinct_winners']} win grid cells; adaptive "
+            f"selection needs at least {ADAPTIVE_MIN_DISTINCT_WINNERS} "
+            f"distinct winners to pay for itself"
+        )
     return failures
 
 
@@ -545,6 +664,7 @@ def main(argv: list[str] | None = None) -> int:
     merge_baseline(results, PR6_BASELINE, "pr6")
     merge_baseline(results, PR7_BASELINE, "pr7")
     merge_baseline(results, PR8_BASELINE, "pr8")
+    merge_baseline(results, PR9_BASELINE, "pr9")
 
     output = args.output
     if output is None and not args.quick:
@@ -668,6 +788,20 @@ def main(argv: list[str] | None = None) -> int:
             f"allocations (expr.intermediate_allocs mode=fused must be 0)",
             file=sys.stderr,
         )
+        return 1
+
+    adaptive = results["adaptive_codec_selection"]
+    best_total = min(adaptive["fixed_totals"].values())
+    print(
+        f"adaptive selection: winners {adaptive['distinct_winners']} over "
+        f"{len(adaptive['cells'])} cells; auto total "
+        f"{adaptive['auto_total']} B vs best fixed total {best_total} B"
+    )
+    adaptive_failures = check_adaptive_gates(adaptive)
+    for failure in adaptive_failures:
+        level = "FAIL" if not args.quick else "WARN (quick, not gated)"
+        print(f"{level}: {failure}", file=sys.stderr)
+    if adaptive_failures and not args.quick:
         return 1
 
     overhead = results["obs_overhead"]

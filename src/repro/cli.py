@@ -57,14 +57,24 @@ def _load_column(path: str) -> np.ndarray:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    values = zipf_column(
-        args.num_records, args.cardinality, args.skew, seed=args.seed
-    )
+    if args.generator == "markov":
+        from repro.workload import markov_column
+
+        values = markov_column(
+            args.num_records,
+            args.cardinality,
+            clustering_factor=args.clustering,
+            skew=args.skew,
+            seed=args.seed,
+        )
+        shape = f"C={args.cardinality}, z={args.skew:g}, f={args.clustering:g}"
+    else:
+        values = zipf_column(
+            args.num_records, args.cardinality, args.skew, seed=args.seed
+        )
+        shape = f"C={args.cardinality}, z={args.skew:g}"
     np.save(args.output, values)
-    print(
-        f"wrote {values.size} values (C={args.cardinality}, z={args.skew:g}) "
-        f"to {args.output}"
-    )
+    print(f"wrote {values.size} values ({shape}) to {args.output}")
     return 0
 
 
@@ -170,6 +180,8 @@ def _cmd_verify_index(args: argparse.Namespace) -> int:
     print(f"index:   {args.index}")
     print(f"format:  v{report.format}")
     print(f"bitmaps: {report.checked} checked")
+    for name, count in sorted(report.codec_counts.items()):
+        print(f"codec:   {name} x{count}")
     for error in report.errors:
         print(f"ERROR [{type(error).__name__}] {error}")
     for orphan in report.orphans:
@@ -404,12 +416,25 @@ def build_parser() -> argparse.ArgumentParser:
         "of printing it",
     )
 
-    p = sub.add_parser("generate", help="generate a synthetic Zipf column")
+    p = sub.add_parser("generate", help="generate a synthetic column")
     p.add_argument("output", help="output .npy path")
     p.add_argument("--num-records", type=int, default=100_000)
     p.add_argument("--cardinality", type=int, default=50)
     p.add_argument("--skew", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--generator",
+        choices=("zipf", "markov"),
+        default="zipf",
+        help="zipf: independent draws (the paper's data sets); markov: "
+        "clustered value runs (geometric, mean --clustering)",
+    )
+    p.add_argument(
+        "--clustering",
+        type=float,
+        default=4.0,
+        help="mean value-run length for --generator markov (>= 1)",
+    )
     p.set_defaults(func=_cmd_generate)
 
     p = sub.add_parser("build", help="build and save a bitmap index", parents=[traceable])
@@ -500,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
             "figure8",
             "figure9",
             "table1",
+            "adaptive_sweep",
             "all",
         ],
     )

@@ -106,7 +106,29 @@ COUNT_OPS = {
 }
 
 #: Codecs whose payloads support the full compressed-domain protocol.
-COMPRESSED_DOMAIN_CODECS = frozenset(LOGICAL_OPS)
+#: A plain (mutable) set: modules that add codecs extend it through
+#: :func:`register_compressed_ops`, and by-name importers (the
+#: compressed query engine) observe the additions because the set
+#: object itself is shared.
+COMPRESSED_DOMAIN_CODECS = set(LOGICAL_OPS)
+
+
+def register_compressed_ops(name: str, logical, not_, count) -> None:
+    """Register a codec's payload-level compressed-domain operations.
+
+    ``logical`` is ``(op, payload_a, payload_b, length) -> payload``,
+    ``not_`` is ``(payload, length) -> payload`` and ``count`` is
+    ``(payload) -> int``.  Registration adds ``name`` to
+    :data:`COMPRESSED_DOMAIN_CODECS`, which is all
+    :class:`CompressedBitmap` and the compressed query engine consult —
+    no per-codec conditionals anywhere downstream.
+    """
+    if not name:
+        raise CodecError("compressed-domain ops need a codec name")
+    LOGICAL_OPS[name] = logical
+    NOT_OPS[name] = not_
+    COUNT_OPS[name] = count
+    COMPRESSED_DOMAIN_CODECS.add(name)
 
 
 # ---------------------------------------------------------------------------

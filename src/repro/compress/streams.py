@@ -272,6 +272,20 @@ _STREAMS = {
 }
 
 
+def register_stream(codec_name: str, factory) -> None:
+    """Register a block-stream factory for a codec.
+
+    ``factory`` is called as ``factory(payload, length)`` and must
+    return a :class:`BlockStream`; a class or a plain function both
+    work.  Everything block-oriented (fused evaluation, multiway
+    thresholds, blockwise decode) dispatches through
+    :func:`open_stream`, so registration is all a new codec needs.
+    """
+    if not codec_name:
+        raise CodecError("block streams need a codec name")
+    _STREAMS[codec_name] = factory
+
+
 def open_stream(codec_name: str, payload, length: int) -> BlockStream:
     """A :class:`BlockStream` over ``payload`` for the named codec."""
     try:

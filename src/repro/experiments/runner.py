@@ -43,7 +43,15 @@ def run_experiment(
 ) -> ExperimentResult:
     """Run one experiment by id (``"figure6"``, ..., ``"table1"``)."""
     # Imports are local to avoid import cycles and to keep start-up fast.
-    from repro.experiments import figure3, figure6, figure7, figure8, figure9, table1
+    from repro.experiments import (
+        adaptive_sweep,
+        figure3,
+        figure6,
+        figure7,
+        figure8,
+        figure9,
+        table1,
+    )
 
     runners = {
         "figure3": figure3.run,
@@ -52,6 +60,7 @@ def run_experiment(
         "figure8": figure8.run,
         "figure9": figure9.run,
         "table1": table1.run,
+        "adaptive_sweep": adaptive_sweep.run,
     }
     try:
         runner = runners[name]
@@ -79,6 +88,7 @@ EXPERIMENT_NAMES = (
     "figure7",
     "figure8",
     "figure9",
+    "adaptive_sweep",
 )
 
 

@@ -42,8 +42,10 @@ from pathlib import Path
 
 from repro import obs as _obs
 from repro.compress import get_codec
+from repro.compress.adaptive import payload_codec_name
 from repro.errors import (
     ChecksumMismatchError,
+    CodecError,
     ManifestMismatchError,
     MissingBlobError,
     StorageError,
@@ -117,6 +119,7 @@ def save_index(index: BitmapIndex, directory: str | Path) -> Path:
     disk_store = DirectoryStore(
         directory, codec=index.store.codec, page_size=index.store.page_size
     )
+    store_codec = index.store.codec.name
     entries = []
     for key in index.store.keys():
         component, slot = key
@@ -130,6 +133,13 @@ def save_index(index: BitmapIndex, directory: str | Path) -> Path:
                 "length": length,
                 "bytes": len(payload),
                 "crc32": _crc32(payload),
+                # The concrete codec of this blob: for an 'auto' store
+                # the inner codec the selector picked (also recorded in
+                # the blob's tag byte, cross-checked on load); otherwise
+                # simply the store codec.
+                "codec": payload_codec_name(payload)
+                if store_codec == "auto"
+                else store_codec,
             }
         )
         _count("persist.blobs_written")
@@ -276,6 +286,55 @@ def _check_blob(payload: bytes, entry: dict, key) -> None:
         )
 
 
+def _check_entry_codec(entry: dict, store_codec: str, key, head) -> None:
+    """Cross-check the manifest's per-bitmap ``codec`` field.
+
+    Manifests written since the adaptive codec record which concrete
+    codec each blob uses (for an ``auto`` store, the *inner* codec the
+    selector picked).  The field must agree with the payload: an auto
+    blob's first byte is its codec tag, and every other store's blobs
+    are simply the store codec.  Manifests without the field (older
+    writers) skip the check.  ``head`` is the payload, or just its
+    first byte — only the tag is examined.
+    """
+    declared = entry.get("codec")
+    if declared is None:
+        return
+    if not isinstance(declared, str):
+        _count("persist.corruption_detected", kind="manifest")
+        raise ManifestMismatchError(
+            f"bitmap {key!r}: manifest 'codec' field {declared!r} is not a "
+            f"codec name"
+        )
+    if store_codec != "auto":
+        if declared != store_codec:
+            _count("persist.corruption_detected", kind="mismatch")
+            raise ManifestMismatchError(
+                f"bitmap {key!r}: manifest records codec {declared!r} but "
+                f"the index codec is {store_codec!r}"
+            )
+        return
+    try:
+        actual = payload_codec_name(head)
+    except CodecError as exc:
+        _count("persist.corruption_detected", kind="mismatch")
+        raise ManifestMismatchError(
+            f"bitmap {key!r}: auto payload codec tag is unreadable: {exc}"
+        ) from exc
+    if actual != declared:
+        _count("persist.corruption_detected", kind="mismatch")
+        raise ManifestMismatchError(
+            f"bitmap {key!r}: manifest records inner codec {declared!r} but "
+            f"the blob is tagged {actual!r}"
+        )
+
+
+def _read_head(path: Path) -> bytes:
+    """First byte of a blob (the auto codec tag) without reading it all."""
+    with open(path, "rb") as fh:
+        return fh.read(1)
+
+
 #: Exception type → ``persist.corruption_detected`` tag, for errors the
 #: mapped attach path raises (mirrors the kinds ``_check_blob`` counts).
 _CORRUPTION_KINDS = (
@@ -327,11 +386,16 @@ def _load_entries(directory: Path, manifest: dict, store: DirectoryStore) -> Non
             ) from exc
         path = _blob_path(directory, entry, key)
         if fmt >= 2 and mapped:
+            # Attach first (it verifies existence, length and CRC with
+            # the right typed errors), then cross-check the codec tag —
+            # one byte read, the mapping itself stays untouched.
             _attach_mapped_entry(store, path, entry, key)
+            _check_entry_codec(entry, store.codec.name, key, _read_head(path))
             continue
         payload = _read_blob(path, key)
         if fmt >= 2:
             _check_blob(payload, entry, key)
+            _check_entry_codec(entry, store.codec.name, key, payload)
             store.attach_payload(key, payload, entry["length"])
         else:
             # v1 recorded no checksums; eagerly decode so a corrupt
@@ -469,6 +533,10 @@ class IndexValidationReport:
     #: ``.bm`` files present but unreferenced, and leftover ``.tmp``
     #: files — junk from an interrupted writer, harmless but removable.
     orphans: list[str] = field(default_factory=list)
+    #: Valid bitmaps per concrete codec.  For an ``auto`` index this is
+    #: the selector's per-bitmap choices; for a fixed-codec index every
+    #: bitmap lands under the store codec.
+    codec_counts: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -478,11 +546,18 @@ class IndexValidationReport:
 
     def summary(self) -> str:
         verdict = "ok" if self.ok else "CORRUPT"
-        return (
+        line = (
             f"{verdict}: {self.checked} bitmaps checked, "
             f"{len(self.errors)} errors, {len(self.orphans)} orphan files "
             f"(format v{self.format})"
         )
+        if self.codec_counts:
+            counts = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.codec_counts.items())
+            )
+            line += f"; codecs: {counts}"
+        return line
 
 
 def validate_index(directory: str | Path) -> IndexValidationReport:
@@ -512,8 +587,19 @@ def validate_index(directory: str | Path) -> IndexValidationReport:
                 payload = _read_blob(path, key)
                 if manifest["format"] >= 2:
                     _check_blob(payload, entry, key)
+                    _check_entry_codec(entry, manifest["codec"], key, payload)
                 codec = get_codec(manifest["codec"])
                 codec.decode(payload, entry["length"])
+                concrete = entry.get("codec")
+                if concrete is None:
+                    concrete = (
+                        payload_codec_name(payload)
+                        if manifest["codec"] == "auto"
+                        else manifest["codec"]
+                    )
+                report.codec_counts[concrete] = (
+                    report.codec_counts.get(concrete, 0) + 1
+                )
             except StorageError:
                 raise
             except Exception as exc:

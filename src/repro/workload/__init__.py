@@ -1,11 +1,14 @@
 """Synthetic data generation (Section 7, "Data Sets")."""
 
 from repro.workload.datasets import DatasetSpec, generate_dataset
+from repro.workload.markov import markov_bitmap, markov_column
 from repro.workload.zipf import zipf_column, zipf_probabilities
 
 __all__ = [
     "DatasetSpec",
     "generate_dataset",
+    "markov_bitmap",
+    "markov_column",
     "zipf_column",
     "zipf_probabilities",
 ]

@@ -1,0 +1,167 @@
+"""Two-state Markov clustered bitmaps and columns.
+
+The paper's Zipf generator controls *how many* bits each bitmap sets,
+but places them independently, so every bitmap of a given density looks
+the same to a run-length codec.  Real columns are clustered — sorted
+ingests, time-correlated values, the row reorderings of
+:mod:`repro.index.reorder` — and clustering, not just density, decides
+which codec wins.  The standard model for that (used throughout the
+compressed-bitmap literature to benchmark WAH/EWAH/roaring against each
+other) is a two-state Markov chain over the bit positions.
+
+A chain with transition probabilities ``p01 = P(0 -> 1)`` and
+``p10 = P(1 -> 0)`` has stationary density ``d = p01 / (p01 + p10)``
+and geometric 1-run lengths with mean ``f = 1 / p10``.  We
+parameterize by the pair the sweep actually varies:
+
+* ``density`` ``d`` in [0, 1] — the fraction of set bits;
+* ``clustering_factor`` ``f`` >= 1 — the mean 1-run length.  ``f = 1``
+  with low ``d`` degenerates to independent (Bernoulli-like) bits;
+  large ``f`` produces long runs at the same density.
+
+from which ``p10 = 1/f`` and ``p01 = d / (f * (1 - d))``.  Since
+``p01 <= 1`` requires ``f >= d / (1 - d)``, dense bitmaps cannot have
+short runs — the generator validates that.
+
+The implementation never walks bit-by-bit: it draws alternating
+geometric run lengths in bulk, takes the cumulative sum, and scatters
+the 1-runs through :func:`repro.compress.kernels.expand_ranges` — the
+same vectorized shape as the codecs themselves.
+
+:func:`markov_column` builds a whole attribute column the same way the
+paper's Zipf columns are built, but with value *runs*: run lengths are
+geometric with mean ``clustering_factor`` and run values are drawn
+Zipf(skew), so each value's bitmap is Markov-clustered while the
+per-value densities still follow the familiar skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmap import BitVector
+from repro.compress import kernels
+from repro.errors import ReproError
+from repro.workload.zipf import zipf_probabilities
+
+_ONE = np.uint64(1)
+
+
+def _validate(density: float, clustering_factor: float) -> None:
+    if not 0.0 <= density <= 1.0:
+        raise ReproError(f"density must be in [0, 1], got {density}")
+    if clustering_factor < 1.0:
+        raise ReproError(
+            f"clustering_factor is a mean run length and must be >= 1, "
+            f"got {clustering_factor}"
+        )
+    if density < 1.0 and clustering_factor < density / (1.0 - density):
+        raise ReproError(
+            f"clustering_factor {clustering_factor} is infeasible at "
+            f"density {density}: the Markov chain needs "
+            f"f >= d / (1 - d) = {density / (1.0 - density):.4g}"
+        )
+
+
+def markov_bitmap(
+    length: int,
+    density: float,
+    clustering_factor: float = 1.0,
+    seed: int | None = 0,
+) -> BitVector:
+    """A ``length``-bit vector from the two-state Markov chain.
+
+    ``density`` is the stationary fraction of set bits and
+    ``clustering_factor`` the mean 1-run length; the realized values
+    fluctuate around them like any finite sample.
+    """
+    if length < 0:
+        raise ReproError(f"length must be >= 0, got {length}")
+    _validate(density, clustering_factor)
+    if length == 0 or density == 0.0:
+        return BitVector.zeros(length)
+    if density == 1.0:
+        return BitVector.ones(length)
+    rng = np.random.default_rng(seed)
+    p10 = 1.0 / clustering_factor
+    p01 = density / (clustering_factor * (1.0 - density))
+    # First state from the stationary distribution, then alternating
+    # geometric run lengths until the cumulative length covers the
+    # vector.  Mean run length is 1/p01 + 1/p10, so this loop almost
+    # always finishes in one batch.
+    first_is_one = bool(rng.random() < density)
+    runs: list[np.ndarray] = []
+    covered = 0.0
+    mean_cycle = 1.0 / p01 + 1.0 / p10
+    while covered < length:
+        batch = max(16, int(2 * (length - covered) / mean_cycle) + 2)
+        ones = rng.geometric(p10, size=batch).astype(np.int64)
+        zeros = rng.geometric(p01, size=batch).astype(np.int64)
+        # Each batch holds an even run count, so every batch starts
+        # with the chain's first state type.
+        pair = np.empty(2 * batch, dtype=np.int64)
+        if first_is_one:
+            pair[0::2], pair[1::2] = ones, zeros
+        else:
+            pair[0::2], pair[1::2] = zeros, ones
+        runs.append(pair)
+        covered += float(pair.sum())
+    lengths = np.concatenate(runs)
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    keep = starts < length
+    starts, ends = starts[keep], np.minimum(ends[keep], length)
+    one_runs = slice(0, None, 2) if first_is_one else slice(1, None, 2)
+    positions = kernels.expand_ranges(
+        starts[one_runs], ends[one_runs] - starts[one_runs]
+    )
+    vector = BitVector(length)
+    if positions.size:
+        np.bitwise_or.at(
+            vector.words, positions >> 6, _ONE << (positions & 63).astype(np.uint64)
+        )
+    return vector
+
+
+def markov_column(
+    num_records: int,
+    cardinality: int,
+    clustering_factor: float = 4.0,
+    skew: float = 0.0,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """A clustered attribute column: geometric value runs, Zipf values.
+
+    Run lengths are geometric with mean ``clustering_factor``; each
+    run's value is an independent Zipf(``skew``) draw over
+    ``[0, cardinality)`` (decorrelated the same way as
+    :func:`repro.workload.zipf.zipf_column`).  Every value's bitmap is
+    then Markov-clustered with roughly this clustering factor, so an
+    index built over the column exercises the adaptive codec's whole
+    decision surface.
+    """
+    if num_records < 0:
+        raise ReproError(f"num_records must be >= 0, got {num_records}")
+    if clustering_factor < 1.0:
+        raise ReproError(
+            f"clustering_factor is a mean run length and must be >= 1, "
+            f"got {clustering_factor}"
+        )
+    probabilities = zipf_probabilities(cardinality, skew)
+    rng = np.random.default_rng(seed)
+    if num_records == 0:
+        return np.zeros(0, dtype=np.int64)
+    expected_runs = max(16, int(2 * num_records / clustering_factor) + 2)
+    lengths_parts: list[np.ndarray] = []
+    covered = 0
+    while covered < num_records:
+        part = rng.geometric(1.0 / clustering_factor, size=expected_runs)
+        lengths_parts.append(part.astype(np.int64))
+        covered += int(part.sum())
+    lengths = np.concatenate(lengths_parts)
+    cut = int(np.searchsorted(np.cumsum(lengths), num_records, side="left")) + 1
+    lengths = lengths[:cut]
+    ranks = rng.choice(cardinality, size=lengths.size, p=probabilities)
+    permutation = rng.permutation(cardinality)
+    column = np.repeat(permutation[ranks], lengths)[:num_records]
+    return column.astype(np.int64)

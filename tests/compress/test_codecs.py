@@ -27,7 +27,16 @@ class TestRegistry:
 
     def test_registry_order_is_sorted_and_stable(self):
         # Pinned: experiment configs and stats tables iterate this order.
-        assert available_codecs() == ["bbc", "ewah", "raw", "roaring", "wah"]
+        assert available_codecs() == [
+            "auto",
+            "bbc",
+            "ewah",
+            "position_list",
+            "range_list",
+            "raw",
+            "roaring",
+            "wah",
+        ]
 
     def test_unknown_codec(self):
         with pytest.raises(CodecError) as exc_info:

@@ -1,0 +1,172 @@
+"""Persistence tests for per-bitmap codec ids and the ``auto`` codec.
+
+The v2 manifest records each blob's concrete codec (for ``auto``
+stores, the inner codec the selector picked); loading cross-checks the
+field against the blob's tag byte.  These tests cover the round trip
+through both loaders, the typed error on a corrupted codec id, and the
+per-codec counts ``verify-index`` reports.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compress import CODEC_IDS, split_payload
+from repro.errors import ManifestMismatchError
+from repro.index import BitmapIndex, IndexSpec
+from repro.index.persist import (
+    MANIFEST_NAME,
+    load_index,
+    save_index,
+    validate_index,
+)
+from repro.queries import IntervalQuery
+from repro.workload import markov_column
+
+
+def mixed_auto_index(num_records=20000, cardinality=64):
+    """An auto index whose bitmaps genuinely span several inner codecs.
+
+    A clustered, highly skewed column gives one near-dense bitmap (raw
+    or an RLE codec), a few moderate ones and a long tail of
+    ultra-sparse ones (position lists).
+    """
+    values = markov_column(
+        num_records, cardinality, clustering_factor=8.0, skew=2.0, seed=4
+    )
+    spec = IndexSpec(cardinality=cardinality, scheme="E", codec="auto")
+    return BitmapIndex.build(values, spec)
+
+
+def manifest_of(directory):
+    return json.loads((directory / MANIFEST_NAME).read_text())
+
+
+@pytest.mark.parametrize("mapped", [False, True], ids=["copying", "mapped"])
+def test_auto_roundtrip(tmp_path, mapped):
+    index = mixed_auto_index()
+    save_index(index, tmp_path / "idx")
+    loaded = load_index(tmp_path / "idx", mapped=mapped)
+    assert loaded.spec.codec == "auto"
+    for key in index.store.keys():
+        assert loaded.store.get(key) == index.store.get(key), key
+    query = IntervalQuery(3, 40, 64)
+    assert loaded.query(query).bitmap == index.query(query).bitmap
+
+
+def test_manifest_records_inner_codecs(tmp_path):
+    index = mixed_auto_index()
+    save_index(index, tmp_path / "idx")
+    manifest = manifest_of(tmp_path / "idx")
+    assert manifest["codec"] == "auto"
+    declared = {entry["codec"] for entry in manifest["bitmaps"]}
+    # The skewed clustered column must fan out across inner codecs —
+    # that is the point of per-bitmap selection.
+    assert len(declared) >= 2, declared
+    assert declared <= set(CODEC_IDS)
+    # Each declared codec matches its blob's tag byte.
+    for entry in manifest["bitmaps"]:
+        payload = (tmp_path / "idx" / entry["file"]).read_bytes()
+        assert split_payload(payload)[0] == entry["codec"]
+
+
+def test_fixed_codec_manifest_records_store_codec(tmp_path, rng):
+    values = rng.integers(0, 16, size=500)
+    index = BitmapIndex.build(
+        values, IndexSpec(cardinality=16, scheme="E", codec="bbc")
+    )
+    save_index(index, tmp_path / "idx")
+    manifest = manifest_of(tmp_path / "idx")
+    assert {e["codec"] for e in manifest["bitmaps"]} == {"bbc"}
+
+
+@pytest.mark.parametrize("mapped", [False, True], ids=["copying", "mapped"])
+def test_corrupt_codec_id_raises_typed_error(tmp_path, mapped):
+    index = mixed_auto_index(num_records=5000, cardinality=8)
+    save_index(index, tmp_path / "idx")
+    manifest = manifest_of(tmp_path / "idx")
+    entry = manifest["bitmaps"][0]
+    wrong = "ewah" if entry["codec"] != "ewah" else "wah"
+    entry["codec"] = wrong
+    (tmp_path / "idx" / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ManifestMismatchError, match="inner codec"):
+        load_index(tmp_path / "idx", mapped=mapped)
+
+
+def test_non_string_codec_id_rejected(tmp_path):
+    index = mixed_auto_index(num_records=5000, cardinality=8)
+    save_index(index, tmp_path / "idx")
+    manifest = manifest_of(tmp_path / "idx")
+    manifest["bitmaps"][0]["codec"] = 7
+    (tmp_path / "idx" / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ManifestMismatchError, match="not a codec name"):
+        load_index(tmp_path / "idx")
+
+
+def test_fixed_codec_disagreement_rejected(tmp_path, rng):
+    values = rng.integers(0, 8, size=300)
+    index = BitmapIndex.build(
+        values, IndexSpec(cardinality=8, scheme="E", codec="bbc")
+    )
+    save_index(index, tmp_path / "idx")
+    manifest = manifest_of(tmp_path / "idx")
+    manifest["bitmaps"][0]["codec"] = "wah"
+    (tmp_path / "idx" / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ManifestMismatchError, match="index codec"):
+        load_index(tmp_path / "idx")
+
+
+def test_manifest_without_codec_field_still_loads(tmp_path):
+    # Back-compat: manifests written before per-bitmap codec ids.
+    index = mixed_auto_index(num_records=5000, cardinality=8)
+    save_index(index, tmp_path / "idx")
+    manifest = manifest_of(tmp_path / "idx")
+    for entry in manifest["bitmaps"]:
+        del entry["codec"]
+    (tmp_path / "idx" / MANIFEST_NAME).write_text(json.dumps(manifest))
+    loaded = load_index(tmp_path / "idx")
+    for key in index.store.keys():
+        assert loaded.store.get(key) == index.store.get(key), key
+    # validate_index still derives per-codec counts from the tag bytes.
+    report = validate_index(tmp_path / "idx")
+    assert report.ok
+    assert sum(report.codec_counts.values()) == report.checked
+
+
+def test_validate_reports_per_codec_counts(tmp_path):
+    index = mixed_auto_index()
+    save_index(index, tmp_path / "idx")
+    report = validate_index(tmp_path / "idx")
+    assert report.ok
+    manifest = manifest_of(tmp_path / "idx")
+    expected: dict[str, int] = {}
+    for entry in manifest["bitmaps"]:
+        expected[entry["codec"]] = expected.get(entry["codec"], 0) + 1
+    assert report.codec_counts == expected
+    assert "codecs:" in report.summary()
+
+
+def test_validate_flags_codec_id_corruption(tmp_path):
+    index = mixed_auto_index(num_records=5000, cardinality=8)
+    save_index(index, tmp_path / "idx")
+    manifest = manifest_of(tmp_path / "idx")
+    entry = manifest["bitmaps"][0]
+    entry["codec"] = "ewah" if entry["codec"] != "ewah" else "wah"
+    (tmp_path / "idx" / MANIFEST_NAME).write_text(json.dumps(manifest))
+    report = validate_index(tmp_path / "idx")
+    assert not report.ok
+    assert any(
+        isinstance(error, ManifestMismatchError) for error in report.errors
+    )
+
+
+def test_fixed_codec_counts_under_store_codec(tmp_path, rng):
+    values = rng.integers(0, 8, size=300)
+    index = BitmapIndex.build(
+        values, IndexSpec(cardinality=8, scheme="E", codec="roaring")
+    )
+    save_index(index, tmp_path / "idx")
+    report = validate_index(tmp_path / "idx")
+    assert report.ok
+    assert report.codec_counts == {"roaring": report.checked}

@@ -1,0 +1,110 @@
+"""CLI end-to-end coverage for the adaptive codec and Markov generator."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.index.persist import MANIFEST_NAME
+
+
+class TestMarkovGenerate:
+    def test_markov_column(self, tmp_path, capsys):
+        out = tmp_path / "data.npy"
+        code = main(
+            [
+                "generate",
+                str(out),
+                "--num-records",
+                "5000",
+                "--cardinality",
+                "16",
+                "--generator",
+                "markov",
+                "--clustering",
+                "10",
+                "--skew",
+                "1",
+            ]
+        )
+        assert code == 0
+        values = np.load(out)
+        assert values.size == 5000
+        assert values.max() < 16
+        runs = 1 + int((np.diff(values) != 0).sum())
+        assert values.size / runs > 5.0  # clustered, not i.i.d.
+        assert "f=10" in capsys.readouterr().out
+
+    def test_zipf_remains_default(self, tmp_path, capsys):
+        out = tmp_path / "data.npy"
+        assert main(["generate", str(out), "--num-records", "100"]) == 0
+        assert "f=" not in capsys.readouterr().out
+
+
+class TestAutoCodecCycle:
+    @pytest.fixture
+    def markov_column_file(self, tmp_path):
+        path = tmp_path / "col.npy"
+        main(
+            [
+                "generate",
+                str(path),
+                "--num-records",
+                "4000",
+                "--cardinality",
+                "32",
+                "--generator",
+                "markov",
+                "--clustering",
+                "8",
+                "--skew",
+                "2",
+            ]
+        )
+        return path
+
+    def test_build_query_verify_auto(
+        self, tmp_path, markov_column_file, capsys
+    ):
+        index_dir = tmp_path / "idx"
+        assert main(
+            [
+                "build",
+                str(markov_column_file),
+                str(index_dir),
+                "--scheme",
+                "E",
+                "--codec",
+                "auto",
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        manifest = json.loads((index_dir / MANIFEST_NAME).read_text())
+        assert manifest["codec"] == "auto"
+        inner = {entry["codec"] for entry in manifest["bitmaps"]}
+        assert len(inner) >= 2, inner
+
+        values = np.load(markov_column_file)
+        assert main(
+            ["query", str(index_dir), "--low", "2", "--high", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        expected = int(((values >= 2) & (values <= 20)).sum())
+        assert f"matching rows: {expected}" in out
+
+        assert main(["verify-index", str(index_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "codec:" in out
+        for name in sorted(inner):
+            assert name in out
+
+    def test_experiment_adaptive_sweep(self, capsys):
+        code = main(
+            ["experiment", "adaptive_sweep", "--num-records", "3000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Figure A1")
+        assert "winner" in out

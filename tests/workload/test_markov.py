@@ -1,0 +1,91 @@
+"""Tests for the two-state Markov clustered-data generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.workload import markov_bitmap, markov_column
+
+
+def realized_stats(vector):
+    indices = vector.to_indices()
+    if indices.size == 0:
+        return 0.0, 0.0
+    runs = 1 + int((np.diff(indices) != 1).sum())
+    return indices.size / len(vector), indices.size / runs
+
+
+class TestMarkovBitmap:
+    @pytest.mark.parametrize(
+        "density,clustering",
+        [(0.001, 1.0), (0.001, 16.0), (0.05, 4.0), (0.5, 8.0), (0.9, 32.0)],
+    )
+    def test_realized_density_and_clustering(self, density, clustering):
+        vector = markov_bitmap(1 << 20, density, clustering, seed=3)
+        d, f = realized_stats(vector)
+        assert d == pytest.approx(density, rel=0.15)
+        assert f == pytest.approx(clustering, rel=0.15)
+
+    def test_determinism(self):
+        a = markov_bitmap(50000, 0.1, 8.0, seed=42)
+        b = markov_bitmap(50000, 0.1, 8.0, seed=42)
+        assert a == b
+        assert a != markov_bitmap(50000, 0.1, 8.0, seed=43)
+
+    def test_degenerate_densities(self):
+        assert markov_bitmap(0, 0.5, 2.0).count() == 0
+        assert markov_bitmap(1000, 0.0, 1.0).count() == 0
+        assert markov_bitmap(1000, 1.0, 999.0).count() == 1000
+
+    def test_clustering_one_is_near_bernoulli(self):
+        vector = markov_bitmap(1 << 18, 0.01, 1.0, seed=5)
+        _, f = realized_stats(vector)
+        assert f == pytest.approx(1.0, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="density"):
+            markov_bitmap(100, 1.5, 2.0)
+        with pytest.raises(ReproError, match="clustering_factor"):
+            markov_bitmap(100, 0.1, 0.5)
+        with pytest.raises(ReproError, match="infeasible"):
+            markov_bitmap(100, 0.9, 2.0)
+        with pytest.raises(ReproError, match="length"):
+            markov_bitmap(-1, 0.1, 1.0)
+
+
+class TestMarkovColumn:
+    def test_shape_and_domain(self):
+        column = markov_column(20000, 16, clustering_factor=4.0, seed=0)
+        assert column.shape == (20000,)
+        assert column.dtype == np.int64
+        assert column.min() >= 0 and column.max() < 16
+
+    def test_value_runs_are_clustered(self):
+        column = markov_column(
+            100000, 64, clustering_factor=10.0, skew=0.0, seed=2
+        )
+        runs = 1 + int((np.diff(column) != 0).sum())
+        mean_run = column.size / runs
+        # Adjacent runs drawing the same value merge, so the realized
+        # mean is slightly above the nominal factor.
+        assert 8.0 < mean_run < 14.0
+
+    def test_skew_shapes_frequencies(self):
+        column = markov_column(
+            200000, 32, clustering_factor=4.0, skew=2.0, seed=1
+        )
+        counts = np.sort(np.bincount(column, minlength=32))[::-1]
+        # Zipf z=2: the most frequent value dominates.
+        assert counts[0] > 0.5 * column.size
+
+    def test_empty_and_validation(self):
+        assert markov_column(0, 8).shape == (0,)
+        with pytest.raises(ReproError, match="num_records"):
+            markov_column(-5, 8)
+        with pytest.raises(ReproError, match="clustering_factor"):
+            markov_column(10, 8, clustering_factor=0.0)
+
+    def test_determinism(self):
+        a = markov_column(5000, 8, clustering_factor=3.0, skew=1.0, seed=9)
+        b = markov_column(5000, 8, clustering_factor=3.0, skew=1.0, seed=9)
+        assert np.array_equal(a, b)
